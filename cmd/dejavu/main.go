@@ -1,0 +1,235 @@
+// Command dejavu deploys the reference edge-cloud service chain on the
+// switch model and reports placement, routing, resources and capacity.
+//
+// Usage:
+//
+//	dejavu plan                  # show placement + traversal analysis
+//	dejavu plan -optimizer naive # compare against the strawman placer
+//	dejavu resources             # Table-1 style framework overhead
+//	dejavu run                   # deploy and push sample traffic through
+//	dejavu capacity -loopback 16 # §5 capacity analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/config"
+	"dejavu/internal/core"
+	"dejavu/internal/packet"
+	"dejavu/internal/scenario"
+)
+
+// configPath optionally points at a declarative JSON deployment spec;
+// set via the global -config flag before the subcommand.
+var configPath string
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: dejavu <command> [flags]
+
+commands:
+  plan       optimize and show NF placement and per-chain traversals
+  resources  show the framework resource overhead report
+  run        deploy and forward sample traffic on all three SFC paths
+  capacity   show the capacity split for a loopback configuration
+  emit       print the composed multi-pipeline P4 program
+`)
+	os.Exit(2)
+}
+
+func main() {
+	args := os.Args[1:]
+	// Global flags before the subcommand.
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-config" && len(args) > 1:
+			configPath = args[1]
+			args = args[2:]
+		default:
+			goto dispatch
+		}
+	}
+dispatch:
+	if len(args) < 1 {
+		usage()
+	}
+	cmd := args[0]
+	args = args[1:]
+	var err error
+	switch cmd {
+	case "plan":
+		err = runPlan(args)
+	case "resources":
+		err = runResources(args)
+	case "run":
+		err = runTraffic(args)
+	case "capacity":
+		err = runCapacity(args)
+	case "emit":
+		err = runEmit(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dejavu:", err)
+		os.Exit(1)
+	}
+}
+
+// deploy builds the reference scenario with the requested optimizer
+// ("manual" keeps the Fig. 9 hand placement), or loads a declarative
+// JSON document when configPath is set.
+func deploy(optimizer string, loopback int) (*core.Deployment, error) {
+	if configPath != "" {
+		cfg, err := config.Load(configPath)
+		if err != nil {
+			return nil, err
+		}
+		if optimizer != "" && optimizer != "manual" {
+			cfg.Optimizer = core.Optimizer(optimizer)
+		}
+		for i := 0; i < loopback; i++ {
+			cfg.LoopbackPorts = append(cfg.LoopbackPorts, asic.PortID(16+i))
+		}
+		return core.Deploy(*cfg)
+	}
+	s := scenario.MustNew()
+	cfg := core.Config{
+		Prof:   s.Prof,
+		Chains: s.Chains,
+		NFs:    s.NFs,
+		Enter:  0,
+	}
+	if optimizer == "manual" {
+		cfg.Placement = s.Placement
+	} else {
+		cfg.Optimizer = core.Optimizer(optimizer)
+	}
+	for i := 0; i < loopback; i++ {
+		cfg.LoopbackPorts = append(cfg.LoopbackPorts, asic.PortID(16+i))
+	}
+	return core.Deploy(cfg)
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	optimizer := fs.String("optimizer", "exhaustive", "manual|naive|greedy|anneal|exhaustive")
+	fs.Parse(args)
+	d, err := deploy(*optimizer, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(d.Summary())
+	fmt.Println("\nplacement:")
+	for _, f := range d.Config.NFs {
+		at, _ := d.Placement.Of(f.Name())
+		fmt.Printf("  %-12s -> %s\n", f.Name(), at)
+	}
+	return nil
+}
+
+func runResources(args []string) error {
+	fs := flag.NewFlagSet("resources", flag.ExitOnError)
+	optimizer := fs.String("optimizer", "manual", "manual|naive|greedy|anneal|exhaustive")
+	fs.Parse(args)
+	d, err := deploy(*optimizer, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Dejavu framework resource overhead (cf. paper Table 1):")
+	fmt.Print(d.Resources.String())
+	fmt.Println("\nper-pipelet stage allocation:")
+	for pl, plan := range d.Plans {
+		fmt.Printf("  %-10s: %d stages used (%d with framework tables)\n",
+			pl, plan.StagesUsed(), plan.FrameworkStages())
+	}
+	return nil
+}
+
+func runTraffic(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	optimizer := fs.String("optimizer", "manual", "manual|naive|greedy|anneal|exhaustive")
+	fs.Parse(args)
+	d, err := deploy(*optimizer, 0)
+	if err != nil {
+		return err
+	}
+	inject := func(name string, mk func() *packet.Parsed) error {
+		tr, err := d.Inject(scenario.PortClient, mk())
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		status := "delivered"
+		if tr.Dropped {
+			status = "dropped (" + tr.DropReason + ")"
+		}
+		fmt.Printf("%-24s %-10s recircs=%d latency=%v path=%s\n",
+			name, status, tr.Recirculations, tr.Latency, tr.Path())
+		for _, o := range tr.Out {
+			fmt.Printf("  out port %-4d %s\n", o.Port, o.Pkt.String())
+		}
+		return nil
+	}
+	if err := inject("full path (miss+learn)", func() *packet.Parsed { return scenario.ClientTCP(443) }); err != nil {
+		return err
+	}
+	if err := inject("full path (hit)", func() *packet.Parsed { return scenario.ClientTCP(443) }); err != nil {
+		return err
+	}
+	if err := inject("firewall deny", func() *packet.Parsed { return scenario.ClientTCP(22) }); err != nil {
+		return err
+	}
+	if err := inject("tenant (VXLAN encap)", scenario.TenantBound); err != nil {
+		return err
+	}
+	if err := inject("internet (default route)", scenario.InternetBound); err != nil {
+		return err
+	}
+	st := d.Controller.Stats()
+	fmt.Printf("\ncontrol plane: %d sessions installed, %d reinjects\n", st.SessionsInstalled, st.Reinjected)
+	nfs, paths := d.Telemetry().Snapshot()
+	fmt.Println("telemetry:")
+	for _, pc := range paths {
+		fmt.Printf("  path %-5d %d packets\n", pc.Path, pc.Packets)
+	}
+	for _, nc := range nfs {
+		fmt.Printf("  nf %-12s %d executions\n", nc.Name, nc.Executions)
+	}
+	return nil
+}
+
+func runEmit(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	optimizer := fs.String("optimizer", "manual", "manual|naive|greedy|anneal|exhaustive")
+	fs.Parse(args)
+	d, err := deploy(*optimizer, 0)
+	if err != nil {
+		return err
+	}
+	src, err := d.P4Source()
+	if err != nil {
+		return err
+	}
+	fmt.Print(src)
+	return nil
+}
+
+func runCapacity(args []string) error {
+	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
+	loopback := fs.Int("loopback", 16, "front-panel ports in loopback mode")
+	offered := fs.Float64("offered", 1600, "offered external load (Gbps)")
+	fs.Parse(args)
+	d, err := deploy("manual", *loopback)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ports: %d total, %d loopback\n", d.Capacity.TotalPorts, d.Capacity.LoopbackPorts)
+	fmt.Printf("external capacity:   %8.0f Gbps\n", d.Capacity.ExternalGbps())
+	fmt.Printf("loopback bandwidth:  %8.0f Gbps (incl. dedicated recirc ports)\n", d.LoopbackGbps())
+	fmt.Printf("weighted recircs:    %8.2f per packet\n", d.WeightedRecirculations())
+	fmt.Printf("effective throughput at %.0f G offered: %.0f Gbps\n",
+		*offered, d.EffectiveThroughputGbps(*offered))
+	return nil
+}

@@ -1,0 +1,237 @@
+// Package dejavu accelerates service function chaining on a single
+// programmable switch ASIC, reproducing the system of "Accelerated
+// Service Chaining on a Single Switch ASIC" (HotNets '19).
+//
+// A Dejavu deployment takes a set of weighted service chains (ordered
+// lists of network functions) and:
+//
+//   - merges the NFs' parser graphs into one generic parser, using a
+//     (header type, offset) global ID table;
+//   - composes the NFs into per-pipelet programs, sequentially or in
+//     parallel, wrapped with the framework's check_nextNF,
+//     check_sfcFlags and branching tables;
+//   - optimizes the NF-to-pipelet placement to minimize the weighted
+//     number of packet recirculations, respecting the hardware's
+//     loopback and stage constraints;
+//   - verifies the composed programs fit each pipelet's MAU stages and
+//     reports the framework's resource overhead; and
+//   - loads everything onto a behavioural multi-pipeline RMT switch
+//     model, ready to forward packets, with a merged control plane for
+//     session learning and table management.
+//
+// Quick start:
+//
+//	lb := dejavu.NewLoadBalancer(65536)
+//	lb.AddVIP(vip, backends)
+//	router := dejavu.NewRouter()
+//	router.AddRoute(prefix, 16, dejavu.NextHop{Port: 8})
+//	classifier := dejavu.NewClassifier(30, 2)
+//
+//	d, err := dejavu.Deploy(dejavu.Config{
+//	    Prof:   dejavu.Wedge100B(),
+//	    Chains: []dejavu.Chain{{PathID: 10, NFs: []string{"classifier", "lb", "router"}, Weight: 1}},
+//	    NFs:    dejavu.NFs{classifier, lb, router},
+//	})
+//	trace, err := d.Inject(2, pkt)
+//
+// See the examples directory for complete programs and EXPERIMENTS.md
+// for the reproduction of the paper's figures and tables.
+package dejavu
+
+import (
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/core"
+	"dejavu/internal/nf"
+	"dejavu/internal/nsh"
+	"dejavu/internal/packet"
+	"dejavu/internal/recirc"
+	"dejavu/internal/route"
+)
+
+// Core deployment types.
+type (
+	// Config describes one deployment; see core.Config.
+	Config = core.Config
+	// Deployment is a ready-to-use Dejavu instance.
+	Deployment = core.Deployment
+	// ChainReport is the per-chain traversal analysis.
+	ChainReport = core.ChainReport
+	// Optimizer names a placement strategy.
+	Optimizer = core.Optimizer
+)
+
+// Placement strategies.
+const (
+	OptExhaustive = core.OptExhaustive
+	OptAnneal     = core.OptAnneal
+	OptGreedy     = core.OptGreedy
+	OptNaive      = core.OptNaive
+)
+
+// Chaining and placement types.
+type (
+	// Chain is one SFC policy: ordered NF names plus a traffic weight.
+	Chain = route.Chain
+	// Placement maps NFs to pipelets.
+	Placement = route.Placement
+	// Mode is a pipelet's composition mode.
+	Mode = route.Mode
+	// Traversal is a chain's static pipelet path.
+	Traversal = route.Traversal
+)
+
+// Composition modes (§3.2 of the paper).
+const (
+	Sequential = route.Sequential
+	Parallel   = route.Parallel
+)
+
+// NewPlacement creates an empty placement for manual control.
+func NewPlacement() *Placement { return route.NewPlacement() }
+
+// Switch model types.
+type (
+	// Profile is a switch ASIC model.
+	Profile = asic.Profile
+	// Switch is a behavioural switch instance.
+	Switch = asic.Switch
+	// PipeletID identifies an ingress or egress pipe of a pipeline.
+	PipeletID = asic.PipeletID
+	// PortID is a switch port.
+	PortID = asic.PortID
+	// Trace records one packet's journey.
+	Trace = asic.Trace
+	// LoopbackMode configures port loopback.
+	LoopbackMode = asic.LoopbackMode
+)
+
+// Pipelet directions and loopback modes.
+const (
+	Ingress         = asic.Ingress
+	Egress          = asic.Egress
+	LoopbackOff     = asic.LoopbackOff
+	LoopbackOnChip  = asic.LoopbackOnChip
+	LoopbackOffChip = asic.LoopbackOffChip
+)
+
+// Wedge100B returns the paper's testbed profile: 32×100 Gbps Tofino,
+// 2 pipelines.
+func Wedge100B() Profile { return asic.Wedge100B() }
+
+// Tofino4 returns a 4-pipeline, 64×100 Gbps profile.
+func Tofino4() Profile { return asic.Tofino4() }
+
+// RecircPort returns a pipeline's dedicated recirculation port.
+func RecircPort(pipeline int) PortID { return asic.RecircPort(pipeline) }
+
+// Network function types and constructors.
+type (
+	// NF is one network function.
+	NF = nf.NF
+	// NFs is an ordered NF collection.
+	NFs = nf.List
+	// Classifier assigns service paths and pushes the SFC header.
+	Classifier = nf.Classifier
+	// Firewall is a stateless 5-tuple packet filter.
+	Firewall = nf.Firewall
+	// VGW is a VXLAN virtualization gateway.
+	VGW = nf.VGW
+	// LoadBalancer is the Fig. 4 L4 load balancer.
+	LoadBalancer = nf.LoadBalancer
+	// Router is an IPv4 LPM router that terminates the chain.
+	Router = nf.Router
+	// NAT is a source NAT extension.
+	NAT = nf.NAT
+	// Mirror taps selected flows to a mirror port.
+	Mirror = nf.Mirror
+	// Rule and entry types.
+	ClassRule  = nf.ClassRule
+	ACLRule    = nf.ACLRule
+	NextHop    = nf.NextHop
+	EncapEntry = nf.EncapEntry
+)
+
+// NewClassifier creates the chain-entry classifier with a default path.
+func NewClassifier(defaultPath uint16, defaultIndex uint8) *Classifier {
+	return nf.NewClassifier(defaultPath, defaultIndex)
+}
+
+// NewFirewall creates a packet-filtering firewall.
+func NewFirewall(defaultPermit bool) *Firewall { return nf.NewFirewall(defaultPermit) }
+
+// NewVGW creates a virtualization gateway.
+func NewVGW(localVTEP IP4, localMAC MAC) *VGW { return nf.NewVGW(localVTEP, localMAC) }
+
+// NewLoadBalancer creates an L4 load balancer.
+func NewLoadBalancer(sessionCapacity int) *LoadBalancer { return nf.NewLoadBalancer(sessionCapacity) }
+
+// NewRouter creates an IPv4 router.
+func NewRouter() *Router { return nf.NewRouter() }
+
+// NewNAT creates a source NAT.
+func NewNAT(publicIP IP4, sessions int) *NAT { return nf.NewNAT(publicIP, sessions) }
+
+// NewMirror creates a traffic mirror.
+func NewMirror() *Mirror { return nf.NewMirror() }
+
+// Packet types.
+type (
+	// Packet is a parsed header vector.
+	Packet = packet.Parsed
+	// IP4 is an IPv4 address.
+	IP4 = packet.IP4
+	// MAC is an Ethernet address.
+	MAC = packet.MAC
+	// FiveTuple is a flow key.
+	FiveTuple = packet.FiveTuple
+	// SFCHeader is the Dejavu service chaining header (Fig. 3).
+	SFCHeader = nsh.Header
+)
+
+// NewTCP builds an Ethernet/IPv4/TCP packet.
+func NewTCP(o packet.TCPOpts) *Packet { return packet.NewTCP(o) }
+
+// NewUDP builds an Ethernet/IPv4/UDP packet.
+func NewUDP(o packet.UDPOpts) *Packet { return packet.NewUDP(o) }
+
+// TCPOpts and UDPOpts parameterize packet construction.
+type (
+	TCPOpts = packet.TCPOpts
+	UDPOpts = packet.UDPOpts
+)
+
+// Telemetry aggregates per-NF and per-path datapath counters; obtain
+// one via Deployment.Telemetry.
+type Telemetry = compose.Telemetry
+
+// Deploy builds a deployment from a config: placement, composition,
+// compilation, installation, analysis.
+func Deploy(cfg Config) (*Deployment, error) { return core.Deploy(cfg) }
+
+// Recirculation analysis (§4).
+
+// RecircThroughput returns the effective throughput of traffic offered
+// at `offered` Gbps that must pass a loopback resource of capacity
+// `cap` Gbps k times (the feedback-queue model behind Fig. 8a).
+func RecircThroughput(offered, cap float64, k int) float64 {
+	return recirc.Throughput(offered, cap, k)
+}
+
+// RecircSeries returns the Fig. 8(a) series: throughput for 1..maxK
+// recirculations at matched offered/loopback rates.
+func RecircSeries(t float64, maxK int) []float64 { return recirc.Series(t, maxK) }
+
+// RecircLatency returns the extra latency of one recirculation hop on
+// a profile (Fig. 8b: ~75 ns on-chip, ~145 ns off-chip).
+func RecircLatency(p Profile, mode LoopbackMode) time.Duration {
+	return recirc.RecircLatency(p, mode)
+}
+
+// ChainLatency returns the idle-switch end-to-end latency of a packet
+// that recirculates k times.
+func ChainLatency(p Profile, k int, mode LoopbackMode) time.Duration {
+	return recirc.ChainLatency(p, k, mode)
+}

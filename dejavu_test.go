@@ -1,0 +1,166 @@
+package dejavu_test
+
+import (
+	"math"
+	"testing"
+
+	"dejavu"
+)
+
+// TestPublicAPIQuickstart builds a minimal chain purely through the
+// public facade, mirroring the package documentation example.
+func TestPublicAPIQuickstart(t *testing.T) {
+	vip := dejavu.IP4{203, 0, 113, 80}
+	backend := dejavu.IP4{10, 0, 1, 1}
+
+	classifier := dejavu.NewClassifier(30, 2) // default: classifier->router
+	if err := classifier.AddRule(dejavu.ClassRule{
+		DstIP: vip, DstMask: dejavu.IP4{255, 255, 255, 255},
+		Priority: 10, Path: 10, InitialIndex: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lb := dejavu.NewLoadBalancer(1024)
+	if err := lb.AddVIP(vip, []dejavu.IP4{backend}); err != nil {
+		t.Fatal(err)
+	}
+	router := dejavu.NewRouter()
+	if err := router.AddRoute(dejavu.IP4{10, 0, 0, 0}, 8, dejavu.NextHop{Port: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.AddRoute(dejavu.IP4{0, 0, 0, 0}, 0, dejavu.NextHop{Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := dejavu.Deploy(dejavu.Config{
+		Prof: dejavu.Wedge100B(),
+		Chains: []dejavu.Chain{
+			{PathID: 10, NFs: []string{"classifier", "lb", "router"}, Weight: 0.7, ExitPipeline: 0},
+			{PathID: 30, NFs: []string{"classifier", "router"}, Weight: 0.3, ExitPipeline: 0},
+		},
+		NFs:       dejavu.NFs{classifier, lb, router},
+		Optimizer: dejavu.OptExhaustive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkt := dejavu.NewTCP(dejavu.TCPOpts{
+		Src: dejavu.IP4{198, 51, 100, 1}, Dst: vip,
+		SrcPort: 1234, DstPort: 443,
+	})
+	tr, err := d.Inject(2, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped || len(tr.Out) != 1 {
+		t.Fatalf("trace: dropped=%v out=%+v", tr.Dropped, tr.Out)
+	}
+	if tr.Out[0].Port != 5 {
+		t.Errorf("out port = %d, want 5 (backend route)", tr.Out[0].Port)
+	}
+	if tr.Out[0].Pkt.IPv4.Dst != backend {
+		t.Errorf("dst = %s, want %s", tr.Out[0].Pkt.IPv4.Dst, backend)
+	}
+}
+
+func TestRecircFacade(t *testing.T) {
+	s := dejavu.RecircSeries(100, 3)
+	if len(s) != 3 || s[0] != 100 {
+		t.Errorf("RecircSeries = %v", s)
+	}
+	if math.Abs(s[1]-38.2) > 0.1 {
+		t.Errorf("k=2 throughput = %v, want ≈38.2", s[1])
+	}
+	if got := dejavu.RecircThroughput(50, 100, 2); got != 50 {
+		t.Errorf("unsaturated throughput = %v", got)
+	}
+}
+
+func TestProfileFacade(t *testing.T) {
+	p := dejavu.Wedge100B()
+	if p.TotalPorts() != 32 || p.TotalStages() != 48 {
+		t.Errorf("Wedge100B geometry: %d ports, %d stages", p.TotalPorts(), p.TotalStages())
+	}
+	if dejavu.Tofino4().Pipelines != 4 {
+		t.Error("Tofino4 pipelines")
+	}
+	if dejavu.RecircPort(1) == dejavu.RecircPort(0) {
+		t.Error("recirc ports collide")
+	}
+}
+
+func TestManualPlacementFacade(t *testing.T) {
+	p := dejavu.NewPlacement()
+	p.Assign("a", dejavu.PipeletID{Pipeline: 0, Dir: dejavu.Ingress})
+	p.SetMode(dejavu.PipeletID{Pipeline: 0, Dir: dejavu.Ingress}, dejavu.Parallel)
+	if p.ModeOf(dejavu.PipeletID{Pipeline: 0, Dir: dejavu.Ingress}) != dejavu.Parallel {
+		t.Error("mode not set")
+	}
+}
+
+func TestFacadeConstructorsAndHelpers(t *testing.T) {
+	// Every facade constructor must return a working NF implementing
+	// the interface.
+	nfs := dejavu.NFs{
+		dejavu.NewClassifier(1, 2),
+		dejavu.NewFirewall(true),
+		dejavu.NewVGW(dejavu.IP4{172, 16, 0, 1}, dejavu.MAC{2, 0, 0, 0, 0, 1}),
+		dejavu.NewLoadBalancer(16),
+		dejavu.NewRouter(),
+		dejavu.NewNAT(dejavu.IP4{192, 0, 2, 1}, 16),
+		dejavu.NewMirror(),
+	}
+	for _, f := range nfs {
+		if f.Name() == "" {
+			t.Error("constructor returned unnamed NF")
+		}
+		if err := f.Block().Validate(); err != nil {
+			t.Errorf("%s block invalid: %v", f.Name(), err)
+		}
+	}
+	if nfs.ByName("nat") == nil {
+		t.Error("ByName(nat) failed")
+	}
+
+	// Latency helpers.
+	p := dejavu.Wedge100B()
+	if dejavu.RecircLatency(p, dejavu.LoopbackOffChip) <= dejavu.RecircLatency(p, dejavu.LoopbackOnChip) {
+		t.Error("off-chip not slower than on-chip")
+	}
+	if dejavu.ChainLatency(p, 2, dejavu.LoopbackOnChip) <= dejavu.ChainLatency(p, 1, dejavu.LoopbackOnChip) {
+		t.Error("chain latency not increasing in k")
+	}
+
+	// UDP builder.
+	u := dejavu.NewUDP(dejavu.UDPOpts{Src: dejavu.IP4{1, 2, 3, 4}, Dst: dejavu.IP4{5, 6, 7, 8}, SrcPort: 1, DstPort: 2})
+	if ft, ok := u.FiveTuple(); !ok || ft.DstPort != 2 {
+		t.Error("NewUDP broken")
+	}
+}
+
+func TestFacadeTelemetry(t *testing.T) {
+	router := dejavu.NewRouter()
+	if err := router.AddRoute(dejavu.IP4{0, 0, 0, 0}, 0, dejavu.NextHop{Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	classifier := dejavu.NewClassifier(30, 2)
+	d, err := dejavu.Deploy(dejavu.Config{
+		Prof: dejavu.Wedge100B(),
+		Chains: []dejavu.Chain{
+			{PathID: 30, NFs: []string{"classifier", "router"}, Weight: 1, ExitPipeline: 0},
+		},
+		NFs: dejavu.NFs{classifier, router},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := dejavu.NewUDP(dejavu.UDPOpts{Src: dejavu.IP4{1, 2, 3, 4}, Dst: dejavu.IP4{8, 8, 8, 8}, SrcPort: 1, DstPort: 53})
+	if _, err := d.Inject(2, pkt); err != nil {
+		t.Fatal(err)
+	}
+	var tel *dejavu.Telemetry = d.Telemetry()
+	if tel.PathPackets(30) != 1 || tel.NFExecutions("router") != 1 {
+		t.Errorf("telemetry: paths=%d router=%d", tel.PathPackets(30), tel.NFExecutions("router"))
+	}
+}

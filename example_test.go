@@ -1,0 +1,54 @@
+package dejavu_test
+
+import (
+	"fmt"
+
+	"dejavu"
+)
+
+// Example deploys a minimal load-balanced service chain on the
+// Wedge-100B profile and pushes one packet through it.
+func Example() {
+	vip := dejavu.IP4{203, 0, 113, 80}
+
+	classifier := dejavu.NewClassifier(30, 2)
+	classifier.AddRule(dejavu.ClassRule{
+		DstIP: vip, DstMask: dejavu.IP4{255, 255, 255, 255},
+		Priority: 10, Path: 10, InitialIndex: 3,
+	})
+	lb := dejavu.NewLoadBalancer(1024)
+	lb.AddVIP(vip, []dejavu.IP4{{10, 0, 1, 1}})
+	router := dejavu.NewRouter()
+	router.AddRoute(dejavu.IP4{10, 0, 0, 0}, 8, dejavu.NextHop{Port: 5})
+	router.AddRoute(dejavu.IP4{0, 0, 0, 0}, 0, dejavu.NextHop{Port: 1})
+
+	d, err := dejavu.Deploy(dejavu.Config{
+		Prof: dejavu.Wedge100B(),
+		Chains: []dejavu.Chain{
+			{PathID: 10, NFs: []string{"classifier", "lb", "router"}, Weight: 0.8, ExitPipeline: 0},
+			{PathID: 30, NFs: []string{"classifier", "router"}, Weight: 0.2, ExitPipeline: 0},
+		},
+		NFs:       dejavu.NFs{classifier, lb, router},
+		Optimizer: dejavu.OptExhaustive,
+	})
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+
+	pkt := dejavu.NewTCP(dejavu.TCPOpts{
+		Src: dejavu.IP4{198, 51, 100, 1}, Dst: vip,
+		SrcPort: 1234, DstPort: 443,
+	})
+	tr, err := d.Inject(2, pkt)
+	if err != nil {
+		fmt.Println("inject:", err)
+		return
+	}
+	fmt.Printf("delivered on port %d to %s\n", tr.Out[0].Port, tr.Out[0].Pkt.IPv4.Dst)
+	fmt.Printf("recirculations: %d\n", tr.Recirculations)
+
+	// Output:
+	// delivered on port 5 to 10.0.1.1
+	// recirculations: 0
+}

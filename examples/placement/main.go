@@ -1,0 +1,72 @@
+// Placement study: the paper's Fig. 6 experiment as a program. A
+// six-NF chain is deployed with every optimizer the library offers;
+// the output shows how placement choices translate into recirculation
+// counts, pipelet traversals, and end-to-end latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejavu"
+)
+
+// passthrough is a minimal NF used for abstract placement studies: it
+// forwards everything and costs one MAU stage.
+//
+// Chains of passthroughs expose the placement problem in isolation,
+// exactly like the abstract NFs A..F of the paper's Fig. 6.
+func buildChainNFs(names []string) dejavu.NFs {
+	var nfs dejavu.NFs
+	for _, n := range names {
+		fw := dejavu.NewFirewall(true) // permit-all firewall = passthrough
+		nfs = append(nfs, renamed{Firewall: fw, name: n})
+	}
+	return nfs
+}
+
+// renamed wraps an NF under a different name so one implementation can
+// play several chain roles.
+type renamed struct {
+	*dejavu.Firewall
+	name string
+}
+
+func (r renamed) Name() string { return r.name }
+
+func main() {
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	chains := []dejavu.Chain{
+		{PathID: 2, NFs: names, Weight: 1, ExitPipeline: 0, StaticExitPort: 5},
+	}
+	nfs := buildChainNFs(names)
+
+	fmt.Println("Fig. 6 study: chain A-B-C-D-E-F on a 2-pipeline switch")
+	fmt.Println()
+	prof := dejavu.Wedge100B()
+
+	for _, opt := range []dejavu.Optimizer{dejavu.OptNaive, dejavu.OptGreedy, dejavu.OptAnneal, dejavu.OptExhaustive} {
+		d, err := dejavu.Deploy(dejavu.Config{
+			Prof:      prof,
+			Chains:    chains,
+			NFs:       nfs,
+			Optimizer: opt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := d.Chains[0]
+		fmt.Printf("%-12s recirculations=%d  latency=%v\n",
+			opt, rep.Recirculations,
+			dejavu.ChainLatency(prof, rep.Recirculations, dejavu.LoopbackOnChip))
+		fmt.Printf("             traversal: %s\n", rep.Traversal.Path())
+		fmt.Println()
+	}
+
+	fmt.Println("Takeaway (paper §3.3): the naive alternating placement wastes")
+	fmt.Println("recirculations (the paper's Fig. 6(a) layout costs 3; naive costs")
+	fmt.Println("even more here). Rearranging NF locations cuts the cost — the")
+	fmt.Println("paper's hand-improved Fig. 6(b) reaches 1, and the optimizers")
+	fmt.Println("reach the true optimum by finishing the chain on the exit")
+	fmt.Println("pipeline's egress pipe, where no loopback bounce is needed.")
+}

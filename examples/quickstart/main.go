@@ -1,0 +1,77 @@
+// Quickstart: a three-NF service chain (classifier → load balancer →
+// router) deployed on a single switch ASIC model, forwarding its first
+// packets. This is the smallest complete Dejavu program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejavu"
+)
+
+func main() {
+	vip := dejavu.IP4{203, 0, 113, 80}
+	backends := []dejavu.IP4{{10, 0, 1, 1}, {10, 0, 1, 2}}
+
+	// 1. Build the NFs and their control-plane state.
+	classifier := dejavu.NewClassifier(30, 2) // default path: classifier → router
+	if err := classifier.AddRule(dejavu.ClassRule{
+		DstIP: vip, DstMask: dejavu.IP4{255, 255, 255, 255},
+		Proto: 6, ProtoMask: 0xFF, // TCP
+		Priority: 10,
+		Path:     10, InitialIndex: 3, // classifier → lb → router
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	lb := dejavu.NewLoadBalancer(65536)
+	if err := lb.AddVIP(vip, backends); err != nil {
+		log.Fatal(err)
+	}
+
+	router := dejavu.NewRouter()
+	must(router.AddRoute(dejavu.IP4{10, 0, 0, 0}, 16, dejavu.NextHop{Port: 8}))
+	must(router.AddRoute(dejavu.IP4{0, 0, 0, 0}, 0, dejavu.NextHop{Port: 1}))
+
+	// 2. Declare the chains and deploy: Dejavu optimizes the placement,
+	// merges the parsers, composes pipelet programs, verifies they fit
+	// the MAU stages, and loads the switch model.
+	d, err := dejavu.Deploy(dejavu.Config{
+		Prof: dejavu.Wedge100B(),
+		Chains: []dejavu.Chain{
+			{PathID: 10, NFs: []string{"classifier", "lb", "router"}, Weight: 0.8, ExitPipeline: 0},
+			{PathID: 30, NFs: []string{"classifier", "router"}, Weight: 0.2, ExitPipeline: 0},
+		},
+		NFs:       dejavu.NFs{classifier, lb, router},
+		Optimizer: dejavu.OptExhaustive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.Summary())
+
+	// 3. Push a packet through. The first packet of a flow misses the
+	// LB session table, is punted, learned, and reinjected — all
+	// handled by Deployment.Inject.
+	pkt := dejavu.NewTCP(dejavu.TCPOpts{
+		Src: dejavu.IP4{198, 51, 100, 7}, Dst: vip,
+		SrcPort: 40000, DstPort: 443,
+	})
+	tr, err := d.Inject(2, pkt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npacket path: %s\n", tr.Path())
+	fmt.Printf("recirculations: %d, latency: %v\n", tr.Recirculations, tr.Latency)
+	for _, out := range tr.Out {
+		fmt.Printf("emitted on port %d: %s\n", out.Port, out.Pkt.String())
+	}
+	fmt.Printf("control plane: %+v\n", d.Controller.Stats())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Recirculation study: the §4 analysis as a program. Prints the
+// Fig. 8(a) throughput-vs-recirculations series from the feedback-queue
+// model, the Fig. 8(b) latency numbers, and the capacity planning math
+// for loopback port budgets ("network operators can expect and
+// calculate the throughput of their service chains after placement").
+package main
+
+import (
+	"fmt"
+
+	"dejavu"
+)
+
+func main() {
+	prof := dejavu.Wedge100B()
+
+	fmt.Println("Fig 8(a): effective throughput vs recirculations (100G offered,")
+	fmt.Println("100G loopback — the feedback queue of Fig. 7):")
+	series := dejavu.RecircSeries(100, 5)
+	fmt.Printf("  %-16s %s\n", "recirculations", "throughput (Gbps)")
+	for k, tput := range series {
+		bar := ""
+		for i := 0; i < int(tput/2); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-16d %7.1f  %s\n", k+1, tput, bar)
+	}
+	fmt.Println()
+
+	fmt.Println("Fig 8(b): latency model:")
+	fmt.Printf("  port-to-port (idle buffer): %v\n", prof.PortToPortLatency())
+	fmt.Printf("  on-chip recirculation:      %v extra\n", dejavu.RecircLatency(prof, dejavu.LoopbackOnChip))
+	fmt.Printf("  off-chip recirculation:     %v extra (1m DAC)\n", dejavu.RecircLatency(prof, dejavu.LoopbackOffChip))
+	for _, k := range []int{0, 1, 2, 3} {
+		fmt.Printf("  chain with %d recircs:       %v end to end\n",
+			k, dejavu.ChainLatency(prof, k, dejavu.LoopbackOnChip))
+	}
+	fmt.Println()
+
+	fmt.Println("Capacity planning: m of 32 ports in loopback mode")
+	fmt.Printf("  %-4s %-16s %-20s %s\n", "m", "external (Gbps)", "loopback (Gbps)", "once-recirculable")
+	for _, m := range []int{0, 4, 8, 16, 24} {
+		ext := float64(32-m) * prof.PortGbps
+		loop := float64(m)*prof.PortGbps + float64(prof.Pipelines)*prof.RecircGbps
+		frac := 1.0
+		if ext > 0 {
+			frac = loop / ext
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		fmt.Printf("  %-4d %-16.0f %-20.0f %.2f\n", m, ext, loop, frac)
+	}
+	fmt.Println()
+
+	fmt.Println("Overload behaviour (congestion collapse of the feedback queue,")
+	fmt.Println("k=3, 100G loopback):")
+	fmt.Printf("  %-16s %s\n", "offered (Gbps)", "egress (Gbps)")
+	for _, o := range []float64{20, 33, 50, 100, 200} {
+		fmt.Printf("  %-16.0f %7.1f\n", o, dejavu.RecircThroughput(o, 100, 3))
+	}
+	fmt.Println("\nTakeaway (§4): throughput degrades super-linearly with the number")
+	fmt.Println("of recirculations — a placement algorithm minimizing them is")
+	fmt.Println("critical for overall SFC performance.")
+}

@@ -1,0 +1,392 @@
+package asic
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dejavu/internal/packet"
+)
+
+func testPacket() *packet.Parsed {
+	return packet.NewTCP(packet.TCPOpts{
+		Src: packet.IP4{10, 0, 0, 1}, Dst: packet.IP4{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 80,
+	})
+}
+
+func TestProfileGeometry(t *testing.T) {
+	p := Wedge100B()
+	if p.TotalPorts() != 32 {
+		t.Errorf("TotalPorts = %d, want 32", p.TotalPorts())
+	}
+	if p.TotalPipelets() != 4 {
+		t.Errorf("TotalPipelets = %d, want 4", p.TotalPipelets())
+	}
+	if p.TotalStages() != 48 {
+		t.Errorf("TotalStages = %d, want 48", p.TotalStages())
+	}
+	if p.CapacityGbps() != 3200 {
+		t.Errorf("CapacityGbps = %v, want 3200", p.CapacityGbps())
+	}
+	if p.PortToPortLatency() != 650*time.Nanosecond {
+		t.Errorf("PortToPortLatency = %v, want 650ns", p.PortToPortLatency())
+	}
+	if p.PipelineOf(0) != 0 || p.PipelineOf(15) != 0 || p.PipelineOf(16) != 1 || p.PipelineOf(31) != 1 {
+		t.Error("PipelineOf port mapping wrong")
+	}
+	if p.PipelineOf(RecircPort(1)) != 1 {
+		t.Error("PipelineOf recirc port wrong")
+	}
+	if !p.ValidPort(31) || p.ValidPort(32) || !p.ValidPort(PortCPU) || !p.ValidPort(RecircPort(1)) || p.ValidPort(RecircPort(2)) {
+		t.Error("ValidPort wrong")
+	}
+	t4 := Tofino4()
+	if t4.TotalPorts() != 64 || t4.TotalStages() != 96 {
+		t.Errorf("Tofino4 geometry: ports=%d stages=%d", t4.TotalPorts(), t4.TotalStages())
+	}
+}
+
+func TestPipeletIDString(t *testing.T) {
+	id := PipeletID{Pipeline: 1, Dir: Egress}
+	if id.String() != "egress 1" {
+		t.Errorf("String = %q", id.String())
+	}
+	if (PipeletID{Pipeline: 0, Dir: Ingress}).String() != "ingress 0" {
+		t.Error("ingress string wrong")
+	}
+}
+
+// forwardTo returns an ingress program that forwards every packet to a
+// fixed port.
+func forwardTo(port PortID) StageFunc {
+	return func(ctx *Ctx) { ctx.Meta.OutPort = port }
+}
+
+func TestBasicForwarding(t *testing.T) {
+	sw := New(Wedge100B())
+	if err := sw.InstallIngress(0, forwardTo(5)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped {
+		t.Fatalf("packet dropped: %s", tr.DropReason)
+	}
+	if len(tr.Out) != 1 || tr.Out[0].Port != 5 {
+		t.Fatalf("Out = %+v", tr.Out)
+	}
+	if tr.Recirculations != 0 || tr.Resubmissions != 0 {
+		t.Errorf("unexpected recirc/resubmit: %+v", tr)
+	}
+	if tr.Latency != 650*time.Nanosecond {
+		t.Errorf("Latency = %v, want 650ns", tr.Latency)
+	}
+	if got := tr.Path(); got != "ingress 0 -> egress 0" {
+		t.Errorf("Path = %q", got)
+	}
+	// Port counters.
+	if sw.Stats(0).RxPackets.Load() != 1 || sw.Stats(5).TxPackets.Load() != 1 {
+		t.Error("port counters wrong")
+	}
+}
+
+func TestCrossPipelineForwarding(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(20)) // port 20 is on pipeline 1
+	tr, err := sw.Inject(3, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Path(); got != "ingress 0 -> egress 1" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestDropNoEgressPort(t *testing.T) {
+	sw := New(Wedge100B())
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "no egress port") {
+		t.Errorf("trace = %+v", tr)
+	}
+	if sw.Drops() != 1 {
+		t.Errorf("Drops = %d", sw.Drops())
+	}
+}
+
+func TestDropFlag(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, func(ctx *Ctx) { ctx.Meta.Drop = true })
+	tr, _ := sw.Inject(0, testPacket())
+	if !tr.Dropped || tr.DropReason != "dropped in ingress" {
+		t.Errorf("trace = %+v", tr)
+	}
+
+	sw2 := New(Wedge100B())
+	sw2.InstallIngress(0, forwardTo(1))
+	sw2.InstallEgress(0, func(ctx *Ctx) { ctx.Meta.Drop = true })
+	tr2, _ := sw2.Inject(0, testPacket())
+	if !tr2.Dropped || tr2.DropReason != "dropped in egress" {
+		t.Errorf("trace = %+v", tr2)
+	}
+}
+
+func TestResubmission(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, func(ctx *Ctx) {
+		if ctx.Meta.Passes == 1 {
+			ctx.Meta.Resubmit = true
+			return
+		}
+		ctx.Meta.OutPort = 2
+	})
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Resubmissions != 1 {
+		t.Errorf("Resubmissions = %d, want 1", tr.Resubmissions)
+	}
+	if got := tr.Path(); got != "ingress 0 -> ingress 0 -> egress 0" {
+		t.Errorf("Path = %q", got)
+	}
+	want := 2*250*time.Nanosecond + 25*time.Nanosecond + 150*time.Nanosecond + 250*time.Nanosecond
+	if tr.Latency != want {
+		t.Errorf("Latency = %v, want %v", tr.Latency, want)
+	}
+}
+
+func TestRecirculationViaLoopbackPort(t *testing.T) {
+	sw := New(Wedge100B())
+	// Port 16 (pipeline 1) in on-chip loopback. First pass forwards to
+	// 16; the packet re-enters ingress 1, which forwards to port 1.
+	if err := sw.SetLoopback(16, LoopbackOnChip); err != nil {
+		t.Fatal(err)
+	}
+	sw.InstallIngress(0, forwardTo(16))
+	sw.InstallIngress(1, forwardTo(1))
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Recirculations != 1 {
+		t.Errorf("Recirculations = %d, want 1", tr.Recirculations)
+	}
+	if got := tr.Path(); got != "ingress 0 -> egress 1 -> ingress 1 -> egress 0" {
+		t.Errorf("Path = %q", got)
+	}
+	if len(tr.Out) != 1 || tr.Out[0].Port != 1 {
+		t.Errorf("Out = %+v", tr.Out)
+	}
+	// 650ns per full traversal ×2 + 75ns recirc.
+	want := 2*650*time.Nanosecond + 75*time.Nanosecond
+	if tr.Latency != want {
+		t.Errorf("Latency = %v, want %v", tr.Latency, want)
+	}
+}
+
+func TestOffChipLoopbackLatency(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.SetLoopback(16, LoopbackOffChip)
+	sw.InstallIngress(0, forwardTo(16))
+	sw.InstallIngress(1, forwardTo(1))
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*650*time.Nanosecond + 145*time.Nanosecond
+	if tr.Latency != want {
+		t.Errorf("Latency = %v, want %v", tr.Latency, want)
+	}
+}
+
+func TestDedicatedRecircPort(t *testing.T) {
+	sw := New(Wedge100B())
+	// The dedicated recirc port of pipeline 0 is always loopback.
+	sw.InstallIngress(0, func(ctx *Ctx) {
+		if ctx.Meta.Passes == 1 {
+			ctx.Meta.OutPort = RecircPort(0)
+			return
+		}
+		ctx.Meta.OutPort = 3
+	})
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Recirculations != 1 {
+		t.Errorf("Recirculations = %d", tr.Recirculations)
+	}
+	// Recirc port of pipeline 0 returns to ingress 0 (constraint d).
+	if got := tr.Path(); got != "ingress 0 -> egress 0 -> ingress 0 -> egress 0" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestInjectOnLoopbackPortFails(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.SetLoopback(7, LoopbackOnChip)
+	if _, err := sw.Inject(7, testPacket()); err == nil {
+		t.Error("inject on loopback port succeeded")
+	}
+	if _, err := sw.Inject(99, testPacket()); err == nil {
+		t.Error("inject on invalid port succeeded")
+	}
+	if _, err := sw.Inject(RecircPort(0), testPacket()); err == nil {
+		t.Error("inject on recirc port succeeded")
+	}
+	if _, err := sw.Inject(PortCPU, testPacket()); err == nil {
+		t.Error("inject on CPU port succeeded")
+	}
+}
+
+func TestSetLoopbackValidation(t *testing.T) {
+	sw := New(Wedge100B())
+	if err := sw.SetLoopback(99, LoopbackOnChip); err == nil {
+		t.Error("loopback on invalid port accepted")
+	}
+	if err := sw.SetLoopback(RecircPort(0), LoopbackOff); err == nil {
+		t.Error("recirc port mode change accepted")
+	}
+	sw.SetLoopback(3, LoopbackOnChip)
+	if got := len(sw.LoopbackPorts()); got != 1 {
+		t.Errorf("LoopbackPorts = %d entries", got)
+	}
+	sw.SetLoopback(3, LoopbackOff)
+	if got := len(sw.LoopbackPorts()); got != 0 {
+		t.Errorf("LoopbackPorts after clear = %d entries", got)
+	}
+}
+
+func TestToCPU(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, func(ctx *Ctx) { ctx.Meta.ToCPU = true })
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.CPU) != 1 {
+		t.Fatalf("CPU = %d packets", len(tr.CPU))
+	}
+	got := sw.DrainCPU()
+	if len(got) != 1 {
+		t.Fatalf("DrainCPU = %d packets", len(got))
+	}
+	if len(sw.DrainCPU()) != 0 {
+		t.Error("DrainCPU did not clear the queue")
+	}
+}
+
+func TestToCPUFromEgress(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(1))
+	sw.InstallEgress(0, func(ctx *Ctx) { ctx.Meta.ToCPU = true })
+	tr, _ := sw.Inject(0, testPacket())
+	if len(tr.CPU) != 1 || len(tr.Out) != 0 {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestCPUAsEgressPort(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(PortCPU))
+	tr, _ := sw.Inject(0, testPacket())
+	if len(tr.CPU) != 1 {
+		t.Errorf("CPU = %d packets", len(tr.CPU))
+	}
+}
+
+func TestMirror(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, func(ctx *Ctx) {
+		ctx.Meta.OutPort = 1
+		ctx.Meta.Mirror = true
+		ctx.Meta.MirrorPort = 9
+	})
+	tr, err := sw.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Out) != 2 {
+		t.Fatalf("Out = %+v, want mirror + primary", tr.Out)
+	}
+	ports := map[PortID]bool{tr.Out[0].Port: true, tr.Out[1].Port: true}
+	if !ports[1] || !ports[9] {
+		t.Errorf("output ports = %v", ports)
+	}
+}
+
+func TestRoutingLoopBudget(t *testing.T) {
+	sw := New(Wedge100B())
+	// Every pass resubmits forever.
+	sw.InstallIngress(0, func(ctx *Ctx) { ctx.Meta.Resubmit = true })
+	tr, err := sw.Inject(0, testPacket())
+	if err == nil {
+		t.Error("infinite resubmission loop not detected")
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "budget") {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestInvalidEgressPortDrops(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(500)) // not a valid port
+	tr, _ := sw.Inject(0, testPacket())
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "invalid egress port") {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	sw := New(Wedge100B())
+	if err := sw.InstallIngress(5, nil); err == nil {
+		t.Error("install on invalid pipeline accepted")
+	}
+	if err := sw.InstallEgress(-1, nil); err == nil {
+		t.Error("install on negative pipeline accepted")
+	}
+}
+
+func TestLoopbackPortCountsTraffic(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.SetLoopback(16, LoopbackOnChip)
+	sw.InstallIngress(0, forwardTo(16))
+	sw.InstallIngress(1, forwardTo(1))
+	sw.Inject(0, testPacket())
+	st := sw.Stats(16)
+	if st.TxPackets.Load() != 1 || st.RxPackets.Load() != 1 {
+		t.Errorf("loopback port counters: tx=%d rx=%d", st.TxPackets.Load(), st.RxPackets.Load())
+	}
+}
+
+func BenchmarkInjectForward(b *testing.B) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(5))
+	pkt := testPacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Inject(0, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInjectWithRecirc(b *testing.B) {
+	sw := New(Wedge100B())
+	sw.SetLoopback(16, LoopbackOnChip)
+	sw.InstallIngress(0, forwardTo(16))
+	sw.InstallIngress(1, forwardTo(1))
+	pkt := testPacket()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Inject(0, pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

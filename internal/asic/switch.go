@@ -1,0 +1,378 @@
+package asic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dejavu/internal/packet"
+)
+
+// Meta is the platform metadata a pipelet program reads and writes —
+// the behavioural counterpart of the 4-byte platform metadata copy in
+// the SFC header (Fig. 3).
+type Meta struct {
+	InPort   PortID
+	OutPort  PortID
+	Resubmit bool
+	Recirc   bool // request recirculation: honoured only via loopback ports
+	Drop     bool
+	Mirror   bool
+	ToCPU    bool
+
+	MirrorPort PortID
+
+	// Passes counts how many times the packet has entered an ingress
+	// pipe, so programs can distinguish first-pass processing.
+	Passes int
+}
+
+// Ctx is the per-packet context handed to pipelet programs.
+type Ctx struct {
+	Pkt  *packet.Parsed
+	Meta Meta
+
+	// Pipelet identifies where the program is running.
+	Pipelet PipeletID
+}
+
+// StageFunc is a behavioural pipelet program: the composed NF logic
+// that internal/compose produces for one ingress or egress pipe.
+type StageFunc func(*Ctx)
+
+// PortStats counts traffic through one port.
+type PortStats struct {
+	RxPackets atomic.Uint64
+	RxBytes   atomic.Uint64
+	TxPackets atomic.Uint64
+	TxBytes   atomic.Uint64
+}
+
+// Emitted is one packet leaving the switch.
+type Emitted struct {
+	Port PortID
+	Pkt  *packet.Parsed
+}
+
+// Step records one pipelet traversal in a packet trace.
+type Step struct {
+	Pipelet PipeletID
+	Note    string // "resubmit", "recirculate", "" for plain traversal
+}
+
+// Trace is the full record of one packet's journey through the switch:
+// every pipelet visited, transition notes, accumulated latency and the
+// final disposition.
+type Trace struct {
+	Steps          []Step
+	Resubmissions  int
+	Recirculations int
+	Latency        time.Duration
+	Out            []Emitted
+	CPU            []*packet.Parsed
+	Dropped        bool
+	DropReason     string
+}
+
+// Path returns the traversal as "ingress 0 -> egress 1 -> ...".
+func (t *Trace) Path() string {
+	s := ""
+	for i, st := range t.Steps {
+		if i > 0 {
+			s += " -> "
+		}
+		s += st.Pipelet.String()
+	}
+	return s
+}
+
+// maxPasses bounds ingress entries per packet to catch routing loops.
+const maxPasses = 64
+
+// Switch is a behavioural instance of a Profile: per-port state,
+// per-pipelet programs, and an execution engine implementing the
+// resubmission/recirculation rules.
+type Switch struct {
+	prof Profile
+
+	mu       sync.RWMutex
+	loopback map[PortID]LoopbackMode
+	ingress  []StageFunc // indexed by pipeline
+	egress   []StageFunc
+
+	portStats map[PortID]*PortStats
+	cpuQueue  []*packet.Parsed
+	cpuMu     sync.Mutex
+
+	drops atomic.Uint64
+}
+
+// New creates a switch with all ports in normal mode and empty
+// pipelet programs (packets pass through unmodified).
+func New(prof Profile) *Switch {
+	s := &Switch{
+		prof:      prof,
+		loopback:  make(map[PortID]LoopbackMode),
+		ingress:   make([]StageFunc, prof.Pipelines),
+		egress:    make([]StageFunc, prof.Pipelines),
+		portStats: make(map[PortID]*PortStats),
+	}
+	return s
+}
+
+// Profile returns the switch's static description.
+func (s *Switch) Profile() Profile { return s.prof }
+
+// SetLoopback configures a front-panel port's loopback mode. A port in
+// loopback can no longer take external traffic: Inject on it fails.
+func (s *Switch) SetLoopback(port PortID, mode LoopbackMode) error {
+	if !s.prof.ValidPort(port) {
+		return fmt.Errorf("asic: no such port %d", port)
+	}
+	if IsRecircPort(port) || port == PortCPU {
+		return fmt.Errorf("asic: port %d mode is fixed", port)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mode == LoopbackOff {
+		delete(s.loopback, port)
+	} else {
+		s.loopback[port] = mode
+	}
+	return nil
+}
+
+// LoopbackModeOf returns the port's loopback mode. Dedicated
+// recirculation ports are always on-chip loopback.
+func (s *Switch) LoopbackModeOf(port PortID) LoopbackMode {
+	if IsRecircPort(port) {
+		return LoopbackOnChip
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.loopback[port]
+}
+
+// LoopbackPorts returns the front-panel ports currently in loopback.
+func (s *Switch) LoopbackPorts() []PortID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PortID, 0, len(s.loopback))
+	for p := range s.loopback {
+		out = append(out, p)
+	}
+	return out
+}
+
+// InstallIngress sets the ingress pipelet program of a pipeline.
+func (s *Switch) InstallIngress(pipeline int, fn StageFunc) error {
+	if pipeline < 0 || pipeline >= s.prof.Pipelines {
+		return fmt.Errorf("asic: no such pipeline %d", pipeline)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ingress[pipeline] = fn
+	return nil
+}
+
+// InstallEgress sets the egress pipelet program of a pipeline.
+func (s *Switch) InstallEgress(pipeline int, fn StageFunc) error {
+	if pipeline < 0 || pipeline >= s.prof.Pipelines {
+		return fmt.Errorf("asic: no such pipeline %d", pipeline)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.egress[pipeline] = fn
+	return nil
+}
+
+// stats returns (creating if needed) the stats of a port.
+func (s *Switch) stats(port PortID) *PortStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.portStats[port]
+	if st == nil {
+		st = &PortStats{}
+		s.portStats[port] = st
+	}
+	return st
+}
+
+// Stats returns the cumulative counters of a port.
+func (s *Switch) Stats(port PortID) *PortStats { return s.stats(port) }
+
+// Drops returns the number of packets dropped switch-wide.
+func (s *Switch) Drops() uint64 { return s.drops.Load() }
+
+// DrainCPU returns and clears the packets delivered to the CPU port.
+func (s *Switch) DrainCPU() []*packet.Parsed {
+	s.cpuMu.Lock()
+	defer s.cpuMu.Unlock()
+	out := s.cpuQueue
+	s.cpuQueue = nil
+	return out
+}
+
+// Inject offers a packet to a front-panel port and runs it through the
+// switch to completion, returning the trace. It fails when the port is
+// in loopback mode (such ports take no external traffic) or does not
+// exist.
+func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
+	if !s.prof.ValidPort(in) || IsRecircPort(in) || in == PortCPU {
+		return nil, fmt.Errorf("asic: cannot inject on port %d", in)
+	}
+	if s.LoopbackModeOf(in) != LoopbackOff {
+		return nil, fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)
+	}
+	st := s.stats(in)
+	st.RxPackets.Add(1)
+	st.RxBytes.Add(uint64(pkt.WireLen()))
+
+	tr := &Trace{}
+	ctx := &Ctx{
+		Pkt:  pkt,
+		Meta: Meta{InPort: in, OutPort: PortUnset},
+	}
+	if err := s.run(ctx, tr); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}
+
+// run executes the packet until it leaves the switch, is dropped, or
+// exceeds the pass budget.
+func (s *Switch) run(ctx *Ctx, tr *Trace) error {
+	for {
+		ctx.Meta.Passes++
+		if ctx.Meta.Passes > maxPasses {
+			tr.Dropped = true
+			tr.DropReason = "pass budget exceeded (routing loop?)"
+			s.drops.Add(1)
+			return fmt.Errorf("asic: %s", tr.DropReason)
+		}
+		pipeline := s.prof.PipelineOf(ctx.Meta.InPort)
+
+		// Ingress pipelet.
+		ctx.Pipelet = PipeletID{Pipeline: pipeline, Dir: Ingress}
+		tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		tr.Latency += s.prof.IngressLatency
+		s.mu.RLock()
+		ing := s.ingress[pipeline]
+		s.mu.RUnlock()
+		if ing != nil {
+			ing(ctx)
+		}
+
+		if ctx.Meta.Drop {
+			tr.Dropped = true
+			tr.DropReason = "dropped in ingress"
+			s.drops.Add(1)
+			return nil
+		}
+		if ctx.Meta.ToCPU {
+			s.toCPU(ctx, tr)
+			return nil
+		}
+		if ctx.Meta.Resubmit {
+			// Constraint (a): resubmission re-enters the same ingress
+			// parser; constraint (d): it stays in the pipeline.
+			ctx.Meta.Resubmit = false
+			tr.Resubmissions++
+			tr.Latency += s.prof.ResubmitLatency
+			tr.Steps[len(tr.Steps)-1].Note = "resubmit"
+			continue
+		}
+
+		// Traffic manager: forward to the egress pipe of the pipeline
+		// owning the chosen egress port.
+		out := ctx.Meta.OutPort
+		if out == PortUnset {
+			tr.Dropped = true
+			tr.DropReason = "no egress port chosen"
+			s.drops.Add(1)
+			return nil
+		}
+		if !s.prof.ValidPort(out) {
+			tr.Dropped = true
+			tr.DropReason = fmt.Sprintf("invalid egress port %d", out)
+			s.drops.Add(1)
+			return nil
+		}
+		if out == PortCPU {
+			s.toCPU(ctx, tr)
+			return nil
+		}
+		tr.Latency += s.prof.TMLatency
+
+		if ctx.Meta.Mirror && ctx.Meta.MirrorPort != PortUnset {
+			// Mirrored copy leaves immediately from the TM.
+			cp := ctx.Pkt.Clone()
+			s.emit(ctx.Meta.MirrorPort, cp, tr)
+			ctx.Meta.Mirror = false
+		}
+
+		egPipeline := s.prof.PipelineOf(out)
+		ctx.Pipelet = PipeletID{Pipeline: egPipeline, Dir: Egress}
+		tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		tr.Latency += s.prof.EgressLatency
+		s.mu.RLock()
+		eg := s.egress[egPipeline]
+		s.mu.RUnlock()
+		if eg != nil {
+			eg(ctx)
+		}
+		if ctx.Meta.Drop {
+			tr.Dropped = true
+			tr.DropReason = "dropped in egress"
+			s.drops.Add(1)
+			return nil
+		}
+		if ctx.Meta.ToCPU {
+			s.toCPU(ctx, tr)
+			return nil
+		}
+
+		// Constraint (b): recirculation happens because the egress port
+		// is in loopback mode, not by a per-packet decision at egress.
+		mode := s.LoopbackModeOf(out)
+		if mode == LoopbackOff {
+			s.emit(out, ctx.Pkt, tr)
+			return nil
+		}
+		// Constraint (d): the packet re-enters the ingress pipe of the
+		// loopback port's own pipeline.
+		tr.Recirculations++
+		switch mode {
+		case LoopbackOnChip:
+			tr.Latency += s.prof.RecircOnChip
+		case LoopbackOffChip:
+			tr.Latency += s.prof.RecircOffChip
+		}
+		tr.Steps[len(tr.Steps)-1].Note = "recirculate"
+		st := s.stats(out)
+		st.TxPackets.Add(1)
+		st.TxBytes.Add(uint64(ctx.Pkt.WireLen()))
+		st.RxPackets.Add(1)
+		st.RxBytes.Add(uint64(ctx.Pkt.WireLen()))
+		ctx.Meta.InPort = out
+		ctx.Meta.OutPort = PortUnset
+		ctx.Meta.Recirc = false
+	}
+}
+
+// toCPU queues the packet for the control plane.
+func (s *Switch) toCPU(ctx *Ctx, tr *Trace) {
+	s.cpuMu.Lock()
+	s.cpuQueue = append(s.cpuQueue, ctx.Pkt.Clone())
+	s.cpuMu.Unlock()
+	tr.CPU = append(tr.CPU, ctx.Pkt.Clone())
+}
+
+// emit records a packet leaving through a front-panel port.
+func (s *Switch) emit(port PortID, pkt *packet.Parsed, tr *Trace) {
+	st := s.stats(port)
+	st.TxPackets.Add(1)
+	st.TxBytes.Add(uint64(pkt.WireLen()))
+	tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
+}

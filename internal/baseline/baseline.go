@@ -1,0 +1,154 @@
+// Package baseline implements the comparison points the paper argues
+// against:
+//
+//   - A software SFC model (§1): NFs on commodity CPU cores, one or two
+//     orders of magnitude slower than switch ASICs. Used to regenerate
+//     the motivation numbers (cores needed to match an ASIC).
+//   - Emulation-style data plane multiplexing (§6): Hyper4/HyperV run
+//     a general-purpose program that interprets the NFs, costing 3–7×
+//     the hardware resources of native programs.
+//   - Code-level merging (§6): P4Visor/P4Bricks/P4SC merge programs
+//     source-to-source with small overhead but no hardware awareness.
+//
+// Per-core throughput constants are model parameters calibrated to the
+// software-NF literature the paper cites (ClickOS, NetBricks-class
+// systems reach roughly 5–10 Gbps per core for header-only NFs).
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"dejavu/internal/mau"
+)
+
+// SoftNF is one network function running in software.
+type SoftNF struct {
+	Name        string
+	GbpsPerCore float64 // single-core throughput of this NF alone
+}
+
+// DefaultSoftNFs returns per-core throughput for the paper's five NFs.
+func DefaultSoftNFs() []SoftNF {
+	return []SoftNF{
+		{Name: "classifier", GbpsPerCore: 8},
+		{Name: "fw", GbpsPerCore: 6},
+		{Name: "vgw", GbpsPerCore: 5},
+		{Name: "lb", GbpsPerCore: 6},
+		{Name: "router", GbpsPerCore: 9},
+	}
+}
+
+// SoftChain is a service chain of software NFs.
+type SoftChain struct {
+	NFs []SoftNF
+}
+
+// PerCoreGbps returns the chain's run-to-completion throughput on one
+// core: a packet traverses every NF, so per-byte costs add
+// harmonically (1 / Σ 1/gᵢ).
+func (c SoftChain) PerCoreGbps() float64 {
+	if len(c.NFs) == 0 {
+		return 0
+	}
+	inv := 0.0
+	for _, f := range c.NFs {
+		if f.GbpsPerCore <= 0 {
+			return 0
+		}
+		inv += 1 / f.GbpsPerCore
+	}
+	return 1 / inv
+}
+
+// ThroughputGbps returns the chain throughput with the given cores,
+// assuming perfect RSS-style scaling across cores.
+func (c SoftChain) ThroughputGbps(cores int) float64 {
+	if cores <= 0 {
+		return 0
+	}
+	return float64(cores) * c.PerCoreGbps()
+}
+
+// CoresFor returns the cores needed to sustain target Gbps.
+func (c SoftChain) CoresFor(targetGbps float64) (int, error) {
+	per := c.PerCoreGbps()
+	if per <= 0 {
+		return 0, fmt.Errorf("baseline: chain has no throughput")
+	}
+	return int(math.Ceil(targetGbps / per)), nil
+}
+
+// SpeedupVsSoftware returns how many times faster an ASIC deployment
+// of capacity asicGbps is than one CPU core running the chain — the
+// §1 "one or two orders of magnitude" gap is per-core-count, so the
+// headline ratio compares against a typical NF server too.
+func (c SoftChain) SpeedupVsSoftware(asicGbps float64, serverCores int) float64 {
+	t := c.ThroughputGbps(serverCores)
+	if t == 0 {
+		return math.Inf(1)
+	}
+	return asicGbps / t
+}
+
+// EmulationProfile models a data plane multiplexing approach by its
+// resource inflation over native programs.
+type EmulationProfile struct {
+	Name string
+	// Factor scales every hardware resource class relative to the
+	// native merged program.
+	Factor float64
+}
+
+// Published overhead ranges (§6 cites 3–7× for emulation approaches).
+func Hyper4() EmulationProfile { return EmulationProfile{Name: "Hyper4", Factor: 6.0} }
+
+// HyperV is the lighter hypervisor variant.
+func HyperV() EmulationProfile { return EmulationProfile{Name: "HyperV", Factor: 3.0} }
+
+// CodeMerge models source-level composition (P4Visor-class): close to
+// native with a small dedup/branching overhead, but — unlike Dejavu —
+// without hardware-constraint awareness.
+func CodeMerge() EmulationProfile { return EmulationProfile{Name: "P4Visor-style", Factor: 1.15} }
+
+// Dejavu is the reference point: the native merged program itself.
+func Dejavu() EmulationProfile { return EmulationProfile{Name: "Dejavu", Factor: 1.0} }
+
+// Apply scales a native resource vector by the profile's factor.
+func (p EmulationProfile) Apply(native mau.Resources) mau.Resources {
+	scale := func(v int) int { return int(math.Ceil(float64(v) * p.Factor)) }
+	return mau.Resources{
+		TableIDs:     scale(native.TableIDs),
+		SRAMBlocks:   scale(native.SRAMBlocks),
+		TCAMBlocks:   scale(native.TCAMBlocks),
+		ExactXbarB:   scale(native.ExactXbarB),
+		TernaryXbarB: scale(native.TernaryXbarB),
+		VLIWSlots:    scale(native.VLIWSlots),
+		Gateways:     scale(native.Gateways),
+	}
+}
+
+// ComparisonRow is one line of the multiplexing comparison.
+type ComparisonRow struct {
+	Approach  string
+	Factor    float64
+	Resources mau.Resources
+	// FitsStages reports whether the inflated program still fits the
+	// stage budget (approximated by SRAM+TCAM pressure per stage).
+	FitsStages bool
+}
+
+// Compare evaluates approaches against a native resource demand and a
+// stage budget measured in stage-capacity units.
+func Compare(native mau.Resources, stages int, approaches ...EmulationProfile) []ComparisonRow {
+	cap := mau.StageCapacity()
+	rows := make([]ComparisonRow, 0, len(approaches))
+	for _, a := range approaches {
+		r := a.Apply(native)
+		fits := r.SRAMBlocks <= stages*cap.SRAMBlocks &&
+			r.TCAMBlocks <= stages*cap.TCAMBlocks &&
+			r.TableIDs <= stages*cap.TableIDs
+		rows = append(rows, ComparisonRow{Approach: a.Name, Factor: a.Factor, Resources: r, FitsStages: fits})
+	}
+	return rows
+}

@@ -1,0 +1,204 @@
+// Package cluster implements the paper's §7 multi-switch extension:
+// "multiple switches can be chained back-to-back to provide the same
+// bandwidth of a single switch but with manyfold more MAU stages."
+// Placement across switches gains stage capacity at the cost of
+// off-chip hops between switches — the package models both, with the
+// latency numbers the paper derives from its off-chip recirculation
+// measurement.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/place"
+	"dejavu/internal/route"
+)
+
+// Cluster is n identical switches chained back-to-back.
+type Cluster struct {
+	Prof asic.Profile
+	N    int
+}
+
+// New creates a back-to-back cluster of n switches.
+func New(prof asic.Profile, n int) (Cluster, error) {
+	if n < 1 {
+		return Cluster{}, fmt.Errorf("cluster: need at least one switch, got %d", n)
+	}
+	return Cluster{Prof: prof, N: n}, nil
+}
+
+// TotalStages returns the MAU stages across the cluster.
+func (c Cluster) TotalStages() int { return c.N * c.Prof.TotalStages() }
+
+// Bandwidth returns the end-to-end bandwidth: chaining back-to-back
+// preserves a single switch's bandwidth (§7).
+func (c Cluster) Bandwidth() float64 { return c.Prof.CapacityGbps() / 2 }
+
+// HopLatency returns the switch-to-switch transition cost: a DAC-cable
+// hop, i.e. the off-chip recirculation latency of Fig. 8(b).
+func (c Cluster) HopLatency() time.Duration { return c.Prof.RecircOffChip }
+
+// Assignment maps each NF to a (switch, pipelet) slot.
+type Assignment struct {
+	Switch  int
+	Pipelet asic.PipeletID
+}
+
+// Plan is the outcome of a cluster placement.
+type Plan struct {
+	Assignments map[string]Assignment
+	// PerSwitch holds the single-switch traversal cost on each switch.
+	PerSwitch []route.Cost
+	// Crossings counts switch-to-switch transitions over all chains
+	// (weighted).
+	Crossings float64
+	// Latency is the weighted end-to-end latency estimate for one
+	// packet: per-switch traversals, recirculations and inter-switch
+	// hops.
+	Latency time.Duration
+}
+
+// PlaceChains splits every chain into consecutive segments across the
+// cluster's switches (back-to-back order), then optimizes each
+// switch's segment placement independently with the single-switch
+// optimizer. Segmenting consecutively keeps each chain's inter-switch
+// crossings at (segments - 1), the minimum a back-to-back wiring
+// allows.
+func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (*Plan, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("cluster: no chains")
+	}
+	// Budget per switch, in NF stage demand units (own demand +
+	// framework wrapper), mirroring place.Problem's model.
+	budget := c.Prof.TotalStages()
+	demand := func(n string) int {
+		d := 1
+		if stageDemand != nil && stageDemand[n] > 0 {
+			d = stageDemand[n]
+		}
+		return d + 2 // framework wrapper
+	}
+
+	// Segment every chain greedily: fill switch s until the next NF
+	// would exceed its share of the budget.
+	type segmented struct {
+		chain    route.Chain
+		segments [][]string
+	}
+	var segs []segmented
+	nfSwitch := make(map[string]int)
+	for _, ch := range chains {
+		var parts [][]string
+		var cur []string
+		used := 0
+		sw := 0
+		for _, n := range ch.NFs {
+			if prev, ok := nfSwitch[n]; ok {
+				// NF already pinned to a switch by an earlier chain:
+				// force a segment break if we moved past it.
+				if prev != sw {
+					if len(cur) > 0 {
+						parts = append(parts, cur)
+						cur = nil
+					}
+					sw = prev
+					used = 0
+				}
+			}
+			d := demand(n)
+			if used+d > budget && len(cur) > 0 {
+				parts = append(parts, cur)
+				cur = nil
+				used = 0
+				sw++
+				if sw >= c.N {
+					return nil, fmt.Errorf("cluster: chain %d does not fit on %d switches", ch.PathID, c.N)
+				}
+			}
+			nfSwitch[n] = sw
+			cur = append(cur, n)
+			used += d
+		}
+		if len(cur) > 0 {
+			parts = append(parts, cur)
+		}
+		segs = append(segs, segmented{chain: ch, segments: parts})
+	}
+
+	plan := &Plan{
+		Assignments: make(map[string]Assignment),
+		PerSwitch:   make([]route.Cost, c.N),
+	}
+
+	// Optimize each switch's sub-chains with the single-switch placer.
+	for sw := 0; sw < c.N; sw++ {
+		var sub []route.Chain
+		for _, s := range segs {
+			for i, part := range s.segments {
+				onThis := true
+				for _, n := range part {
+					if nfSwitch[n] != sw {
+						onThis = false
+						break
+					}
+				}
+				if !onThis || len(part) == 0 {
+					continue
+				}
+				sub = append(sub, route.Chain{
+					PathID:       s.chain.PathID*16 + uint16(i) + 1,
+					NFs:          part,
+					Weight:       s.chain.Weight,
+					ExitPipeline: 0,
+				})
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		prob := place.Problem{Prof: c.Prof, Chains: sub, Enter: 0, StageDemand: stageDemand}
+		res, err := place.Anneal(prob, place.AnnealOpts{Seed: int64(sw + 1), Iterations: 4000})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: switch %d placement: %w", sw, err)
+		}
+		plan.PerSwitch[sw] = res.Cost
+		for _, chainSeg := range sub {
+			for _, n := range chainSeg.NFs {
+				at, _ := res.Placement.Of(n)
+				plan.Assignments[n] = Assignment{Switch: sw, Pipelet: at}
+			}
+		}
+	}
+
+	// Crossings and latency.
+	var totalW float64
+	for _, s := range segs {
+		w := s.chain.Weight
+		if w == 0 {
+			w = 1
+		}
+		totalW += w
+		plan.Crossings += w * float64(len(s.segments)-1)
+	}
+	var lat time.Duration
+	for sw := 0; sw < c.N; sw++ {
+		lat += c.Prof.PortToPortLatency()
+		lat += time.Duration(plan.PerSwitch[sw].WeightedRecircs/maxF(totalW, 1)) *
+			(c.Prof.PortToPortLatency() + c.Prof.RecircOnChip)
+	}
+	if totalW > 0 {
+		lat += time.Duration(plan.Crossings/totalW) * c.HopLatency()
+	}
+	plan.Latency = lat
+	return plan, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

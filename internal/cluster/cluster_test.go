@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/route"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(asic.Wedge100B(), 0); err == nil {
+		t.Error("zero-switch cluster accepted")
+	}
+	c, err := New(asic.Wedge100B(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalStages() != 3*48 {
+		t.Errorf("TotalStages = %d", c.TotalStages())
+	}
+	if c.HopLatency() != asic.Wedge100B().RecircOffChip {
+		t.Error("hop latency != off-chip recirculation latency")
+	}
+	// Back-to-back chaining preserves single-switch bandwidth (§7).
+	if c.Bandwidth() != asic.Wedge100B().CapacityGbps()/2 {
+		t.Errorf("Bandwidth = %v", c.Bandwidth())
+	}
+}
+
+func TestSingleSwitchChainNoCrossings(t *testing.T) {
+	c, _ := New(asic.Wedge100B(), 2)
+	chains := []route.Chain{
+		{PathID: 1, NFs: []string{"a", "b", "c"}, Weight: 1, ExitPipeline: 0},
+	}
+	plan, err := c.PlaceChains(chains, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Crossings != 0 {
+		t.Errorf("Crossings = %v, want 0 for a chain that fits one switch", plan.Crossings)
+	}
+	for _, n := range chains[0].NFs {
+		a, ok := plan.Assignments[n]
+		if !ok {
+			t.Fatalf("NF %q unassigned", n)
+		}
+		if a.Switch != 0 {
+			t.Errorf("NF %q on switch %d, want 0", n, a.Switch)
+		}
+	}
+}
+
+func TestLongChainSpillsAcrossSwitches(t *testing.T) {
+	// 20 NFs, each demanding 8 stages (+2 framework): 10 units of 10
+	// stages; a 48-stage switch fits 4, so the chain needs multiple
+	// switches.
+	var nfs []string
+	demand := make(map[string]int)
+	for i := 0; i < 20; i++ {
+		n := "nf" + string(rune('a'+i))
+		nfs = append(nfs, n)
+		demand[n] = 8
+	}
+	chains := []route.Chain{{PathID: 1, NFs: nfs, Weight: 1, ExitPipeline: 0}}
+
+	// One switch: cannot fit.
+	c1, _ := New(asic.Wedge100B(), 1)
+	if _, err := c1.PlaceChains(chains, demand); err == nil {
+		t.Error("20x10-stage chain fit a single 48-stage switch")
+	}
+
+	// Five switches: fits with crossings.
+	c5, _ := New(asic.Wedge100B(), 5)
+	plan, err := c5.PlaceChains(chains, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Crossings < 1 {
+		t.Errorf("Crossings = %v, want >= 1", plan.Crossings)
+	}
+	switches := make(map[int]bool)
+	for _, a := range plan.Assignments {
+		switches[a.Switch] = true
+	}
+	if len(switches) < 2 {
+		t.Errorf("all NFs on %d switch(es), want spread", len(switches))
+	}
+	if plan.Latency <= 0 {
+		t.Error("latency not computed")
+	}
+}
+
+func TestSharedNFPinnedAcrossChains(t *testing.T) {
+	// Two chains sharing NF "x": it must land on exactly one switch.
+	c, _ := New(asic.Wedge100B(), 2)
+	chains := []route.Chain{
+		{PathID: 1, NFs: []string{"a", "x", "b"}, Weight: 1, ExitPipeline: 0},
+		{PathID: 2, NFs: []string{"c", "x"}, Weight: 1, ExitPipeline: 0},
+	}
+	plan, err := c.PlaceChains(chains, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan.Assignments["x"]; !ok {
+		t.Fatal("shared NF unassigned")
+	}
+}
+
+func TestPlaceChainsEmpty(t *testing.T) {
+	c, _ := New(asic.Wedge100B(), 1)
+	if _, err := c.PlaceChains(nil, nil); err == nil {
+		t.Error("empty chain set accepted")
+	}
+}
+
+func TestMoreSwitchesMoreStages(t *testing.T) {
+	// §7: back-to-back chaining multiplies stage capacity at constant
+	// bandwidth.
+	p := asic.Wedge100B()
+	c2, _ := New(p, 2)
+	c4, _ := New(p, 4)
+	if c4.TotalStages() != 2*c2.TotalStages() {
+		t.Error("stage capacity does not scale with switches")
+	}
+	if c4.Bandwidth() != c2.Bandwidth() {
+		t.Error("bandwidth changed with cluster size")
+	}
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/nf"
+	"dejavu/internal/packet"
+	"dejavu/internal/route"
+)
+
+// Fabric wires several behavioural switches back-to-back (§7 "multiple
+// switches can be chained back-to-back"): egress ports connect to
+// ingress ports of the neighbouring switch over DAC cables, and
+// packets carry their SFC header across, so a chain's segments execute
+// on consecutive switches with full header continuity.
+type Fabric struct {
+	Prof     asic.Profile
+	Switches []*asic.Switch
+	wires    map[wireEnd]wireEnd
+}
+
+type wireEnd struct {
+	sw   int
+	port asic.PortID
+}
+
+// NewFabric creates n unwired switches.
+func NewFabric(prof asic.Profile, n int) (*Fabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: fabric needs at least one switch")
+	}
+	f := &Fabric{Prof: prof, wires: make(map[wireEnd]wireEnd)}
+	for i := 0; i < n; i++ {
+		f.Switches = append(f.Switches, asic.New(prof))
+	}
+	return f, nil
+}
+
+// Connect wires an egress port of switch a to an ingress port of
+// switch b (one direction; call twice for full duplex).
+func (f *Fabric) Connect(a int, portA asic.PortID, b int, portB asic.PortID) error {
+	if a < 0 || a >= len(f.Switches) || b < 0 || b >= len(f.Switches) {
+		return fmt.Errorf("cluster: no such switch in wire %d->%d", a, b)
+	}
+	if !f.Prof.ValidPort(portA) || !f.Prof.ValidPort(portB) {
+		return fmt.Errorf("cluster: invalid wire ports %d->%d", portA, portB)
+	}
+	from := wireEnd{sw: a, port: portA}
+	if _, dup := f.wires[from]; dup {
+		return fmt.Errorf("cluster: switch %d port %d already wired", a, portA)
+	}
+	f.wires[from] = wireEnd{sw: b, port: portB}
+	return nil
+}
+
+// FabricTrace records a packet's journey across the fabric.
+type FabricTrace struct {
+	// PerSwitch holds the trace of every switch traversal in order.
+	PerSwitch []*asic.Trace
+	// Hops counts inter-switch wire crossings.
+	Hops int
+	// Latency accumulates switch traversals plus wire hops (each wire
+	// hop costs the off-chip DAC latency of Fig. 8b).
+	Latency time.Duration
+	// Out collects the packets that left the fabric on unwired ports.
+	Out []asic.Emitted
+	// OutSwitch records which switch each Out entry left from.
+	OutSwitch []int
+	// CPU collects control-plane punts (switch index parallel to CPU
+	// packets in the per-switch traces).
+	CPUSwitch []int
+	Dropped   bool
+}
+
+// maxFabricHops bounds wire crossings per packet.
+const maxFabricHops = 32
+
+// Inject offers a packet to a switch port and follows it across the
+// fabric until every copy has left, been punted, or been dropped.
+func (f *Fabric) Inject(sw int, port asic.PortID, pkt *packet.Parsed) (*FabricTrace, error) {
+	if sw < 0 || sw >= len(f.Switches) {
+		return nil, fmt.Errorf("cluster: no such switch %d", sw)
+	}
+	ft := &FabricTrace{}
+	type pending struct {
+		sw   int
+		port asic.PortID
+		pkt  *packet.Parsed
+	}
+	queue := []pending{{sw: sw, port: port, pkt: pkt}}
+	for len(queue) > 0 {
+		if ft.Hops > maxFabricHops {
+			return ft, fmt.Errorf("cluster: packet exceeded %d fabric hops (wiring loop?)", maxFabricHops)
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		tr, err := f.Switches[cur.sw].Inject(cur.port, cur.pkt)
+		if err != nil {
+			return ft, err
+		}
+		ft.PerSwitch = append(ft.PerSwitch, tr)
+		ft.Latency += tr.Latency
+		if tr.Dropped {
+			ft.Dropped = true
+			continue
+		}
+		for range tr.CPU {
+			ft.CPUSwitch = append(ft.CPUSwitch, cur.sw)
+		}
+		for _, out := range tr.Out {
+			dst, wired := f.wires[wireEnd{sw: cur.sw, port: out.Port}]
+			if !wired {
+				ft.Out = append(ft.Out, out)
+				ft.OutSwitch = append(ft.OutSwitch, cur.sw)
+				continue
+			}
+			ft.Hops++
+			ft.Latency += f.Prof.RecircOffChip // DAC hop, Fig. 8(b)
+			queue = append(queue, pending{sw: dst.sw, port: dst.port, pkt: out.Pkt})
+		}
+	}
+	return ft, nil
+}
+
+// SegmentedDeployment is a chain set deployed across a linear fabric.
+type SegmentedDeployment struct {
+	Fabric    *Fabric
+	Composers []*compose.Composer
+	// Segments[s] lists the NF names hosted on switch s.
+	Segments [][]string
+}
+
+// DeploySegments composes and installs a chain set whose NFs are
+// pre-assigned to switches (segments must be chain-consecutive: a
+// chain's NFs may only move forward through the fabric). Each switch
+// gets the full chain definitions — the service index carried in the
+// SFC header provides continuity — plus remote-forwarding entries for
+// NFs hosted downstream, wired through per-pair connection ports.
+//
+// placements[s] assigns switch s's segment NFs to its pipelets;
+// wirePorts[s] is the local egress port of switch s wired to switch
+// s+1 (ingress arrives on the same port number by convention).
+func DeploySegments(
+	f *Fabric,
+	chains []route.Chain,
+	nfs nf.List,
+	segments [][]string,
+	placements []*route.Placement,
+	wirePorts []asic.PortID,
+) (*SegmentedDeployment, error) {
+	n := len(f.Switches)
+	if len(segments) != n || len(placements) != n {
+		return nil, fmt.Errorf("cluster: need %d segments and placements", n)
+	}
+	if len(wirePorts) < n-1 {
+		return nil, fmt.Errorf("cluster: need %d wire ports", n-1)
+	}
+	// Which switch hosts each NF.
+	home := make(map[string]int)
+	for s, seg := range segments {
+		for _, name := range seg {
+			if prev, dup := home[name]; dup {
+				return nil, fmt.Errorf("cluster: NF %q in segments %d and %d", name, prev, s)
+			}
+			home[name] = s
+		}
+	}
+	// Chains must move forward through the fabric: within each chain,
+	// the hosting switch index may never decrease.
+	for _, c := range chains {
+		prev := 0
+		for _, name := range c.NFs {
+			h, ok := home[name]
+			if !ok {
+				return nil, fmt.Errorf("cluster: NF %q of chain %d not in any segment", name, c.PathID)
+			}
+			if h < prev {
+				return nil, fmt.Errorf(
+					"cluster: chain %d visits NF %q on switch %d after switch %d (segments must be chain-consecutive)",
+					c.PathID, name, h, prev)
+			}
+			prev = h
+		}
+	}
+	// Wire the fabric.
+	for s := 0; s < n-1; s++ {
+		if err := f.Connect(s, wirePorts[s], s+1, wirePorts[s]); err != nil {
+			return nil, err
+		}
+	}
+
+	dep := &SegmentedDeployment{Fabric: f, Segments: segments}
+	for s := 0; s < n; s++ {
+		placement := placements[s].Clone()
+		for name, h := range home {
+			if h != s {
+				placement.AssignRemote(name)
+			}
+		}
+		comp, err := compose.New(f.Prof, chains, placement, nfs)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: switch %d: %w", s, err)
+		}
+		// Downstream NFs forward through this switch's wire port.
+		for name, h := range home {
+			if h > s {
+				comp.Branching.SetRemote(name, wirePorts[s])
+			}
+		}
+		built, err := comp.Build()
+		if err != nil {
+			return nil, err
+		}
+		if err := built.InstallOn(f.Switches[s]); err != nil {
+			return nil, err
+		}
+		dep.Composers = append(dep.Composers, comp)
+	}
+	return dep, nil
+}

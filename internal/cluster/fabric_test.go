@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/ctl"
+	"dejavu/internal/packet"
+	"dejavu/internal/route"
+	"dejavu/internal/scenario"
+)
+
+const wirePort = asic.PortID(10)
+
+// deployAcrossTwoSwitches splits the §5 chain over a 2-switch fabric:
+// switch 0 hosts classifier+fw, switch 1 hosts vgw+lb+router.
+func deployAcrossTwoSwitches(t *testing.T) (*scenario.Scenario, *Fabric, *SegmentedDeployment) {
+	t.Helper()
+	s := scenario.MustNew()
+	f, err := NewFabric(s.Prof, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing0 := asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}
+	p0 := route.NewPlacement()
+	p0.Assign("classifier", ing0)
+	p0.Assign("fw", ing0)
+	p1 := route.NewPlacement()
+	p1.Assign("vgw", ing0)
+	p1.Assign("lb", ing0)
+	p1.Assign("router", ing0)
+
+	dep, err := DeploySegments(
+		f, s.Chains, s.NFs,
+		[][]string{{"classifier", "fw"}, {"vgw", "lb", "router"}},
+		[]*route.Placement{p0, p1},
+		[]asic.PortID{wirePort},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f, dep
+}
+
+func TestFabricFullPathAcrossSwitches(t *testing.T) {
+	s, f, _ := deployAcrossTwoSwitches(t)
+
+	// First VIP packet: classifier+fw on switch 0, wire hop, LB miss on
+	// switch 1.
+	ft, err := f.Inject(0, scenario.PortClient, scenario.ClientTCP(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Hops != 1 {
+		t.Fatalf("hops = %d, want 1", ft.Hops)
+	}
+	if len(ft.CPUSwitch) != 1 || ft.CPUSwitch[0] != 1 {
+		t.Fatalf("punt expected on switch 1, got %v", ft.CPUSwitch)
+	}
+
+	// Service the punt with switch 1's controller, then resend.
+	ctrl := ctl.New(f.Switches[1], s.NFs)
+	if _, err := ctrl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LB.Sessions() != 1 {
+		t.Fatalf("session not learned: %d", s.LB.Sessions())
+	}
+	ft2, err := f.Inject(0, scenario.PortClient, scenario.ClientTCP(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft2.Dropped || len(ft2.Out) != 1 {
+		t.Fatalf("second packet lost: dropped=%v out=%d", ft2.Dropped, len(ft2.Out))
+	}
+	if ft2.OutSwitch[0] != 1 || ft2.Out[0].Port != scenario.PortBackends {
+		t.Errorf("exit = switch %d port %d, want switch 1 port %d",
+			ft2.OutSwitch[0], ft2.Out[0].Port, scenario.PortBackends)
+	}
+	got := ft2.Out[0].Pkt
+	if got.Valid(packet.HdrSFC) {
+		t.Error("SFC header on the wire at fabric exit")
+	}
+	if got.IPv4.Dst == scenario.VIP {
+		t.Error("VIP not rewritten by LB on switch 1")
+	}
+	// Latency: two switch traversals plus one DAC hop.
+	minLat := 2*s.Prof.PortToPortLatency() + s.Prof.RecircOffChip
+	if ft2.Latency < minLat {
+		t.Errorf("latency = %v, want >= %v", ft2.Latency, minLat)
+	}
+}
+
+func TestFabricPolicyAppliedUpstream(t *testing.T) {
+	_, f, _ := deployAcrossTwoSwitches(t)
+	// Denied traffic dies on switch 0 — it never crosses the wire.
+	ft, err := f.Inject(0, scenario.PortClient, scenario.ClientTCP(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Dropped {
+		t.Fatal("denied packet not dropped")
+	}
+	if ft.Hops != 0 {
+		t.Errorf("denied packet crossed %d wires", ft.Hops)
+	}
+}
+
+func TestFabricMediumAndBasicPaths(t *testing.T) {
+	_, f, _ := deployAcrossTwoSwitches(t)
+
+	// Medium path: VXLAN encap happens on switch 1.
+	ft, err := f.Inject(0, scenario.PortClient, scenario.TenantBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Dropped || len(ft.Out) != 1 {
+		t.Fatalf("medium path lost: %+v", ft)
+	}
+	if !ft.Out[0].Pkt.Valid(packet.HdrVXLAN) {
+		t.Error("no VXLAN encap at fabric exit")
+	}
+	if ft.Out[0].Port != scenario.PortVTEP {
+		t.Errorf("exit port = %d", ft.Out[0].Port)
+	}
+
+	// Basic path: classifier on 0, router on 1.
+	ft, err = f.Inject(0, scenario.PortClient, scenario.InternetBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Dropped || len(ft.Out) != 1 || ft.Out[0].Port != scenario.PortUpstream {
+		t.Fatalf("basic path lost: %+v", ft)
+	}
+	if ft.Hops != 1 {
+		t.Errorf("basic path hops = %d", ft.Hops)
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	s := scenario.MustNew()
+	if _, err := NewFabric(s.Prof, 0); err == nil {
+		t.Error("empty fabric accepted")
+	}
+	f, _ := NewFabric(s.Prof, 2)
+	if err := f.Connect(0, 999, 1, 3); err == nil {
+		t.Error("invalid wire port accepted")
+	}
+	if err := f.Connect(0, 10, 5, 3); err == nil {
+		t.Error("wire to missing switch accepted")
+	}
+	if err := f.Connect(0, 10, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Connect(0, 10, 1, 4); err == nil {
+		t.Error("double wiring accepted")
+	}
+	if _, err := f.Inject(7, 0, scenario.InternetBound()); err == nil {
+		t.Error("inject on missing switch accepted")
+	}
+}
+
+func TestDeploySegmentsValidation(t *testing.T) {
+	s := scenario.MustNew()
+	ing0 := asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}
+
+	// Backwards segmentation: router upstream of classifier.
+	f, _ := NewFabric(s.Prof, 2)
+	pA := route.NewPlacement()
+	pA.Assign("vgw", ing0)
+	pA.Assign("lb", ing0)
+	pA.Assign("router", ing0)
+	pB := route.NewPlacement()
+	pB.Assign("classifier", ing0)
+	pB.Assign("fw", ing0)
+	if _, err := DeploySegments(f, s.Chains, s.NFs,
+		[][]string{{"vgw", "lb", "router"}, {"classifier", "fw"}},
+		[]*route.Placement{pA, pB},
+		[]asic.PortID{wirePort},
+	); err == nil {
+		t.Error("backwards segmentation accepted")
+	}
+
+	// Missing NF.
+	f2, _ := NewFabric(s.Prof, 2)
+	if _, err := DeploySegments(f2, s.Chains, s.NFs,
+		[][]string{{"classifier"}, {"vgw", "lb", "router"}},
+		[]*route.Placement{route.NewPlacement(), route.NewPlacement()},
+		[]asic.PortID{wirePort},
+	); err == nil {
+		t.Error("segmentation missing fw accepted")
+	}
+
+	// Wrong arity.
+	f3, _ := NewFabric(s.Prof, 2)
+	if _, err := DeploySegments(f3, s.Chains, s.NFs,
+		[][]string{{"classifier"}},
+		[]*route.Placement{route.NewPlacement()},
+		nil,
+	); err == nil {
+		t.Error("wrong segment arity accepted")
+	}
+}
+
+func TestFabricTelemetrySplit(t *testing.T) {
+	_, f, dep := deployAcrossTwoSwitches(t)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Inject(0, scenario.PortClient, scenario.InternetBound()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Classifier executions counted on switch 0, router on switch 1.
+	if got := dep.Composers[0].Telemetry().NFExecutions("classifier"); got != 4 {
+		t.Errorf("switch 0 classifier executions = %d", got)
+	}
+	if got := dep.Composers[1].Telemetry().NFExecutions("router"); got != 4 {
+		t.Errorf("switch 1 router executions = %d", got)
+	}
+	if got := dep.Composers[0].Telemetry().NFExecutions("router"); got != 0 {
+		t.Errorf("router ran on switch 0: %d", got)
+	}
+}

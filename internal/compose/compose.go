@@ -1,0 +1,345 @@
+// Package compose implements Dejavu's NF composition (§3.2): it turns
+// the NFs assigned to each pipelet into (a) a single merged P4-like
+// control block wrapped with the framework's check_nextNF,
+// check_sfcFlags and branching tables, for compilation and resource
+// accounting; and (b) a behavioural pipelet program for the ASIC
+// model, which dispatches packets to the right NF, translates SFC
+// header flags into platform actions, advances the service index, and
+// runs the ingress branching decision of §3.4.
+//
+// Both the sequential and parallel composition operators of Fig. 5 are
+// supported; the IR they generate mirrors the figure's structure.
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/nf"
+	"dejavu/internal/nsh"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+	"dejavu/internal/route"
+)
+
+// packetAlias shortens signatures inside this package.
+type packetAlias = packet.Parsed
+
+// sfcBit is the SFC header validity bit.
+const sfcBit = packet.HdrSFC
+
+// ClassifierNF is the reserved NF name the framework dispatches
+// untagged packets to.
+const ClassifierNF = "classifier"
+
+// Composer builds pipelet programs for a switch profile from a chain
+// set, a placement, and the NF implementations.
+type Composer struct {
+	Prof      asic.Profile
+	Chains    []route.Chain
+	Placement *route.Placement
+	NFs       nf.List
+	Branching *route.Branching
+
+	ids map[string]uint8 // NF name -> meta.next_nf ID
+
+	// telemetry aggregates per-NF and per-path datapath counters.
+	telemetry *Telemetry
+}
+
+// Telemetry returns the composer's datapath counters.
+func (c *Composer) Telemetry() *Telemetry { return c.telemetry }
+
+// New creates a composer and precomputes the branching function.
+func New(prof asic.Profile, chains []route.Chain, placement *route.Placement, nfs nf.List) (*Composer, error) {
+	if err := placement.Validate(prof, chains); err != nil {
+		return nil, err
+	}
+	br, err := route.NewBranching(chains, placement)
+	if err != nil {
+		return nil, err
+	}
+	c := &Composer{
+		Prof:      prof,
+		Chains:    chains,
+		Placement: placement,
+		NFs:       nfs,
+		Branching: br,
+		ids:       make(map[string]uint8),
+		telemetry: newTelemetry(),
+	}
+	// Stable NF ID assignment (sorted by name) for meta.next_nf.
+	names := make([]string, 0, len(nfs))
+	for _, f := range nfs {
+		names = append(names, f.Name())
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		c.ids[n] = uint8(i + 1)
+	}
+	return c, nil
+}
+
+// NFID returns the meta.next_nf value of an NF.
+func (c *Composer) NFID(name string) uint8 { return c.ids[name] }
+
+// orderedNFsOn returns the NFs hosted on a pipelet, ordered by their
+// earliest position across the chains (so sequential composition
+// consumes chain-consecutive NFs in one pass).
+func (c *Composer) orderedNFsOn(pl asic.PipeletID) []nf.NF {
+	names := c.Placement.NFsOn(pl)
+	pos := func(name string) int {
+		best := 1 << 30
+		for _, ch := range c.Chains {
+			for i, n := range ch.NFs {
+				if n == name && i < best {
+					best = i
+				}
+			}
+		}
+		return best
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := pos(names[i]), pos(names[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return names[i] < names[j]
+	})
+	out := make([]nf.NF, 0, len(names))
+	for _, n := range names {
+		if f := c.NFs.ByName(n); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// GenericParser merges every placed NF's parser fragment into the
+// generic parser shared by all pipelets (§3), assigning global vertex
+// IDs along the way.
+func (c *Composer) GenericParser() (*p4.ParserGraph, *p4.GlobalIDTable, error) {
+	table := p4.NewGlobalIDTable()
+	var graphs []*p4.ParserGraph
+	seen := make(map[string]bool)
+	for _, ch := range c.Chains {
+		for _, name := range ch.NFs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			f := c.NFs.ByName(name)
+			if f == nil {
+				return nil, nil, fmt.Errorf("compose: NF %q has no implementation", name)
+			}
+			graphs = append(graphs, f.Parser())
+		}
+	}
+	if len(graphs) == 0 {
+		return nil, nil, fmt.Errorf("compose: no NFs to merge")
+	}
+	merged, err := p4.MergeParsers(table, graphs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, table, nil
+}
+
+// Deployment is the composed output for a whole switch.
+type Deployment struct {
+	Parser   *p4.ParserGraph
+	IDTable  *p4.GlobalIDTable
+	Blocks   map[asic.PipeletID]*p4.ControlBlock
+	Ingress  []asic.StageFunc // indexed by pipeline
+	Egress   []asic.StageFunc
+	Composer *Composer
+}
+
+// Build composes every pipelet of the switch.
+func (c *Composer) Build() (*Deployment, error) {
+	parser, idt, err := c.GenericParser()
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Parser:   parser,
+		IDTable:  idt,
+		Blocks:   make(map[asic.PipeletID]*p4.ControlBlock),
+		Ingress:  make([]asic.StageFunc, c.Prof.Pipelines),
+		Egress:   make([]asic.StageFunc, c.Prof.Pipelines),
+		Composer: c,
+	}
+	for pipe := 0; pipe < c.Prof.Pipelines; pipe++ {
+		for _, dir := range []asic.Direction{asic.Ingress, asic.Egress} {
+			pl := asic.PipeletID{Pipeline: pipe, Dir: dir}
+			nfs := c.orderedNFsOn(pl)
+			mode := c.Placement.ModeOf(pl)
+			block, err := c.PipeletBlock(pl, nfs, mode)
+			if err != nil {
+				return nil, err
+			}
+			d.Blocks[pl] = block
+			fn := c.pipeletFunc(pl, nfs, mode)
+			if dir == asic.Ingress {
+				d.Ingress[pipe] = fn
+			} else {
+				d.Egress[pipe] = fn
+			}
+		}
+	}
+	return d, nil
+}
+
+// EmitP4 renders the composed deployment as a single multi-pipeline
+// P4-16-style program (§3.2): the merged generic parser followed by
+// one control block per pipelet.
+func (d *Deployment) EmitP4() (string, error) {
+	prog := &p4.Program{
+		Name:   "dejavu",
+		Parser: d.Parser,
+	}
+	// Deterministic pipelet order: ingress 0, egress 0, ingress 1, ...
+	for pipe := 0; pipe < d.Composer.Prof.Pipelines; pipe++ {
+		for _, dir := range []asic.Direction{asic.Ingress, asic.Egress} {
+			if b := d.Blocks[asic.PipeletID{Pipeline: pipe, Dir: dir}]; b != nil {
+				prog.Blocks = append(prog.Blocks, b)
+			}
+		}
+	}
+	return p4.EmitProgram(prog, p4.EmitOptions{})
+}
+
+// InstallOn loads the deployment's behavioural programs onto a switch.
+func (d *Deployment) InstallOn(sw *asic.Switch) error {
+	for pipe := 0; pipe < d.Composer.Prof.Pipelines; pipe++ {
+		if err := sw.InstallIngress(pipe, d.Ingress[pipe]); err != nil {
+			return err
+		}
+		if err := sw.InstallEgress(pipe, d.Egress[pipe]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pipeletFunc builds the behavioural program of one pipelet.
+func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) asic.StageFunc {
+	isIngress := pl.Dir == asic.Ingress
+	return func(ctx *asic.Ctx) {
+		hdr := ctx.Pkt
+		if fresh(hdr) {
+			// Seed the SFC header's platform metadata copy (Fig. 3):
+			// inPort records the physical port the packet was received
+			// on — the original one, preserved across recirculations so
+			// the control plane can reinject punted packets correctly.
+			hdr.SFC.Meta.InPort = uint16(ctx.Meta.InPort) & 0xFFF
+			hdr.SFC.Meta.OutPort = nsh.OutPortUnset
+		}
+
+		for {
+			name, ok := c.nextNF(hdr)
+			if !ok {
+				break
+			}
+			var ran nf.NF
+			for _, f := range nfs {
+				if f.Name() == name {
+					ran = f
+					break
+				}
+			}
+			if ran == nil {
+				break // next NF lives elsewhere; branching will route it
+			}
+			wasFresh := fresh(hdr)
+			ran.Execute(hdr)
+			c.telemetry.countNF(ran.Name())
+			if wasFresh && hdr.Valid(sfcBit) {
+				// The classifier just stamped a path.
+				c.telemetry.countPath(hdr.SFC.ServicePathID)
+			}
+			// check_sfcFlags: translate SFC header flags to platform
+			// metadata after every NF (§3.2, Fig. 5).
+			if stop := c.checkSFCFlags(hdr, ctx); stop {
+				return
+			}
+			// Advance the service index past the NF that just ran.
+			hdr.SFC.Advance()
+			if mode == route.Parallel {
+				break // one NF per traversal on a parallel pipelet
+			}
+		}
+
+		if isIngress {
+			c.applyBranching(hdr, ctx, pl.Pipeline)
+		}
+	}
+}
+
+// fresh reports whether a packet has never been classified. Chains
+// reserve path ID 0, so a zero path with no SFC header on the wire
+// identifies untouched traffic; a nonzero path with the header popped
+// means the Router already terminated the chain.
+func fresh(hdr *packetAlias) bool {
+	return !hdr.Valid(sfcBit) && hdr.SFC.ServicePathID == 0
+}
+
+// nextNF resolves which NF the packet must visit next: untagged
+// packets go to the classifier; tagged packets consult the chain.
+func (c *Composer) nextNF(hdr *packetAlias) (string, bool) {
+	if fresh(hdr) {
+		return ClassifierNF, true
+	}
+	return c.Branching.NextNF(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex)
+}
+
+// checkSFCFlags translates the SFC header's platform metadata flags to
+// the platform context, reporting whether processing must stop.
+func (c *Composer) checkSFCFlags(hdr *packetAlias, ctx *asic.Ctx) (stop bool) {
+	m := &hdr.SFC.Meta
+	if m.Has(nsh.FlagDrop) {
+		ctx.Meta.Drop = true
+		return true
+	}
+	if m.Has(nsh.FlagToCPU) {
+		ctx.Meta.ToCPU = true
+		return true
+	}
+	if m.Has(nsh.FlagMirror) {
+		// One-shot: translate to a platform mirror and clear the header
+		// flag so later passes do not emit further copies.
+		m.Clear(nsh.FlagMirror)
+		ctx.Meta.Mirror = true
+		if port, ok := hdr.SFC.LookupContext(nf.KeyMirrorPort); ok {
+			ctx.Meta.MirrorPort = asic.PortID(port)
+		}
+	}
+	if m.Has(nsh.FlagResubmit) {
+		m.Clear(nsh.FlagResubmit)
+		ctx.Meta.Resubmit = true
+	}
+	return false
+}
+
+// applyBranching runs the §3.4 branching decision at the end of an
+// ingress pipelet.
+func (c *Composer) applyBranching(hdr *packetAlias, ctx *asic.Ctx, pipeline int) {
+	if ctx.Meta.Drop || ctx.Meta.ToCPU || ctx.Meta.Resubmit {
+		return
+	}
+	if fresh(hdr) {
+		// Untagged packet that found no classifier here: punt.
+		ctx.Meta.ToCPU = true
+		return
+	}
+	hop := c.Branching.Decide(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex, pipeline, asic.PortID(hdr.SFC.Meta.OutPort))
+	switch hop.Kind {
+	case route.HopForward:
+		ctx.Meta.OutPort = hop.Port
+	case route.HopResubmit:
+		ctx.Meta.Resubmit = true
+	case route.HopToCPU:
+		ctx.Meta.ToCPU = true
+	}
+}

@@ -1,0 +1,32 @@
+package compose
+
+import (
+	"testing"
+
+	"dejavu/internal/nf"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// vertexOf builds a parser vertex for assertions.
+func vertexOf(typ string, off int) p4.Vertex { return p4.Vertex{Type: typ, Offset: off} }
+
+// mirrorNF builds a mirror NF tapping 9.9.9.9 to port 30.
+func mirrorNF(t *testing.T) *nf.Mirror {
+	t.Helper()
+	m := nf.NewMirror()
+	if err := m.AddTap(packet.IP4{9, 9, 9, 9}, packet.IP4{255, 255, 255, 255}, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// classRuleFor builds a classifier rule steering traffic to dst onto a
+// path.
+func classRuleFor(dst packet.IP4, path uint16, index uint8) nf.ClassRule {
+	return nf.ClassRule{
+		DstIP: dst, DstMask: packet.IP4{255, 255, 255, 255},
+		Priority: 30,
+		Path:     path, InitialIndex: index,
+	}
+}

@@ -1,0 +1,192 @@
+package compose
+
+import (
+	"fmt"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/nf"
+	"dejavu/internal/p4"
+	"dejavu/internal/route"
+)
+
+// Framework table construction. The paper's §5 names three framework
+// table types: the branching table and the check_next_hop
+// (check_nextNF) table, each with an entry per (pathID, serviceIndex)
+// pair, and the check_sfcFlags table with an entry per platform
+// metadata field. All are small and traffic-independent, sized at
+// compile time.
+
+// chainEntries counts (pathID, serviceIndex) pairs across the chains.
+func (c *Composer) chainEntries() int {
+	n := 0
+	for _, ch := range c.Chains {
+		n += len(ch.NFs) + 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// checkNextNFTable builds one check_nextNF framework table instance.
+func (c *Composer) checkNextNFTable(name string) *p4.Table {
+	return &p4.Table{
+		Name:      name,
+		Framework: true,
+		Keys: []p4.Key{
+			{Field: "sfc.service_path_id", Kind: p4.MatchExact},
+			{Field: "sfc.service_index", Kind: p4.MatchExact},
+		},
+		Actions: []*p4.Action{
+			{
+				Name:   "set_next_nf",
+				Params: []p4.Field{{Name: "nf_id", Bits: 8}},
+				Ops:    []p4.Op{{Kind: p4.OpSetField, Dst: "meta.next_nf"}},
+			},
+			{Name: "no_next", Ops: []p4.Op{{Kind: p4.OpSetField, Dst: "meta.next_nf"}}},
+		},
+		DefaultAction: "no_next",
+		Size:          c.chainEntries(),
+	}
+}
+
+// checkSFCFlagsTable builds one check_sfcFlags framework table
+// instance: an entry per platform metadata field (Fig. 3 lists 7).
+func checkSFCFlagsTable(name string) *p4.Table {
+	return &p4.Table{
+		Name:      name,
+		Framework: true,
+		Keys:      []p4.Key{{Field: "sfc.flags", Kind: p4.MatchExact}},
+		Actions: []*p4.Action{
+			{
+				Name: "apply_flags",
+				Ops: []p4.Op{
+					{Kind: p4.OpCopyField, Dst: "meta.drop", Srcs: []p4.FieldRef{"sfc.flags"}},
+					{Kind: p4.OpCopyField, Dst: "meta.to_cpu", Srcs: []p4.FieldRef{"sfc.flags"}},
+					{Kind: p4.OpCopyField, Dst: "meta.out_port", Srcs: []p4.FieldRef{"sfc.out_port"}},
+					{Kind: p4.OpAddToField, Dst: "sfc.service_index"},
+				},
+			},
+		},
+		DefaultAction: "apply_flags",
+		Size:          7,
+	}
+}
+
+// branchingTable builds the §3.4 branching table placed in the last
+// MAU stage of an ingress pipelet.
+func (c *Composer) branchingTable(name string) *p4.Table {
+	return &p4.Table{
+		Name:      name,
+		Framework: true,
+		Keys: []p4.Key{
+			{Field: "sfc.service_path_id", Kind: p4.MatchExact},
+			{Field: "sfc.service_index", Kind: p4.MatchExact},
+		},
+		Actions: []*p4.Action{
+			{
+				Name:   "forward",
+				Params: []p4.Field{{Name: "port", Bits: 12}},
+				Ops:    []p4.Op{{Kind: p4.OpSetField, Dst: "meta.out_port"}},
+			},
+			{Name: "resubmit", Ops: []p4.Op{{Kind: p4.OpSetField, Dst: "meta.resubmit"}}},
+			{Name: "to_cpu", Ops: []p4.Op{{Kind: p4.OpSetField, Dst: "meta.to_cpu"}}},
+		},
+		DefaultAction: "to_cpu",
+		Size:          c.chainEntries(),
+	}
+}
+
+// prefixBlock returns a copy of an NF's control block with table names
+// prefixed by the NF name, so blocks can coexist in one merged program.
+func prefixBlock(nfName string, cb *p4.ControlBlock) *p4.ControlBlock {
+	rename := func(t string) string { return nfName + "__" + t }
+	out := &p4.ControlBlock{Name: cb.Name}
+	for _, t := range cb.Tables {
+		ct := *t
+		ct.Name = rename(t.Name)
+		out.Tables = append(out.Tables, &ct)
+	}
+	var rewrite func(body []p4.Stmt) []p4.Stmt
+	rewrite = func(body []p4.Stmt) []p4.Stmt {
+		var res []p4.Stmt
+		for _, s := range body {
+			switch st := s.(type) {
+			case p4.ApplyStmt:
+				res = append(res, p4.ApplyStmt{Table: rename(st.Table)})
+			case p4.IfStmt:
+				res = append(res, p4.IfStmt{Cond: st.Cond, Then: rewrite(st.Then), Else: rewrite(st.Else)})
+			default:
+				res = append(res, s)
+			}
+		}
+		return res
+	}
+	out.Body = rewrite(cb.Body)
+	return out
+}
+
+// PipeletBlock generates the merged control block of one pipelet,
+// following Fig. 5's structure:
+//
+//	Sequential:  for each NF i:
+//	               check_nextNF_i; if (next == NF_i) { NF_i tables };
+//	               check_sfcFlags_i
+//	Parallel:    check_nextNF; if/else-if dispatch over NFs;
+//	             one shared check_sfcFlags
+//
+// Ingress pipelets get the branching table appended (§3.4).
+func (c *Composer) PipeletBlock(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) (*p4.ControlBlock, error) {
+	block := &p4.ControlBlock{
+		Name: fmt.Sprintf("%s_%d_%s", pl.Dir, pl.Pipeline, mode),
+	}
+	addNF := func(f nf.NF, guard p4.Cond) []p4.Stmt {
+		pb := prefixBlock(f.Name(), f.Block())
+		block.Tables = append(block.Tables, pb.Tables...)
+		return []p4.Stmt{p4.IfStmt{Cond: guard, Then: pb.Body}}
+	}
+
+	switch {
+	case len(nfs) == 0:
+		// Transit pipelet: no NF tables.
+	case mode == route.Parallel:
+		check := c.checkNextNFTable("check_next_nf")
+		block.Tables = append(block.Tables, check)
+		block.Body = append(block.Body, p4.ApplyStmt{Table: check.Name})
+		// if/else-if dispatch (Fig. 5 bottom).
+		var dispatch []p4.Stmt
+		for i := len(nfs) - 1; i >= 0; i-- {
+			f := nfs[i]
+			guard := p4.Cond{Kind: p4.CondFieldEq, Field: "meta.next_nf", Value: uint64(c.NFID(f.Name()))}
+			pb := prefixBlock(f.Name(), f.Block())
+			block.Tables = append(block.Tables, pb.Tables...)
+			stmt := p4.IfStmt{Cond: guard, Then: pb.Body, Else: dispatch}
+			dispatch = []p4.Stmt{stmt}
+		}
+		block.Body = append(block.Body, dispatch...)
+		flags := checkSFCFlagsTable("check_sfc_flags")
+		block.Tables = append(block.Tables, flags)
+		block.Body = append(block.Body, p4.ApplyStmt{Table: flags.Name})
+	default: // Sequential (Fig. 5 top)
+		for i, f := range nfs {
+			check := c.checkNextNFTable(fmt.Sprintf("check_next_nf_%d", i))
+			block.Tables = append(block.Tables, check)
+			block.Body = append(block.Body, p4.ApplyStmt{Table: check.Name})
+			guard := p4.Cond{Kind: p4.CondFieldEq, Field: "meta.next_nf", Value: uint64(c.NFID(f.Name()))}
+			block.Body = append(block.Body, addNF(f, guard)...)
+			flags := checkSFCFlagsTable(fmt.Sprintf("check_sfc_flags_%d", i))
+			block.Tables = append(block.Tables, flags)
+			block.Body = append(block.Body, p4.ApplyStmt{Table: flags.Name})
+		}
+	}
+
+	if pl.Dir == asic.Ingress {
+		br := c.branchingTable("branching")
+		block.Tables = append(block.Tables, br)
+		block.Body = append(block.Body, p4.ApplyStmt{Table: br.Name})
+	}
+	if err := block.Validate(); err != nil {
+		return nil, fmt.Errorf("compose: pipelet %s: %w", pl, err)
+	}
+	return block, nil
+}

@@ -1,0 +1,79 @@
+package compose
+
+import (
+	"sort"
+	"sync"
+)
+
+// Telemetry aggregates datapath counters the operator needs: how many
+// packets each service path carried and how often each NF executed.
+// Counting happens inside the behavioural pipelet programs, so the
+// numbers reflect exactly what the composed datapath did (including
+// recirculated passes, which execute NFs at most once each).
+type Telemetry struct {
+	mu          sync.Mutex
+	nfExec      map[string]uint64
+	pathPackets map[uint16]uint64
+}
+
+func newTelemetry() *Telemetry {
+	return &Telemetry{
+		nfExec:      make(map[string]uint64),
+		pathPackets: make(map[uint16]uint64),
+	}
+}
+
+// countNF records one execution of an NF.
+func (t *Telemetry) countNF(name string) {
+	t.mu.Lock()
+	t.nfExec[name]++
+	t.mu.Unlock()
+}
+
+// countPath records one packet classified onto a path.
+func (t *Telemetry) countPath(path uint16) {
+	t.mu.Lock()
+	t.pathPackets[path]++
+	t.mu.Unlock()
+}
+
+// NFExecutions returns the execution count of an NF.
+func (t *Telemetry) NFExecutions(name string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nfExec[name]
+}
+
+// PathPackets returns the number of packets classified onto a path.
+func (t *Telemetry) PathPackets(path uint16) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pathPackets[path]
+}
+
+// Snapshot returns sorted copies of both counter sets.
+func (t *Telemetry) Snapshot() (nfs []NFCount, paths []PathCount) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n, c := range t.nfExec {
+		nfs = append(nfs, NFCount{Name: n, Executions: c})
+	}
+	for p, c := range t.pathPackets {
+		paths = append(paths, PathCount{Path: p, Packets: c})
+	}
+	sort.Slice(nfs, func(i, j int) bool { return nfs[i].Name < nfs[j].Name })
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Path < paths[j].Path })
+	return nfs, paths
+}
+
+// NFCount is one NF's execution count.
+type NFCount struct {
+	Name       string
+	Executions uint64
+}
+
+// PathCount is one service path's packet count.
+type PathCount struct {
+	Path    uint16
+	Packets uint64
+}

@@ -1,0 +1,394 @@
+// Package core orchestrates a complete Dejavu deployment: it takes a
+// set of weighted service chains and NF implementations, optimizes the
+// NF placement for minimal recirculations (§3.3), composes per-pipelet
+// programs with the framework tables (§3.2, §3.4), verifies the result
+// fits the ASIC's stage budget like a P4 compiler would, loads the
+// behavioural programs onto the switch model, configures loopback
+// bandwidth, and reports the resource and throughput analysis of §4–§5.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compiler"
+	"dejavu/internal/compose"
+	"dejavu/internal/ctl"
+	"dejavu/internal/nf"
+	"dejavu/internal/packet"
+	"dejavu/internal/place"
+	"dejavu/internal/recirc"
+	"dejavu/internal/route"
+)
+
+// Optimizer selects a placement strategy.
+type Optimizer string
+
+// Available optimizers.
+const (
+	OptExhaustive Optimizer = "exhaustive"
+	OptAnneal     Optimizer = "anneal"
+	OptGreedy     Optimizer = "greedy"
+	OptNaive      Optimizer = "naive"
+)
+
+// Config describes one deployment.
+type Config struct {
+	Prof   asic.Profile
+	Chains []route.Chain
+	NFs    nf.List
+	// Enter is the pipeline receiving external traffic.
+	Enter int
+	// Placement, when non-nil, is used verbatim; otherwise the chosen
+	// Optimizer computes one.
+	Placement *route.Placement
+	Optimizer Optimizer
+	// Pin fixes NFs to pipelets during optimization (the classifier is
+	// pinned to the entry ingress automatically when present).
+	Pin map[string]asic.PipeletID
+	// LoopbackPorts puts extra front-panel ports into on-chip loopback
+	// mode for recirculation bandwidth (§4); the per-pipeline dedicated
+	// recirculation ports are always available.
+	LoopbackPorts []asic.PortID
+	// AnnealSeed seeds the annealing optimizer.
+	AnnealSeed int64
+}
+
+// ChainReport is the per-chain analysis of a deployment.
+type ChainReport struct {
+	Chain          route.Chain
+	Traversal      route.Traversal
+	Recirculations int
+}
+
+// Deployment is a ready-to-use Dejavu instance.
+type Deployment struct {
+	Config     Config
+	Switch     *asic.Switch
+	Controller *ctl.Controller
+	Placement  *route.Placement
+	Cost       route.Cost
+	Chains     []ChainReport
+	// Plans holds the per-pipelet stage allocations.
+	Plans map[asic.PipeletID]*compiler.Plan
+	// Resources is the Table-1 style framework overhead report.
+	Resources compiler.Report
+	// Capacity describes the external/loopback bandwidth split.
+	Capacity recirc.CapacitySplit
+	// Deploymentable parser metadata.
+	ParserStates int
+
+	composed *compose.Deployment
+	loops    *loopbackPool
+}
+
+// loopbackPool round-robins recirculation traffic over a pipeline's
+// loopback ports, falling back to the dedicated recirculation port.
+// Ports can be removed at runtime (failure handling).
+type loopbackPool struct {
+	mu     sync.Mutex
+	byPipe map[int][]asic.PortID
+	rr     map[int]uint64
+}
+
+func (p *loopbackPool) choose(pipeline int) asic.PortID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ports := p.byPipe[pipeline]
+	if len(ports) == 0 {
+		return asic.RecircPort(pipeline)
+	}
+	if p.rr == nil {
+		p.rr = make(map[int]uint64)
+	}
+	n := p.rr[pipeline]
+	p.rr[pipeline] = n + 1
+	return ports[int(n)%len(ports)]
+}
+
+// remove drops a port from rotation, reporting whether it was present.
+func (p *loopbackPool) remove(port asic.PortID, pipeline int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ports := p.byPipe[pipeline]
+	for i, candidate := range ports {
+		if candidate == port {
+			p.byPipe[pipeline] = append(ports[:i:i], ports[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// P4Source renders the deployment as a single multi-pipeline
+// P4-16-style program (§3.2).
+func (d *Deployment) P4Source() (string, error) {
+	return d.composed.EmitP4()
+}
+
+// Telemetry returns the datapath's per-NF and per-path counters.
+func (d *Deployment) Telemetry() *compose.Telemetry {
+	return d.composed.Composer.Telemetry()
+}
+
+// Deploy builds a deployment from a config.
+func Deploy(cfg Config) (*Deployment, error) {
+	if len(cfg.Chains) == 0 {
+		return nil, fmt.Errorf("core: no chains configured")
+	}
+	if cfg.Prof.Pipelines == 0 {
+		cfg.Prof = asic.Wedge100B()
+	}
+
+	// Per-NF stage demands inform placement feasibility.
+	demand := make(map[string]int)
+	for _, f := range cfg.NFs {
+		n, err := compiler.MinStages(f.Block())
+		if err != nil {
+			return nil, fmt.Errorf("core: NF %s: %w", f.Name(), err)
+		}
+		demand[f.Name()] = n
+	}
+
+	placement := cfg.Placement
+	var cost route.Cost
+	if placement == nil {
+		pin := make(map[string]asic.PipeletID, len(cfg.Pin)+1)
+		for k, v := range cfg.Pin {
+			pin[k] = v
+		}
+		if cfg.NFs.ByName(compose.ClassifierNF) != nil {
+			// The classifier must face external traffic.
+			if _, ok := pin[compose.ClassifierNF]; !ok {
+				pin[compose.ClassifierNF] = asic.PipeletID{Pipeline: cfg.Enter, Dir: asic.Ingress}
+			}
+		}
+		prob := place.Problem{
+			Prof:        cfg.Prof,
+			Chains:      cfg.Chains,
+			Enter:       cfg.Enter,
+			StageDemand: demand,
+			Fixed:       pin,
+		}
+		var res *place.Result
+		var err error
+		switch cfg.Optimizer {
+		case OptNaive:
+			res, err = place.Naive(prob)
+		case OptGreedy:
+			res, err = place.Greedy(prob)
+		case OptAnneal:
+			res, err = place.Anneal(prob, place.AnnealOpts{Seed: cfg.AnnealSeed})
+		case OptExhaustive, "":
+			res, err = place.Exhaustive(prob)
+			if err != nil && strings.Contains(err.Error(), "infeasible") {
+				res, err = place.Anneal(prob, place.AnnealOpts{Seed: cfg.AnnealSeed})
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: placement: %w", err)
+		}
+		placement = res.Placement
+		cost = res.Cost
+	} else {
+		var err error
+		cost, err = route.Evaluate(cfg.Chains, placement, cfg.Enter)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating placement: %w", err)
+		}
+	}
+
+	// Compose and compile.
+	comp, err := compose.New(cfg.Prof, cfg.Chains, placement, cfg.NFs)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := comp.Build()
+	if err != nil {
+		return nil, err
+	}
+	plans := make(map[asic.PipeletID]*compiler.Plan, len(dep.Blocks))
+	var planList []*compiler.Plan
+	for pl, block := range dep.Blocks {
+		plan, err := compiler.Allocate(block, cfg.Prof.StagesPerPipelet)
+		if err != nil {
+			return nil, fmt.Errorf("core: pipelet %s: %w", pl, err)
+		}
+		plans[pl] = plan
+		planList = append(planList, plan)
+	}
+	sort.Slice(planList, func(i, j int) bool { return planList[i].Block.Name < planList[j].Block.Name })
+
+	// Install on the switch.
+	sw := asic.New(cfg.Prof)
+	loopsByPipe := make(map[int][]asic.PortID)
+	for _, port := range cfg.LoopbackPorts {
+		if err := sw.SetLoopback(port, asic.LoopbackOnChip); err != nil {
+			return nil, fmt.Errorf("core: loopback %d: %w", port, err)
+		}
+		pipe := cfg.Prof.PipelineOf(port)
+		loopsByPipe[pipe] = append(loopsByPipe[pipe], port)
+	}
+	// Spread recirculation over the configured loopback ports of each
+	// pipeline (§5 puts 16 ports in loopback for exactly this
+	// bandwidth); the dedicated recirculation port is the fallback. The
+	// pool is shared with the deployment so port failures remove dead
+	// ports from rotation.
+	pool := &loopbackPool{byPipe: loopsByPipe}
+	comp.Branching.SetLoopbackChooser(pool.choose)
+	if err := dep.InstallOn(sw); err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		Config:       cfg,
+		Switch:       sw,
+		Controller:   ctl.New(sw, cfg.NFs),
+		composed:     dep,
+		loops:        pool,
+		Placement:    placement,
+		Cost:         cost,
+		Plans:        plans,
+		Resources:    compiler.FrameworkReport(cfg.Prof, planList),
+		ParserStates: dep.Parser.ParseStates(),
+		Capacity: recirc.CapacitySplit{
+			TotalPorts:    cfg.Prof.TotalPorts(),
+			LoopbackPorts: len(cfg.LoopbackPorts),
+			PortGbps:      cfg.Prof.PortGbps,
+		},
+	}
+	for _, ch := range cfg.Chains {
+		tr, err := route.Plan(ch, placement, cfg.Enter)
+		if err != nil {
+			return nil, err
+		}
+		d.Chains = append(d.Chains, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
+	}
+	return d, nil
+}
+
+// MaxRecirculations returns the worst-case recirculation count across
+// chains.
+func (d *Deployment) MaxRecirculations() int {
+	m := 0
+	for _, c := range d.Chains {
+		if c.Recirculations > m {
+			m = c.Recirculations
+		}
+	}
+	return m
+}
+
+// WeightedRecirculations returns the traffic-weighted mean
+// recirculation count.
+func (d *Deployment) WeightedRecirculations() float64 {
+	var sum, w float64
+	for _, c := range d.Chains {
+		cw := c.Chain.Weight
+		if cw == 0 {
+			cw = 1
+		}
+		sum += cw * float64(c.Recirculations)
+		w += cw
+	}
+	if w == 0 {
+		return 0
+	}
+	return sum / w
+}
+
+// LoopbackGbps returns the recirculation bandwidth available:
+// dedicated recirculation ports plus configured loopback ports.
+func (d *Deployment) LoopbackGbps() float64 {
+	dedicated := float64(d.Config.Prof.Pipelines) * d.Config.Prof.RecircGbps
+	return dedicated + d.Capacity.LoopbackGbps()
+}
+
+// EffectiveThroughputGbps estimates the egress rate when `offered`
+// Gbps of external traffic follows the configured chain mix: each
+// chain contributes a traffic class with its own recirculation count,
+// and all classes share the loopback budget under the §4 feedback-
+// queue model (see recirc.MixedThroughput).
+func (d *Deployment) EffectiveThroughputGbps(offered float64) float64 {
+	total := 0.0
+	for _, egress := range d.PerChainThroughputGbps(offered) {
+		total += egress
+	}
+	return total
+}
+
+// PerChainThroughputGbps returns the per-chain egress rates for a
+// given offered load, in the order of d.Chains: the chains split the
+// offered load by weight and share the loopback budget.
+func (d *Deployment) PerChainThroughputGbps(offered float64) []float64 {
+	var totalW float64
+	for _, c := range d.Chains {
+		w := c.Chain.Weight
+		if w == 0 {
+			w = 1
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil
+	}
+	streams := make([]recirc.Stream, 0, len(d.Chains))
+	for _, c := range d.Chains {
+		w := c.Chain.Weight
+		if w == 0 {
+			w = 1
+		}
+		streams = append(streams, recirc.Stream{
+			OfferedGbps:    offered * w / totalW,
+			Recirculations: c.Recirculations,
+		})
+	}
+	return recirc.MixedThroughput(streams, d.LoopbackGbps())
+}
+
+// Summary renders a human-readable deployment report.
+func (d *Deployment) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Dejavu deployment on %s\n", d.Config.Prof.Name)
+	fmt.Fprintf(&sb, "external capacity: %.0f Gbps, loopback: %.0f Gbps\n",
+		d.Capacity.ExternalGbps(), d.LoopbackGbps())
+	fmt.Fprintf(&sb, "placement cost: %.2f weighted recirculations\n", d.Cost.WeightedRecircs)
+	for _, c := range d.Chains {
+		fmt.Fprintf(&sb, "  chain %d (w=%.2f): %d recircs, path %s\n",
+			c.Chain.PathID, c.Chain.Weight, c.Recirculations, c.Traversal.Path())
+	}
+	fmt.Fprintf(&sb, "generic parser: %d states\n", d.ParserStates)
+	fmt.Fprintf(&sb, "framework resource overhead:\n")
+	for _, l := range d.Resources.Lines {
+		fmt.Fprintf(&sb, "  %-10s %5.1f%%\n", l.Name, l.Percent)
+	}
+	return sb.String()
+}
+
+// Inject offers a packet to the switch and services any control-plane
+// punts, returning the final trace (of the reinjected packet when a
+// punt was repaired).
+func (d *Deployment) Inject(port asic.PortID, pkt *packetAlias) (*asic.Trace, error) {
+	tr, err := d.Switch.Inject(port, pkt)
+	if err != nil {
+		return tr, err
+	}
+	if len(tr.CPU) > 0 {
+		followups, err := d.Controller.Poll()
+		if err != nil {
+			return tr, err
+		}
+		if len(followups) > 0 {
+			return followups[len(followups)-1], nil
+		}
+	}
+	return tr, nil
+}
+
+// packetAlias keeps the public signature concise.
+type packetAlias = packet.Parsed

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compiler"
+	"dejavu/internal/compose"
+	"dejavu/internal/route"
+)
+
+// This file implements the operational concerns §7 raises ("service
+// upgrade and expansion, failure handling"): live chain updates that
+// recompose and atomically swap the pipelet programs on the running
+// switch, and loopback-port failure handling with capacity
+// re-analysis.
+
+// AddChain introduces a new service chain into the running deployment:
+// the placement is extended (existing NFs stay where they are — moving
+// a live NF would disrupt its traffic), the pipelet programs are
+// recomposed and verified against the stage budget, and the switch is
+// updated in place. NF state (sessions, routes, ACLs) is untouched.
+func (d *Deployment) AddChain(c route.Chain) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for _, existing := range d.Config.Chains {
+		if existing.PathID == c.PathID {
+			return fmt.Errorf("core: chain %d already deployed", c.PathID)
+		}
+	}
+	for _, n := range c.NFs {
+		if d.Config.NFs.ByName(n) == nil {
+			return fmt.Errorf("core: chain %d references unknown NF %q", c.PathID, n)
+		}
+	}
+	newChains := append(append([]route.Chain(nil), d.Config.Chains...), c)
+
+	// Place any NFs the new chain introduces; keep existing locations.
+	placement := d.Placement.Clone()
+	for _, n := range c.NFs {
+		if _, ok := placement.Of(n); ok {
+			continue
+		}
+		if err := d.placeNewNF(placement, newChains, n); err != nil {
+			return err
+		}
+	}
+	return d.swap(newChains, placement)
+}
+
+// RemoveChain retires a service chain. NFs that no longer appear in
+// any chain are removed from the placement.
+func (d *Deployment) RemoveChain(pathID uint16) error {
+	var newChains []route.Chain
+	found := false
+	for _, c := range d.Config.Chains {
+		if c.PathID == pathID {
+			found = true
+			continue
+		}
+		newChains = append(newChains, c)
+	}
+	if !found {
+		return fmt.Errorf("core: chain %d is not deployed", pathID)
+	}
+	if len(newChains) == 0 {
+		return fmt.Errorf("core: refusing to remove the last chain %d", pathID)
+	}
+	placement := d.Placement.Clone()
+	still := make(map[string]bool)
+	for _, c := range newChains {
+		for _, n := range c.NFs {
+			still[n] = true
+		}
+	}
+	for name := range placement.NF {
+		if !still[name] {
+			delete(placement.NF, name)
+		}
+	}
+	return d.swap(newChains, placement)
+}
+
+// placeNewNF greedily chooses the feasible pipelet minimizing the new
+// chain set's cost for one unplaced NF.
+func (d *Deployment) placeNewNF(placement *route.Placement, chains []route.Chain, name string) error {
+	f := d.Config.NFs.ByName(name)
+	stages, err := compiler.MinStages(f.Block())
+	if err != nil {
+		return err
+	}
+	_ = stages // feasibility is re-verified by the full compile below
+	var best asic.PipeletID
+	bestSet := false
+	var bestCost route.Cost
+	for pipe := 0; pipe < d.Config.Prof.Pipelines; pipe++ {
+		for _, dir := range []asic.Direction{asic.Ingress, asic.Egress} {
+			cand := placement.Clone()
+			cand.Assign(name, asic.PipeletID{Pipeline: pipe, Dir: dir})
+			// Cost over chains fully placed under cand.
+			var ready []route.Chain
+			for _, c := range chains {
+				ok := true
+				for _, n := range c.NFs {
+					if _, placed := cand.Of(n); !placed {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ready = append(ready, c)
+				}
+			}
+			cost, err := route.Evaluate(ready, cand, d.Config.Enter)
+			if err != nil {
+				continue
+			}
+			if !bestSet || cost.Less(bestCost) {
+				best = asic.PipeletID{Pipeline: pipe, Dir: dir}
+				bestCost = cost
+				bestSet = true
+			}
+		}
+	}
+	if !bestSet {
+		return fmt.Errorf("core: no feasible pipelet for new NF %q", name)
+	}
+	placement.Assign(name, best)
+	return nil
+}
+
+// swap recomposes the deployment for a new chain set + placement,
+// verifies every pipelet still fits, and installs the new programs on
+// the live switch. On any error the switch keeps running the old
+// programs ("the data plane programs have a much higher loading cost",
+// §7 — here the swap is transactional).
+func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) error {
+	if err := placement.Validate(d.Config.Prof, chains); err != nil {
+		return err
+	}
+	comp, err := compose.New(d.Config.Prof, chains, placement, d.Config.NFs)
+	if err != nil {
+		return err
+	}
+	if d.loops != nil {
+		// Keep spreading recirculation over the loopback pool.
+		comp.Branching.SetLoopbackChooser(d.loops.choose)
+	}
+	dep, err := comp.Build()
+	if err != nil {
+		return err
+	}
+	plans := make(map[asic.PipeletID]*compiler.Plan, len(dep.Blocks))
+	var planList []*compiler.Plan
+	for pl, block := range dep.Blocks {
+		plan, err := compiler.Allocate(block, d.Config.Prof.StagesPerPipelet)
+		if err != nil {
+			return fmt.Errorf("core: update rejected, pipelet %s: %w", pl, err)
+		}
+		plans[pl] = plan
+		planList = append(planList, plan)
+	}
+	// Commit: install new programs, then update bookkeeping.
+	if err := dep.InstallOn(d.Switch); err != nil {
+		return err
+	}
+	cost, err := route.Evaluate(chains, placement, d.Config.Enter)
+	if err != nil {
+		return err
+	}
+	d.Config.Chains = chains
+	d.Placement = placement
+	d.Cost = cost
+	d.Plans = plans
+	d.Resources = compiler.FrameworkReport(d.Config.Prof, planList)
+	d.ParserStates = dep.Parser.ParseStates()
+	d.composed = dep
+	d.Chains = d.Chains[:0]
+	for _, ch := range chains {
+		tr, err := route.Plan(ch, placement, d.Config.Enter)
+		if err != nil {
+			return err
+		}
+		d.Chains = append(d.Chains, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
+	}
+	return nil
+}
+
+// PortDownReport describes the impact of a failed port.
+type PortDownReport struct {
+	Port asic.PortID
+	// WasLoopback reports whether the port carried recirculation
+	// bandwidth.
+	WasLoopback bool
+	// LostLoopbackGbps is the recirculation bandwidth lost.
+	LostLoopbackGbps float64
+	// AffectedChains lists chains whose static exit port died.
+	AffectedChains []uint16
+	// RemainingLoopbackGbps is the post-failure recirculation budget.
+	RemainingLoopbackGbps float64
+	// SustainableOfferedGbps is the offered load the remaining loopback
+	// budget sustains losslessly at the deployment's weighted
+	// recirculation count.
+	SustainableOfferedGbps float64
+}
+
+// HandlePortDown processes a front-panel port failure: loopback
+// bandwidth is re-budgeted and chains that statically exit through the
+// dead port are reported so the operator (or controller) can re-point
+// them.
+func (d *Deployment) HandlePortDown(port asic.PortID) (PortDownReport, error) {
+	if !d.Config.Prof.ValidPort(port) || asic.IsRecircPort(port) || port == asic.PortCPU {
+		return PortDownReport{}, fmt.Errorf("core: port %d is not a front-panel port", port)
+	}
+	rep := PortDownReport{Port: port}
+	if d.Switch.LoopbackModeOf(port) != asic.LoopbackOff {
+		rep.WasLoopback = true
+		rep.LostLoopbackGbps = d.Config.Prof.PortGbps
+		if err := d.Switch.SetLoopback(port, asic.LoopbackOff); err != nil {
+			return rep, err
+		}
+		// Update the capacity bookkeeping.
+		var kept []asic.PortID
+		for _, p := range d.Config.LoopbackPorts {
+			if p != port {
+				kept = append(kept, p)
+			}
+		}
+		d.Config.LoopbackPorts = kept
+		d.Capacity.LoopbackPorts = len(kept)
+		// The failed port no longer serves external traffic either.
+		d.Capacity.TotalPorts--
+		// Take it out of the recirculation rotation so no traffic is
+		// steered into a dead port.
+		if d.loops != nil {
+			d.loops.remove(port, d.Config.Prof.PipelineOf(port))
+		}
+	} else {
+		d.Capacity.TotalPorts--
+	}
+	for _, c := range d.Config.Chains {
+		if c.StaticExitPort == port {
+			rep.AffectedChains = append(rep.AffectedChains, c.PathID)
+		}
+	}
+	rep.RemainingLoopbackGbps = d.LoopbackGbps()
+	k := d.WeightedRecirculations()
+	if k > 0 {
+		rep.SustainableOfferedGbps = rep.RemainingLoopbackGbps / k
+	} else {
+		rep.SustainableOfferedGbps = d.Capacity.ExternalGbps()
+	}
+	return rep, nil
+}

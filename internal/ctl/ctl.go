@@ -1,0 +1,246 @@
+// Package ctl implements the merged control plane of a Dejavu
+// deployment (§3.1, §7 "Control plane merge"): a single controller
+// owning the control-plane state of every NF in the chain, a unified
+// table-write API that dispatches to the right NF (the translation
+// layer §7 calls for), and the packet-in path — LB session learning,
+// NAT allocation, and reinjection of punted packets into the data
+// plane.
+package ctl
+
+import (
+	"fmt"
+	"sync"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/nf"
+	"dejavu/internal/nsh"
+	"dejavu/internal/packet"
+)
+
+// Controller is the merged control plane of one switch.
+type Controller struct {
+	sw  *asic.Switch
+	nfs nf.List
+
+	mu sync.Mutex
+	// natNextPort allocates public ports for the NAT.
+	natNextPort uint16
+
+	// Stats.
+	sessionsInstalled int
+	natAllocated      int
+	reinjected        int
+	unknown           int
+}
+
+// New creates a controller for a switch running the given NFs.
+func New(sw *asic.Switch, nfs nf.List) *Controller {
+	return &Controller{sw: sw, nfs: nfs, natNextPort: 50000}
+}
+
+// lb returns the chain's load balancer, if any.
+func (c *Controller) lb() *nf.LoadBalancer {
+	if f, ok := c.nfs.ByName("lb").(*nf.LoadBalancer); ok {
+		return f
+	}
+	return nil
+}
+
+// nat returns the chain's NAT, if any.
+func (c *Controller) nat() *nf.NAT {
+	if f, ok := c.nfs.ByName("nat").(*nf.NAT); ok {
+		return f
+	}
+	return nil
+}
+
+// HandlePacketIn processes one punted packet: it installs whatever
+// state the responsible NF was missing and reports whether the packet
+// should be reinjected.
+func (c *Controller) HandlePacketIn(pkt *packet.Parsed) (reinject bool, err error) {
+	ft, ok := pkt.FiveTuple()
+	if !ok {
+		c.mu.Lock()
+		c.unknown++
+		c.mu.Unlock()
+		return false, nil
+	}
+
+	// LB session miss: the destination still names a VIP.
+	if lb := c.lb(); lb != nil && lb.IsVIP(ft.Dst) {
+		backend, err := lb.SelectBackend(ft.Dst, ft.Hash())
+		if err != nil {
+			return false, err
+		}
+		if err := lb.InstallSession(ft.Hash(), backend); err != nil {
+			return false, fmt.Errorf("ctl: session install: %w", err)
+		}
+		c.mu.Lock()
+		c.sessionsInstalled++
+		c.mu.Unlock()
+		return true, nil
+	}
+
+	// NAT miss: allocate a public port.
+	if n := c.nat(); n != nil {
+		c.mu.Lock()
+		pub := c.natNextPort
+		c.natNextPort++
+		c.natAllocated++
+		c.mu.Unlock()
+		if err := n.InstallMapping(ft.Src, ft.SrcPort, ft.Proto, pub); err != nil {
+			return false, fmt.Errorf("ctl: nat install: %w", err)
+		}
+		return true, nil
+	}
+
+	c.mu.Lock()
+	c.unknown++
+	c.mu.Unlock()
+	return false, nil
+}
+
+// Reinject puts a handled packet back into the data plane on the port
+// recorded in its SFC platform metadata ("the control plane will
+// simply install a new session ... and reinject the packet", §3.1).
+func (c *Controller) Reinject(pkt *packet.Parsed) (*asic.Trace, error) {
+	in := asic.PortID(pkt.SFC.Meta.InPort)
+	if !c.sw.Profile().ValidPort(in) || asic.IsRecircPort(in) {
+		return nil, fmt.Errorf("ctl: punted packet has no usable in-port (%d)", in)
+	}
+	// Clear the punt flags: the packet re-enters the data plane with a
+	// clean verdict, now that the missing state is installed.
+	pkt.SFC.Meta.Clear(nsh.FlagToCPU | nsh.FlagDrop | nsh.FlagResubmit | nsh.FlagRecirculate)
+	c.mu.Lock()
+	c.reinjected++
+	c.mu.Unlock()
+	return c.sw.Inject(in, pkt)
+}
+
+// Poll drains the switch's CPU queue, handles every punted packet, and
+// reinjects the ones whose state was repaired. It returns the traces
+// of reinjected packets.
+func (c *Controller) Poll() ([]*asic.Trace, error) {
+	var traces []*asic.Trace
+	for _, pkt := range c.sw.DrainCPU() {
+		again, err := c.HandlePacketIn(pkt)
+		if err != nil {
+			return traces, err
+		}
+		if !again {
+			continue
+		}
+		tr, err := c.Reinject(pkt)
+		if err != nil {
+			return traces, err
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// Stats reports controller activity.
+type Stats struct {
+	SessionsInstalled int
+	NATAllocated      int
+	Reinjected        int
+	Unknown           int
+}
+
+// Stats returns a snapshot of controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		SessionsInstalled: c.sessionsInstalled,
+		NATAllocated:      c.natAllocated,
+		Reinjected:        c.reinjected,
+		Unknown:           c.unknown,
+	}
+}
+
+// TableWrite is the unified control-plane API (§7): a write against
+// the merged program is routed to the owning NF's native API. The
+// supported (nf, table) pairs mirror the per-NF control interfaces.
+type TableWrite struct {
+	NF    string
+	Table string
+	// Args carries the native arguments; see the per-case documentation
+	// in Apply.
+	Args []any
+}
+
+// Apply routes a table write to the right NF. Supported writes:
+//
+//	{"lb", "lb_session", [hash uint32, backend packet.IP4]}
+//	{"router", "ipv4_lpm", [prefix packet.IP4, plen int, nh nf.NextHop]}
+//	{"fw", "fw_acl", [rule nf.ACLRule]}
+//	{"classifier", "class_map", [rule nf.ClassRule]}
+//	{"vgw", "vni_table", [vni uint32, tenant uint16]}
+func (c *Controller) Apply(w TableWrite) error {
+	f := c.nfs.ByName(w.NF)
+	if f == nil {
+		return fmt.Errorf("ctl: unknown NF %q", w.NF)
+	}
+	bad := func() error {
+		return fmt.Errorf("ctl: bad arguments for %s/%s", w.NF, w.Table)
+	}
+	switch w.NF + "/" + w.Table {
+	case "lb/lb_session":
+		lb, ok := f.(*nf.LoadBalancer)
+		if !ok || len(w.Args) != 2 {
+			return bad()
+		}
+		hash, ok1 := w.Args[0].(uint32)
+		backend, ok2 := w.Args[1].(packet.IP4)
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return lb.InstallSession(hash, backend)
+	case "router/ipv4_lpm":
+		r, ok := f.(*nf.Router)
+		if !ok || len(w.Args) != 3 {
+			return bad()
+		}
+		prefix, ok1 := w.Args[0].(packet.IP4)
+		plen, ok2 := w.Args[1].(int)
+		nh, ok3 := w.Args[2].(nf.NextHop)
+		if !ok1 || !ok2 || !ok3 {
+			return bad()
+		}
+		return r.AddRoute(prefix, plen, nh)
+	case "fw/fw_acl":
+		fw, ok := f.(*nf.Firewall)
+		if !ok || len(w.Args) != 1 {
+			return bad()
+		}
+		rule, ok1 := w.Args[0].(nf.ACLRule)
+		if !ok1 {
+			return bad()
+		}
+		return fw.AddRule(rule)
+	case "classifier/class_map":
+		cl, ok := f.(*nf.Classifier)
+		if !ok || len(w.Args) != 1 {
+			return bad()
+		}
+		rule, ok1 := w.Args[0].(nf.ClassRule)
+		if !ok1 {
+			return bad()
+		}
+		return cl.AddRule(rule)
+	case "vgw/vni_table":
+		v, ok := f.(*nf.VGW)
+		if !ok || len(w.Args) != 2 {
+			return bad()
+		}
+		vni, ok1 := w.Args[0].(uint32)
+		tenant, ok2 := w.Args[1].(uint16)
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return v.AddVNI(vni, tenant)
+	default:
+		return fmt.Errorf("ctl: unknown table %s/%s", w.NF, w.Table)
+	}
+}

@@ -1,0 +1,172 @@
+package ctl
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/nf"
+	"dejavu/internal/packet"
+	"dejavu/internal/scenario"
+)
+
+// deployed builds the scenario switch with a controller.
+func deployed(t *testing.T) (*scenario.Scenario, *asic.Switch, *Controller) {
+	t.Helper()
+	s := scenario.MustNew()
+	c, err := compose.New(s.Prof, s.Chains, s.Placement, s.NFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := asic.New(s.Prof)
+	if err := d.InstallOn(sw); err != nil {
+		t.Fatal(err)
+	}
+	return s, sw, New(sw, s.NFs)
+}
+
+func TestSessionLearningAndReinject(t *testing.T) {
+	s, sw, ctrl := deployed(t)
+
+	// First packet misses the LB session table and is punted.
+	tr, err := sw.Inject(scenario.PortClient, scenario.ClientTCP(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.CPU) != 1 {
+		t.Fatalf("expected a punt, got trace %+v", tr)
+	}
+
+	// The controller installs the session and reinjects: the reinjected
+	// packet must complete the chain.
+	traces, err := ctrl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("reinjected %d packets, want 1", len(traces))
+	}
+	out := traces[0]
+	if out.Dropped || len(out.Out) != 1 || out.Out[0].Port != scenario.PortBackends {
+		t.Fatalf("reinjected packet trace: dropped=%v out=%+v", out.Dropped, out.Out)
+	}
+	if s.LB.Sessions() != 1 {
+		t.Errorf("Sessions = %d, want 1", s.LB.Sessions())
+	}
+	st := ctrl.Stats()
+	if st.SessionsInstalled != 1 || st.Reinjected != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+
+	// Subsequent packets of the flow hit in the data plane: no punt.
+	tr2, err := sw.Inject(scenario.PortClient, scenario.ClientTCP(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.CPU) != 0 || len(tr2.Out) != 1 {
+		t.Errorf("second packet punted or lost: %+v", tr2)
+	}
+}
+
+func TestPollIdempotentWhenQuiet(t *testing.T) {
+	_, _, ctrl := deployed(t)
+	traces, err := ctrl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 {
+		t.Errorf("Poll on empty queue reinjected %d packets", len(traces))
+	}
+}
+
+func TestUnknownPuntCounted(t *testing.T) {
+	_, sw, ctrl := deployed(t)
+	// ARP reaches the router and is punted; the controller has no
+	// handler for it (no NAT in this chain, dst not a VIP).
+	arp := packet.NewARP(packet.ARPRequest, scenario.ClientMAC, scenario.ClientIP, packet.MAC{}, scenario.VIP)
+	if _, err := sw.Inject(scenario.PortClient, arp); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := ctrl.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 {
+		t.Error("unknown punt was reinjected")
+	}
+	if ctrl.Stats().Unknown == 0 {
+		t.Error("unknown punt not counted")
+	}
+}
+
+func TestNATAllocation(t *testing.T) {
+	sw := asic.New(asic.Wedge100B())
+	n := nf.NewNAT(packet.IP4{192, 0, 2, 1}, 16)
+	ctrl := New(sw, nf.List{n})
+
+	pkt := packet.NewTCP(packet.TCPOpts{
+		Src: packet.IP4{10, 0, 9, 9}, Dst: packet.IP4{8, 8, 8, 8},
+		SrcPort: 1234, DstPort: 80,
+	})
+	again, err := ctrl.HandlePacketIn(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again {
+		t.Fatal("NAT miss not repaired")
+	}
+	if n.Mappings() != 1 {
+		t.Errorf("Mappings = %d", n.Mappings())
+	}
+	if ctrl.Stats().NATAllocated != 1 {
+		t.Errorf("Stats = %+v", ctrl.Stats())
+	}
+}
+
+func TestApplyTableWrites(t *testing.T) {
+	s, _, ctrl := deployed(t)
+	writes := []TableWrite{
+		{NF: "lb", Table: "lb_session", Args: []any{uint32(12345), scenario.Backend1}},
+		{NF: "router", Table: "ipv4_lpm", Args: []any{packet.IP4{192, 168, 0, 0}, 16, nf.NextHop{Port: 3}}},
+		{NF: "fw", Table: "fw_acl", Args: []any{nf.ACLRule{Priority: 5, Permit: true}}},
+		{NF: "classifier", Table: "class_map", Args: []any{nf.ClassRule{Path: 10, InitialIndex: 5, Priority: 9}}},
+		{NF: "vgw", Table: "vni_table", Args: []any{uint32(7777), uint16(9)}},
+	}
+	for _, w := range writes {
+		if err := ctrl.Apply(w); err != nil {
+			t.Errorf("Apply(%s/%s): %v", w.NF, w.Table, err)
+		}
+	}
+	if s.LB.Sessions() != 1 || s.Router.Routes() != 4 || s.VGW.VNIs() != 2 {
+		t.Errorf("writes not applied: sessions=%d routes=%d vnis=%d",
+			s.LB.Sessions(), s.Router.Routes(), s.VGW.VNIs())
+	}
+}
+
+func TestApplyRejectsBadWrites(t *testing.T) {
+	_, _, ctrl := deployed(t)
+	bad := []TableWrite{
+		{NF: "ghost", Table: "x"},
+		{NF: "lb", Table: "nope"},
+		{NF: "lb", Table: "lb_session", Args: []any{"wrong", "types"}},
+		{NF: "router", Table: "ipv4_lpm", Args: []any{1}},
+	}
+	for i, w := range bad {
+		if err := ctrl.Apply(w); err == nil {
+			t.Errorf("bad write %d accepted", i)
+		}
+	}
+}
+
+func TestReinjectRejectsBadInPort(t *testing.T) {
+	_, _, ctrl := deployed(t)
+	pkt := scenario.ClientTCP(443)
+	pkt.SFC.Meta.InPort = 0xFFF // no usable port recorded
+	if _, err := ctrl.Reinject(pkt); err == nil {
+		t.Error("reinject with bogus in-port succeeded")
+	}
+}

@@ -1,0 +1,277 @@
+package mau
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is the result of a table lookup: which action to run and its
+// runtime parameters, in declaration order of the action's Params.
+type Entry struct {
+	Action string
+	Params []uint64
+}
+
+// ExactTable is an exact-match table keyed by opaque byte strings.
+// It is safe for concurrent lookup with single-writer updates, the
+// usual switch table discipline (data plane reads, control plane
+// writes).
+type ExactTable struct {
+	mu   sync.RWMutex
+	m    map[string]Entry
+	hits atomic.Uint64
+	miss atomic.Uint64
+	cap  int
+}
+
+// NewExactTable creates a table with the given capacity; capacity 0
+// means unbounded.
+func NewExactTable(capacity int) *ExactTable {
+	return &ExactTable{m: make(map[string]Entry), cap: capacity}
+}
+
+// Insert adds or replaces the entry for key. It fails when the table
+// is at capacity and key is new, mirroring hardware table exhaustion.
+func (t *ExactTable) Insert(key []byte, e Entry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := string(key)
+	if _, exists := t.m[k]; !exists && t.cap > 0 && len(t.m) >= t.cap {
+		return fmt.Errorf("mau: exact table full (%d entries)", t.cap)
+	}
+	t.m[k] = e
+	return nil
+}
+
+// Delete removes the entry for key, reporting whether it existed.
+func (t *ExactTable) Delete(key []byte) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := string(key)
+	if _, ok := t.m[k]; !ok {
+		return false
+	}
+	delete(t.m, k)
+	return true
+}
+
+// Lookup returns the entry for key.
+func (t *ExactTable) Lookup(key []byte) (Entry, bool) {
+	t.mu.RLock()
+	e, ok := t.m[string(key)]
+	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.miss.Add(1)
+	}
+	return e, ok
+}
+
+// Len returns the number of installed entries.
+func (t *ExactTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (t *ExactTable) Stats() (hits, misses uint64) {
+	return t.hits.Load(), t.miss.Load()
+}
+
+// LPM32 is a longest-prefix-match table over 32-bit keys (IPv4
+// routes), implemented as a level-compressed binary trie.
+type LPM32 struct {
+	mu   sync.RWMutex
+	root *lpmNode
+	n    int
+	hits atomic.Uint64
+	miss atomic.Uint64
+}
+
+type lpmNode struct {
+	child [2]*lpmNode
+	entry *Entry
+}
+
+// NewLPM32 creates an empty LPM table.
+func NewLPM32() *LPM32 { return &LPM32{root: &lpmNode{}} }
+
+// Insert adds or replaces the entry for prefix/plen. plen must be in
+// [0, 32].
+func (t *LPM32) Insert(prefix uint32, plen int, e Entry) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("mau: invalid prefix length %d", plen)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for i := 0; i < plen; i++ {
+		bit := prefix >> (31 - i) & 1
+		if n.child[bit] == nil {
+			n.child[bit] = &lpmNode{}
+		}
+		n = n.child[bit]
+	}
+	if n.entry == nil {
+		t.n++
+	}
+	ec := e
+	n.entry = &ec
+	return nil
+}
+
+// Delete removes the entry for prefix/plen, reporting whether it
+// existed. Trie nodes are not reclaimed; tables are long-lived.
+func (t *LPM32) Delete(prefix uint32, plen int) bool {
+	if plen < 0 || plen > 32 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for i := 0; i < plen; i++ {
+		bit := prefix >> (31 - i) & 1
+		if n.child[bit] == nil {
+			return false
+		}
+		n = n.child[bit]
+	}
+	if n.entry == nil {
+		return false
+	}
+	n.entry = nil
+	t.n--
+	return true
+}
+
+// Lookup returns the entry of the longest matching prefix for addr.
+func (t *LPM32) Lookup(addr uint32) (Entry, bool) {
+	t.mu.RLock()
+	n := t.root
+	var best *Entry
+	for i := 0; n != nil; i++ {
+		if n.entry != nil {
+			best = n.entry
+		}
+		if i == 32 {
+			break
+		}
+		n = n.child[addr>>(31-i)&1]
+	}
+	t.mu.RUnlock()
+	if best == nil {
+		t.miss.Add(1)
+		return Entry{}, false
+	}
+	t.hits.Add(1)
+	return *best, true
+}
+
+// Len returns the number of installed prefixes.
+func (t *LPM32) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Stats returns cumulative hit and miss counts.
+func (t *LPM32) Stats() (hits, misses uint64) {
+	return t.hits.Load(), t.miss.Load()
+}
+
+// TernaryTable is a ternary (value/mask) match table with priorities,
+// the model of a TCAM. Lookup returns the highest-priority matching
+// rule; ties break toward the earliest-inserted rule, mirroring TCAM
+// physical ordering.
+type TernaryTable struct {
+	mu    sync.RWMutex
+	rules []ternaryRule
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+}
+
+type ternaryRule struct {
+	value, mask []byte
+	priority    int
+	entry       Entry
+	seq         int
+}
+
+// NewTernaryTable creates an empty ternary table.
+func NewTernaryTable() *TernaryTable { return &TernaryTable{} }
+
+// Insert adds a rule. value and mask must have equal length; key bytes
+// outside the mask are wildcarded. Higher priority wins.
+func (t *TernaryTable) Insert(value, mask []byte, priority int, e Entry) error {
+	if len(value) != len(mask) {
+		return fmt.Errorf("mau: ternary value/mask length mismatch: %d vs %d", len(value), len(mask))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := ternaryRule{
+		value:    append([]byte(nil), value...),
+		mask:     append([]byte(nil), mask...),
+		priority: priority,
+		entry:    e,
+		seq:      len(t.rules),
+	}
+	// Insert keeping rules sorted by (priority desc, seq asc).
+	pos := len(t.rules)
+	for i, existing := range t.rules {
+		if existing.priority < priority {
+			pos = i
+			break
+		}
+	}
+	t.rules = append(t.rules, ternaryRule{})
+	copy(t.rules[pos+1:], t.rules[pos:])
+	t.rules[pos] = r
+	return nil
+}
+
+// Lookup returns the entry of the highest-priority rule matching key.
+// The key must be at least as long as the rules' masks.
+func (t *TernaryTable) Lookup(key []byte) (Entry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if len(key) < len(r.value) {
+			continue
+		}
+		match := true
+		for i := range r.value {
+			if key[i]&r.mask[i] != r.value[i]&r.mask[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			t.hits.Add(1)
+			return r.entry, true
+		}
+	}
+	t.miss.Add(1)
+	return Entry{}, false
+}
+
+// Len returns the number of installed rules.
+func (t *TernaryTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// Clear removes all rules.
+func (t *TernaryTable) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = nil
+}
+
+// Stats returns cumulative hit and miss counts.
+func (t *TernaryTable) Stats() (hits, misses uint64) {
+	return t.hits.Load(), t.miss.Load()
+}

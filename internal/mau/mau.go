@@ -1,0 +1,142 @@
+// Package mau models RMT match-action units: the runtime match engines
+// (exact, longest-prefix, ternary) that behavioural NFs execute
+// against, and the per-table hardware resource estimation that the
+// stage allocator (internal/compiler) and the Table-1 resource report
+// are built on.
+//
+// Resource constants follow publicly documented RMT/Tofino
+// characteristics (Bosshart et al., SIGCOMM '13; Jose et al.,
+// NSDI '15): an MAU stage hosts a fixed number of logical table IDs,
+// SRAM and TCAM blocks, match crossbar bytes, VLIW action slots and
+// gateways. Absolute values are model parameters, not vendor data; the
+// paper's claims depend only on the relative structure.
+package mau
+
+import (
+	"fmt"
+
+	"dejavu/internal/p4"
+)
+
+// Per-stage capacities of one MAU stage in the model.
+const (
+	StageTableIDs      = 16  // logical table IDs per stage
+	StageSRAMBlocks    = 80  // SRAM blocks per stage
+	StageTCAMBlocks    = 24  // TCAM blocks per stage
+	StageExactXbarB    = 128 // exact match crossbar bytes per stage
+	StageTernaryXbarB  = 66  // ternary match crossbar bytes per stage
+	StageVLIWSlots     = 32  // VLIW action instruction slots per stage
+	StageGateways      = 16  // gateway (conditional) resources per stage
+	SRAMBlockEntries   = 1024
+	SRAMBlockWidthBits = 128
+	TCAMBlockEntries   = 512
+	TCAMBlockWidthBits = 44
+	// actionOverheadBits approximates per-entry action data and
+	// bookkeeping stored alongside the key in SRAM.
+	actionOverheadBits = 64
+)
+
+// Resources is a vector of MAU resource demands or capacities.
+type Resources struct {
+	TableIDs     int
+	SRAMBlocks   int
+	TCAMBlocks   int
+	ExactXbarB   int // exact crossbar bytes
+	TernaryXbarB int // ternary crossbar bytes
+	VLIWSlots    int
+	Gateways     int
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		TableIDs:     r.TableIDs + o.TableIDs,
+		SRAMBlocks:   r.SRAMBlocks + o.SRAMBlocks,
+		TCAMBlocks:   r.TCAMBlocks + o.TCAMBlocks,
+		ExactXbarB:   r.ExactXbarB + o.ExactXbarB,
+		TernaryXbarB: r.TernaryXbarB + o.TernaryXbarB,
+		VLIWSlots:    r.VLIWSlots + o.VLIWSlots,
+		Gateways:     r.Gateways + o.Gateways,
+	}
+}
+
+// FitsIn reports whether r fits within capacity c.
+func (r Resources) FitsIn(c Resources) bool {
+	return r.TableIDs <= c.TableIDs &&
+		r.SRAMBlocks <= c.SRAMBlocks &&
+		r.TCAMBlocks <= c.TCAMBlocks &&
+		r.ExactXbarB <= c.ExactXbarB &&
+		r.TernaryXbarB <= c.TernaryXbarB &&
+		r.VLIWSlots <= c.VLIWSlots &&
+		r.Gateways <= c.Gateways
+}
+
+// StageCapacity returns the capacity vector of one MAU stage.
+func StageCapacity() Resources {
+	return Resources{
+		TableIDs:     StageTableIDs,
+		SRAMBlocks:   StageSRAMBlocks,
+		TCAMBlocks:   StageTCAMBlocks,
+		ExactXbarB:   StageExactXbarB,
+		TernaryXbarB: StageTernaryXbarB,
+		VLIWSlots:    StageVLIWSlots,
+		Gateways:     StageGateways,
+	}
+}
+
+// String renders the vector compactly.
+func (r Resources) String() string {
+	return fmt.Sprintf("ids=%d sram=%d tcam=%d xbar=%d/%d vliw=%d gw=%d",
+		r.TableIDs, r.SRAMBlocks, r.TCAMBlocks, r.ExactXbarB, r.TernaryXbarB, r.VLIWSlots, r.Gateways)
+}
+
+// EstimateTable computes the resource demand of one table declaration,
+// the role the P4 compiler's resource report plays in §3.2 ("Deciding
+// whether two NFs can share the same pipelet requires the knowledge of
+// the hardware resource usage of each NF").
+func EstimateTable(t *p4.Table) Resources {
+	keyBits := t.KeyBits()
+	size := t.Size
+	if size == 0 {
+		size = 1 // keyless / default-action-only tables occupy a minimal slot
+	}
+	r := Resources{TableIDs: 1, VLIWSlots: maxInt(1, t.MaxActionOps())}
+	if t.NeedsTCAM() {
+		r.TernaryXbarB = (keyBits + 7) / 8
+		wideWays := ceilDiv(keyBits, TCAMBlockWidthBits)
+		if wideWays == 0 {
+			wideWays = 1
+		}
+		r.TCAMBlocks = ceilDiv(size, TCAMBlockEntries) * wideWays
+		// Ternary tables still keep action data in SRAM.
+		r.SRAMBlocks = ceilDiv(size*actionOverheadBits, SRAMBlockEntries*SRAMBlockWidthBits)
+	} else {
+		r.ExactXbarB = (keyBits + 7) / 8
+		entryBits := keyBits + actionOverheadBits
+		r.SRAMBlocks = ceilDiv(size*entryBits, SRAMBlockEntries*SRAMBlockWidthBits)
+	}
+	if r.SRAMBlocks == 0 && !t.NeedsTCAM() {
+		r.SRAMBlocks = 1
+	}
+	return r
+}
+
+// EstimateBlock computes the aggregate demand of a control block,
+// including its gateway conditions.
+func EstimateBlock(cb *p4.ControlBlock) Resources {
+	var r Resources
+	for _, t := range cb.Tables {
+		r = r.Add(EstimateTable(t))
+	}
+	r.Gateways = cb.GatewayCount()
+	return r
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package nf
+
+import (
+	"fmt"
+
+	"dejavu/internal/mau"
+	"dejavu/internal/nsh"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// Classifier is the entry NF of every Dejavu chain (Fig. 2): it
+// inspects incoming traffic, selects the service path, and pushes the
+// SFC header. The framework supplies it for all SFC paths.
+type Classifier struct {
+	// rules is a ternary classification over the 5-tuple.
+	rules *mau.TernaryTable
+	// defaultPath is used when no rule matches; the paper's green path
+	// (Classifier → Router).
+	defaultPath  uint16
+	defaultIndex uint8
+	// pathIndex records the initial service index (chain length) of
+	// each path so the classifier can stamp it.
+	pathIndex map[uint16]uint8
+	// pathTenant optionally tags a tenant ID into the SFC context.
+	pathTenant map[uint16]uint16
+}
+
+// classKeyLen is the ternary key layout:
+// srcIP(4) dstIP(4) proto(1) srcPort(2) dstPort(2).
+const classKeyLen = 13
+
+// NewClassifier creates a classifier whose miss path is defaultPath
+// with the given initial service index.
+func NewClassifier(defaultPath uint16, defaultIndex uint8) *Classifier {
+	return &Classifier{
+		rules:        mau.NewTernaryTable(),
+		defaultPath:  defaultPath,
+		defaultIndex: defaultIndex,
+		pathIndex:    map[uint16]uint8{defaultPath: defaultIndex},
+		pathTenant:   make(map[uint16]uint16),
+	}
+}
+
+// Name implements NF.
+func (c *Classifier) Name() string { return "classifier" }
+
+// ClassRule is one classification rule.
+type ClassRule struct {
+	SrcIP, SrcMask   packet.IP4
+	DstIP, DstMask   packet.IP4
+	Proto, ProtoMask uint8
+	SrcPort          uint16 // 0 = wildcard
+	DstPort          uint16 // 0 = wildcard
+	Priority         int
+
+	Path         uint16 // service path ID to assign
+	InitialIndex uint8  // chain length
+	Tenant       uint16 // 0 = no tenant context
+}
+
+// AddRule installs a classification rule.
+func (c *Classifier) AddRule(r ClassRule) error {
+	if r.InitialIndex == 0 {
+		return fmt.Errorf("nf: classifier rule for path %d has zero initial index", r.Path)
+	}
+	value := make([]byte, classKeyLen)
+	mask := make([]byte, classKeyLen)
+	copy(value[0:4], r.SrcIP[:])
+	copy(mask[0:4], r.SrcMask[:])
+	copy(value[4:8], r.DstIP[:])
+	copy(mask[4:8], r.DstMask[:])
+	value[8], mask[8] = r.Proto, r.ProtoMask
+	if r.SrcPort != 0 {
+		value[9], value[10] = byte(r.SrcPort>>8), byte(r.SrcPort)
+		mask[9], mask[10] = 0xFF, 0xFF
+	}
+	if r.DstPort != 0 {
+		value[11], value[12] = byte(r.DstPort>>8), byte(r.DstPort)
+		mask[11], mask[12] = 0xFF, 0xFF
+	}
+	c.pathIndex[r.Path] = r.InitialIndex
+	if r.Tenant != 0 {
+		c.pathTenant[r.Path] = r.Tenant
+	}
+	return c.rules.Insert(value, mask, r.Priority, mau.Entry{
+		Action: "set_path",
+		Params: []uint64{uint64(r.Path), uint64(r.InitialIndex), uint64(r.Tenant)},
+	})
+}
+
+// Execute implements NF: classify and push the SFC header. Packets
+// that already carry an SFC header (resubmitted/recirculated) pass
+// through untouched.
+func (c *Classifier) Execute(hdr *packet.Parsed) {
+	if hdr.Valid(packet.HdrSFC) {
+		return
+	}
+	path, index := c.defaultPath, c.defaultIndex
+	var tenant uint16
+	if ft, ok := hdr.FiveTuple(); ok {
+		key := make([]byte, classKeyLen)
+		copy(key[0:4], ft.Src[:])
+		copy(key[4:8], ft.Dst[:])
+		key[8] = ft.Proto
+		key[9], key[10] = byte(ft.SrcPort>>8), byte(ft.SrcPort)
+		key[11], key[12] = byte(ft.DstPort>>8), byte(ft.DstPort)
+		if e, hit := c.rules.Lookup(key); hit {
+			path = uint16(e.Params[0])
+			index = uint8(e.Params[1])
+			tenant = uint16(e.Params[2])
+		}
+	}
+	h := nsh.New(path, index)
+	h.Meta = hdr.SFC.Meta // preserve platform metadata seeded by the framework
+	h.Meta.OutPort = nsh.OutPortUnset
+	if tenant != 0 {
+		h.SetContext(nsh.KeyTenantID, tenant)
+	}
+	hdr.PushSFC(h)
+}
+
+// Rules returns the number of installed rules.
+func (c *Classifier) Rules() int { return c.rules.Len() }
+
+// Block implements NF.
+func (c *Classifier) Block() *p4.ControlBlock {
+	classMap := &p4.Table{
+		Name: "class_map",
+		Keys: []p4.Key{
+			{Field: "ipv4.src_addr", Kind: p4.MatchTernary},
+			{Field: "ipv4.dst_addr", Kind: p4.MatchTernary},
+			{Field: "ipv4.protocol", Kind: p4.MatchTernary},
+			{Field: "tcp.src_port", Kind: p4.MatchTernary},
+			{Field: "tcp.dst_port", Kind: p4.MatchTernary},
+		},
+		Actions: []*p4.Action{
+			{
+				Name:   "set_path",
+				Params: []p4.Field{{Name: "path", Bits: 16}, {Name: "index", Bits: 8}, {Name: "tenant", Bits: 16}},
+				Ops: []p4.Op{
+					{Kind: p4.OpAddHeader, Dst: "sfc.service_path_id"},
+					{Kind: p4.OpSetField, Dst: "sfc.service_path_id"},
+					{Kind: p4.OpSetField, Dst: "sfc.service_index"},
+					{Kind: p4.OpSetField, Dst: "sfc.context"},
+				},
+			},
+			{
+				Name:   "set_default_path",
+				Params: []p4.Field{{Name: "path", Bits: 16}, {Name: "index", Bits: 8}},
+				Ops: []p4.Op{
+					{Kind: p4.OpAddHeader, Dst: "sfc.service_path_id"},
+					{Kind: p4.OpSetField, Dst: "sfc.service_path_id"},
+					{Kind: p4.OpSetField, Dst: "sfc.service_index"},
+				},
+			},
+		},
+		DefaultAction: "set_default_path",
+		Size:          1024,
+	}
+	return &p4.ControlBlock{
+		Name:   "Classifier_control",
+		Tables: []*p4.Table{classMap},
+		Body:   []p4.Stmt{p4.ApplyStmt{Table: "class_map"}},
+	}
+}
+
+// Parser implements NF: the classifier must parse both untagged and
+// SFC-tagged packets.
+func (c *Classifier) Parser() *p4.ParserGraph { return p4.ClassifierParser() }

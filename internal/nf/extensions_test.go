@@ -1,0 +1,170 @@
+package nf
+
+import (
+	"testing"
+
+	"dejavu/internal/nsh"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// taggedTCP builds an SFC-tagged TCP packet with a tenant context.
+func taggedTCP(tenant uint16, dstPort uint16) *packet.Parsed {
+	p := packet.NewTCP(packet.TCPOpts{
+		Src: ipA, Dst: bk1, SrcPort: 5555, DstPort: dstPort,
+	})
+	h := nsh.New(1, 3)
+	if tenant != 0 {
+		h.SetContext(nsh.KeyTenantID, tenant)
+	}
+	p.PushSFC(h)
+	return p
+}
+
+func TestContextFirewallPerTenantPolicies(t *testing.T) {
+	c := NewContextFirewall(false)
+	// Tenant 42: only HTTPS. Tenant 7: everything except SSH.
+	if err := c.AddPolicy(TenantPolicy{Tenant: 42, DstPort: 443, Proto: packet.ProtoTCP, Priority: 10, Permit: true}); err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.AddPolicy(TenantPolicy{Tenant: 7, DstPort: 22, Priority: 10, Permit: false}))
+	must(c.AddPolicy(TenantPolicy{Tenant: 7, Priority: 1, Permit: true}))
+	if c.Policies() != 2 {
+		t.Errorf("Policies = %d", c.Policies())
+	}
+
+	cases := []struct {
+		tenant  uint16
+		dstPort uint16
+		drop    bool
+	}{
+		{42, 443, false}, // tenant 42 HTTPS: allowed
+		{42, 22, true},   // tenant 42 SSH: default deny
+		{7, 22, true},    // tenant 7 SSH: explicit deny
+		{7, 8080, false}, // tenant 7 other: catch-all permit
+		{99, 443, true},  // tenant without policy: default
+		{0, 443, true},   // no tenant context: default
+	}
+	for _, tc := range cases {
+		p := taggedTCP(tc.tenant, tc.dstPort)
+		c.Execute(p)
+		if got := p.SFC.Meta.Has(nsh.FlagDrop); got != tc.drop {
+			t.Errorf("tenant %d port %d: drop=%v, want %v", tc.tenant, tc.dstPort, got, tc.drop)
+		}
+	}
+}
+
+func TestContextFirewallDefaultPermit(t *testing.T) {
+	c := NewContextFirewall(true)
+	p := taggedTCP(0, 80)
+	c.Execute(p)
+	if p.SFC.Meta.Has(nsh.FlagDrop) {
+		t.Error("default-permit dropped contextless traffic")
+	}
+}
+
+func TestContextFirewallIR(t *testing.T) {
+	c := NewContextFirewall(false)
+	if err := c.Block().Validate(); err != nil {
+		t.Errorf("block invalid: %v", err)
+	}
+	if err := c.Parser().Validate(); err != nil {
+		t.Errorf("parser invalid: %v", err)
+	}
+	// The policy table is ternary: it must demand TCAM.
+	if !c.Block().Tables[0].NeedsTCAM() {
+		t.Error("context policy table does not use TCAM")
+	}
+}
+
+func TestRateLimiterPolices(t *testing.T) {
+	r := NewRateLimiter(true)
+	// 1000 B/s sustained, 200 B burst.
+	r.SetRate(42, 1000, 200)
+	if r.Meters() != 1 {
+		t.Errorf("Meters = %d", r.Meters())
+	}
+
+	mk := func() *packet.Parsed { return taggedTCP(42, 80) } // 74 B on the wire
+	sz := float64(mk().WireLen())
+
+	// The burst admits floor(200/74) = 2 packets.
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		p := mk()
+		r.Execute(p)
+		if !p.SFC.Meta.Has(nsh.FlagDrop) {
+			admitted++
+		}
+	}
+	if want := int(200 / sz); admitted != want {
+		t.Errorf("admitted %d packets from burst, want %d", admitted, want)
+	}
+
+	// Refill for one second: 1000 bytes -> capped at the 200 B burst.
+	r.Advance(1)
+	if got := r.Tokens(42); got != 200 {
+		t.Errorf("Tokens after refill = %v, want burst cap 200", got)
+	}
+	p := mk()
+	r.Execute(p)
+	if p.SFC.Meta.Has(nsh.FlagDrop) {
+		t.Error("packet dropped after refill")
+	}
+}
+
+func TestRateLimiterUnmetered(t *testing.T) {
+	strict := NewRateLimiter(false)
+	p := taggedTCP(0, 80)
+	strict.Execute(p)
+	if !p.SFC.Meta.Has(nsh.FlagDrop) {
+		t.Error("strict limiter passed contextless traffic")
+	}
+	q := taggedTCP(99, 80) // tenant without a bucket
+	strict.Execute(q)
+	if !q.SFC.Meta.Has(nsh.FlagDrop) {
+		t.Error("strict limiter passed bucketless tenant")
+	}
+
+	lax := NewRateLimiter(true)
+	v := taggedTCP(0, 80)
+	lax.Execute(v)
+	if v.SFC.Meta.Has(nsh.FlagDrop) {
+		t.Error("lax limiter dropped contextless traffic")
+	}
+}
+
+func TestRateLimiterIR(t *testing.T) {
+	r := NewRateLimiter(true)
+	if err := r.Block().Validate(); err != nil {
+		t.Errorf("block invalid: %v", err)
+	}
+	if err := r.Parser().Validate(); err != nil {
+		t.Errorf("parser invalid: %v", err)
+	}
+}
+
+func TestExtensionNFsMergeWithProductionParsers(t *testing.T) {
+	// The extension NFs' parsers must merge cleanly into the generic
+	// parser alongside the production five.
+	nfs := List{
+		NewClassifier(1, 2),
+		NewVGW(packet.IP4{172, 16, 0, 1}, macB),
+		NewRouter(),
+		NewContextFirewall(false),
+		NewRateLimiter(true),
+	}
+	var graphs []*p4.ParserGraph
+	for _, f := range nfs {
+		graphs = append(graphs, f.Parser())
+	}
+	if _, err := p4.MergeParsers(p4.NewGlobalIDTable(), graphs...); err != nil {
+		t.Fatalf("extension parsers conflict: %v", err)
+	}
+}

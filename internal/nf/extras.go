@@ -1,0 +1,179 @@
+package nf
+
+import (
+	"dejavu/internal/mau"
+	"dejavu/internal/nsh"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// The NAT and Mirror NFs are not part of the paper's 5-NF prototype
+// chain; they exercise the composition and placement machinery with
+// longer chains (§3.3 "the SFC policy may contain complex NFs in a
+// long chain") and the ablation benchmarks.
+
+// KeyMirrorPort is the SFC context key under which the Mirror NF
+// records the mirror destination port.
+const KeyMirrorPort uint8 = 6
+
+// NAT is a source NAT: established flows are translated by an exact
+// session table; unknown flows are punted to the control plane for
+// address/port allocation, like the LB's session-miss path.
+type NAT struct {
+	sessions   *mau.ExactTable // key: srcIP, srcPort, proto
+	PublicIP   packet.IP4
+	reverseOK  bool
+	reverseTbl *mau.ExactTable // key: publicPort -> original src (for reverse path)
+}
+
+// NewNAT creates a NAT that translates to publicIP.
+func NewNAT(publicIP packet.IP4, sessionCapacity int) *NAT {
+	return &NAT{
+		sessions:   mau.NewExactTable(sessionCapacity),
+		PublicIP:   publicIP,
+		reverseTbl: mau.NewExactTable(sessionCapacity),
+	}
+}
+
+// Name implements NF.
+func (n *NAT) Name() string { return "nat" }
+
+// natKey builds the session key.
+func natKey(src packet.IP4, port uint16, proto uint8) []byte {
+	return []byte{src[0], src[1], src[2], src[3], byte(port >> 8), byte(port), proto}
+}
+
+// InstallMapping installs a translation (src,port,proto) -> publicPort.
+func (n *NAT) InstallMapping(src packet.IP4, srcPort uint16, proto uint8, publicPort uint16) error {
+	if err := n.sessions.Insert(natKey(src, srcPort, proto), mau.Entry{
+		Action: "translate",
+		Params: []uint64{uint64(publicPort)},
+	}); err != nil {
+		return err
+	}
+	return n.reverseTbl.Insert(
+		[]byte{byte(publicPort >> 8), byte(publicPort), proto},
+		mau.Entry{Action: "untranslate", Params: []uint64{uint64(src.Uint32()), uint64(srcPort)}},
+	)
+}
+
+// Mappings returns the number of installed translations.
+func (n *NAT) Mappings() int { return n.sessions.Len() }
+
+// Execute implements NF: translate the source of outbound flows.
+func (n *NAT) Execute(hdr *packet.Parsed) {
+	ft, ok := hdr.FiveTuple()
+	if !ok {
+		return
+	}
+	e, hit := n.sessions.Lookup(natKey(ft.Src, ft.SrcPort, ft.Proto))
+	if !hit {
+		hdr.SFC.Meta.Set(nsh.FlagToCPU)
+		return
+	}
+	pub := uint16(e.Params[0])
+	hdr.IPv4.Src = n.PublicIP
+	switch {
+	case hdr.Valid(packet.HdrTCP):
+		hdr.TCP.SrcPort = pub
+	case hdr.Valid(packet.HdrUDP):
+		hdr.UDP.SrcPort = pub
+	}
+}
+
+// Block implements NF.
+func (n *NAT) Block() *p4.ControlBlock {
+	tbl := &p4.Table{
+		Name: "nat_session",
+		Keys: []p4.Key{
+			{Field: "ipv4.src_addr", Kind: p4.MatchExact},
+			{Field: "tcp.src_port", Kind: p4.MatchExact},
+			{Field: "ipv4.protocol", Kind: p4.MatchExact},
+		},
+		Actions: []*p4.Action{
+			{
+				Name:   "translate",
+				Params: []p4.Field{{Name: "public_port", Bits: 16}},
+				Ops: []p4.Op{
+					{Kind: p4.OpSetField, Dst: "ipv4.src_addr"},
+					{Kind: p4.OpSetField, Dst: "tcp.src_port"},
+				},
+			},
+			{Name: "toCpu", Ops: []p4.Op{{Kind: p4.OpSetField, Dst: "sfc.flags"}}},
+		},
+		DefaultAction: "toCpu",
+		Size:          32768,
+	}
+	return &p4.ControlBlock{
+		Name:   "NAT_control",
+		Tables: []*p4.Table{tbl},
+		Body:   []p4.Stmt{p4.ApplyStmt{Table: "nat_session"}},
+	}
+}
+
+// Parser implements NF.
+func (n *NAT) Parser() *p4.ParserGraph { return p4.SFCIPv4Parser() }
+
+// Mirror duplicates selected flows to a tap port via the SFC mirror
+// flag; the framework maps the flag plus the context port to a
+// platform mirror action.
+type Mirror struct {
+	taps *mau.TernaryTable
+}
+
+// NewMirror creates a mirror NF.
+func NewMirror() *Mirror { return &Mirror{taps: mau.NewTernaryTable()} }
+
+// Name implements NF.
+func (m *Mirror) Name() string { return "mirror" }
+
+// AddTap mirrors traffic matching dst/mask to tapPort.
+func (m *Mirror) AddTap(dst, mask packet.IP4, tapPort uint16, priority int) error {
+	return m.taps.Insert(dst[:], mask[:], priority, mau.Entry{
+		Action: "mirror",
+		Params: []uint64{uint64(tapPort)},
+	})
+}
+
+// Taps returns the number of installed taps.
+func (m *Mirror) Taps() int { return m.taps.Len() }
+
+// Execute implements NF.
+func (m *Mirror) Execute(hdr *packet.Parsed) {
+	if !hdr.Valid(packet.HdrIPv4) {
+		return
+	}
+	if e, ok := m.taps.Lookup(hdr.IPv4.Dst[:]); ok {
+		hdr.SFC.Meta.Set(nsh.FlagMirror)
+		hdr.SFC.SetContext(KeyMirrorPort, uint16(e.Params[0]))
+	}
+}
+
+// Block implements NF.
+func (m *Mirror) Block() *p4.ControlBlock {
+	tbl := &p4.Table{
+		Name: "mirror_taps",
+		Keys: []p4.Key{{Field: "ipv4.dst_addr", Kind: p4.MatchTernary}},
+		Actions: []*p4.Action{
+			{
+				Name:   "mirror",
+				Params: []p4.Field{{Name: "tap_port", Bits: 16}},
+				Ops: []p4.Op{
+					{Kind: p4.OpSetField, Dst: "sfc.flags"},
+					{Kind: p4.OpSetField, Dst: "sfc.context"},
+				},
+			},
+			{Name: "pass", Ops: []p4.Op{{Kind: p4.OpNoop}}},
+		},
+		DefaultAction: "pass",
+		Size:          512,
+	}
+	return &p4.ControlBlock{
+		Name:   "Mirror_control",
+		Tables: []*p4.Table{tbl},
+		Body:   []p4.Stmt{p4.ApplyStmt{Table: "mirror_taps"}},
+	}
+}
+
+// Parser implements NF.
+func (m *Mirror) Parser() *p4.ParserGraph { return p4.SFCIPv4Parser() }

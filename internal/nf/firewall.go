@@ -1,0 +1,126 @@
+package nf
+
+import (
+	"dejavu/internal/mau"
+	"dejavu/internal/nsh"
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// Firewall is a stateless packet-filtering firewall: a prioritized
+// ternary ACL over the 5-tuple with permit/deny actions. Deny sets the
+// SFC drop flag; the framework's check_sfcFlags translates it into a
+// platform drop.
+type Firewall struct {
+	acl *mau.TernaryTable
+	// DefaultPermit selects the miss behaviour; edge firewalls commonly
+	// default-deny.
+	DefaultPermit bool
+}
+
+// NewFirewall creates a firewall with the given miss behaviour.
+func NewFirewall(defaultPermit bool) *Firewall {
+	return &Firewall{acl: mau.NewTernaryTable(), DefaultPermit: defaultPermit}
+}
+
+// Name implements NF.
+func (f *Firewall) Name() string { return "fw" }
+
+// ACLRule is one firewall rule.
+type ACLRule struct {
+	SrcIP, SrcMask   packet.IP4
+	DstIP, DstMask   packet.IP4
+	Proto, ProtoMask uint8
+	SrcPort          uint16 // 0 = wildcard
+	DstPort          uint16 // 0 = wildcard
+	Priority         int
+	Permit           bool
+}
+
+// AddRule installs an ACL rule.
+func (f *Firewall) AddRule(r ACLRule) error {
+	value := make([]byte, classKeyLen)
+	mask := make([]byte, classKeyLen)
+	copy(value[0:4], r.SrcIP[:])
+	copy(mask[0:4], r.SrcMask[:])
+	copy(value[4:8], r.DstIP[:])
+	copy(mask[4:8], r.DstMask[:])
+	value[8], mask[8] = r.Proto, r.ProtoMask
+	if r.SrcPort != 0 {
+		value[9], value[10] = byte(r.SrcPort>>8), byte(r.SrcPort)
+		mask[9], mask[10] = 0xFF, 0xFF
+	}
+	if r.DstPort != 0 {
+		value[11], value[12] = byte(r.DstPort>>8), byte(r.DstPort)
+		mask[11], mask[12] = 0xFF, 0xFF
+	}
+	action := "deny"
+	if r.Permit {
+		action = "permit"
+	}
+	return f.acl.Insert(value, mask, r.Priority, mau.Entry{Action: action})
+}
+
+// Rules returns the number of installed rules.
+func (f *Firewall) Rules() int { return f.acl.Len() }
+
+// Execute implements NF.
+func (f *Firewall) Execute(hdr *packet.Parsed) {
+	ft, ok := hdr.FiveTuple()
+	if !ok {
+		// Non-TCP/UDP traffic (e.g. ICMP) is evaluated with zero ports.
+		if !hdr.Valid(packet.HdrIPv4) {
+			if !f.DefaultPermit {
+				hdr.SFC.Meta.Set(nsh.FlagDrop)
+			}
+			return
+		}
+		ft = packet.FiveTuple{Src: hdr.IPv4.Src, Dst: hdr.IPv4.Dst, Proto: hdr.IPv4.Protocol}
+	}
+	key := make([]byte, classKeyLen)
+	copy(key[0:4], ft.Src[:])
+	copy(key[4:8], ft.Dst[:])
+	key[8] = ft.Proto
+	key[9], key[10] = byte(ft.SrcPort>>8), byte(ft.SrcPort)
+	key[11], key[12] = byte(ft.DstPort>>8), byte(ft.DstPort)
+
+	permit := f.DefaultPermit
+	if e, hit := f.acl.Lookup(key); hit {
+		permit = e.Action == "permit"
+	}
+	if !permit {
+		hdr.SFC.Meta.Set(nsh.FlagDrop)
+	}
+}
+
+// Block implements NF.
+func (f *Firewall) Block() *p4.ControlBlock {
+	def := "deny"
+	if f.DefaultPermit {
+		def = "permit"
+	}
+	acl := &p4.Table{
+		Name: "fw_acl",
+		Keys: []p4.Key{
+			{Field: "ipv4.src_addr", Kind: p4.MatchTernary},
+			{Field: "ipv4.dst_addr", Kind: p4.MatchTernary},
+			{Field: "ipv4.protocol", Kind: p4.MatchTernary},
+			{Field: "tcp.src_port", Kind: p4.MatchTernary},
+			{Field: "tcp.dst_port", Kind: p4.MatchTernary},
+		},
+		Actions: []*p4.Action{
+			{Name: "permit", Ops: []p4.Op{{Kind: p4.OpNoop}}},
+			{Name: "deny", Ops: []p4.Op{{Kind: p4.OpSetField, Dst: "sfc.flags"}}},
+		},
+		DefaultAction: def,
+		Size:          2048,
+	}
+	return &p4.ControlBlock{
+		Name:   "FW_control",
+		Tables: []*p4.Table{acl},
+		Body:   []p4.Stmt{p4.ApplyStmt{Table: "fw_acl"}},
+	}
+}
+
+// Parser implements NF.
+func (f *Firewall) Parser() *p4.ParserGraph { return p4.SFCIPv4Parser() }

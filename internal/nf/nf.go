@@ -1,0 +1,70 @@
+// Package nf implements the network functions of the paper's
+// production edge-cloud service chain (§3, Fig. 2): a traffic
+// Classifier, a packet-filtering Firewall, a Virtualization Gateway
+// (VXLAN), an L4 Load Balancer, and an IP Router — plus NAT and Mirror
+// extensions used by the composition ablations.
+//
+// Each NF is expressed twice, mirroring how the paper treats NFs:
+//
+//   - as a P4-like program (a p4.ControlBlock plus a parser fragment),
+//     which Dejavu's composer, placer and stage allocator consume; and
+//   - as a behavioural Execute function over the parsed header vector,
+//     which the ASIC model runs for functional validation.
+//
+// Following the control block programming interface of §3.1, Execute
+// receives only the parsed header vector (`hdr`): NFs communicate
+// forwarding intent exclusively through the SFC header's platform
+// metadata (drop/toCpu/mirror flags, outPort) and context fields. The
+// Dejavu framework — not the NF — translates those into platform
+// actions (check_sfcFlags) and advances the service index.
+package nf
+
+import (
+	"dejavu/internal/p4"
+	"dejavu/internal/packet"
+)
+
+// NF is one network function.
+type NF interface {
+	// Name returns the NF's short name (e.g. "fw", "lb").
+	Name() string
+	// Block returns the NF's match-action program for composition and
+	// resource accounting.
+	Block() *p4.ControlBlock
+	// Parser returns the NF's parser fragment for generic-parser
+	// merging.
+	Parser() *p4.ParserGraph
+	// Execute runs the NF's behavioural logic over the parsed header
+	// vector, exactly once per service-chain hop.
+	Execute(hdr *packet.Parsed)
+}
+
+// List is an ordered collection of NFs with name lookup.
+type List []NF
+
+// ByName returns the NF with the given name, or nil.
+func (l List) ByName(name string) NF {
+	for _, f := range l {
+		if f.Name() == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Names returns the NF names in order.
+func (l List) Names() []string {
+	out := make([]string, len(l))
+	for i, f := range l {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// ipKey converts an IPv4 address to an exact-match table key.
+func ipKey(ip packet.IP4) []byte { return ip[:] }
+
+// u32Key converts a 32-bit value to an exact-match table key.
+func u32Key(v uint32) []byte {
+	return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}

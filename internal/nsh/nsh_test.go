@@ -1,0 +1,257 @@
+package nsh
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := New(42, 5)
+	h.Meta.InPort = 17
+	h.Meta.OutPort = 300
+	h.Meta.Set(FlagRecirculate | FlagMirror)
+	h.NextProto = ProtoIPv4
+	if err := h.SetContext(KeyTenantID, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetContext(KeyAppID, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf [HeaderLen]byte
+	n, err := h.SerializeTo(buf[:])
+	if err != nil {
+		t.Fatalf("SerializeTo: %v", err)
+	}
+	if n != HeaderLen {
+		t.Fatalf("SerializeTo wrote %d bytes, want %d", n, HeaderLen)
+	}
+
+	var got Header
+	if err := got.DecodeFromBytes(buf[:]); err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if got != h {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(path uint16, idx uint8, in, out uint16, flags uint8, k1 uint8, v1 uint16, next uint8) bool {
+		h := Header{
+			ServicePathID: path,
+			ServiceIndex:  idx,
+			Meta: PlatformMeta{
+				InPort:  in & 0xFFF,
+				OutPort: out & 0xFFF,
+				Flags:   flags & 0x1F,
+			},
+			NextProto: next,
+		}
+		h.Context[0] = ContextPair{Key: k1, Value: v1}
+		var buf [HeaderLen]byte
+		if _, err := h.SerializeTo(buf[:]); err != nil {
+			return false
+		}
+		var got Header
+		if err := got.DecodeFromBytes(buf[:]); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var h Header
+	for n := 0; n < HeaderLen; n++ {
+		if err := h.DecodeFromBytes(make([]byte, n)); err != ErrTruncated {
+			t.Errorf("DecodeFromBytes(%d bytes) = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestSerializeShortBuffer(t *testing.T) {
+	h := New(1, 1)
+	if _, err := h.SerializeTo(make([]byte, HeaderLen-1)); err == nil {
+		t.Error("SerializeTo short buffer succeeded, want error")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	h := New(9, 3)
+	h.Meta.InPort = 4
+	out := h.Append([]byte{0xAA})
+	if len(out) != 1+HeaderLen {
+		t.Fatalf("Append length = %d, want %d", len(out), 1+HeaderLen)
+	}
+	if out[0] != 0xAA {
+		t.Error("Append clobbered existing prefix")
+	}
+	var got Header
+	if err := got.DecodeFromBytes(out[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if got.ServicePathID != 9 || got.ServiceIndex != 3 || got.Meta.InPort != 4 {
+		t.Errorf("Append round trip mismatch: %+v", got)
+	}
+}
+
+func TestPortFieldWidth(t *testing.T) {
+	h := New(1, 1)
+	h.Meta.InPort = 0xFFF  // max 12-bit value
+	h.Meta.OutPort = 0xABC // arbitrary 12-bit value
+	var buf [HeaderLen]byte
+	h.SerializeTo(buf[:])
+	var got Header
+	got.DecodeFromBytes(buf[:])
+	if got.Meta.InPort != 0xFFF || got.Meta.OutPort != 0xABC {
+		t.Errorf("12-bit port fields corrupted: %+v", got.Meta)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	var m PlatformMeta
+	m.Set(FlagDrop)
+	if !m.Has(FlagDrop) {
+		t.Error("FlagDrop not set")
+	}
+	if m.Has(FlagToCPU) {
+		t.Error("FlagToCPU unexpectedly set")
+	}
+	m.Set(FlagToCPU | FlagMirror)
+	if !m.Has(FlagToCPU) || !m.Has(FlagMirror) || !m.Has(FlagDrop) {
+		t.Error("multi-flag set failed")
+	}
+	m.Clear(FlagDrop)
+	if m.Has(FlagDrop) {
+		t.Error("Clear failed")
+	}
+	if !m.Has(FlagToCPU | FlagMirror) {
+		t.Error("Clear removed unrelated flags")
+	}
+}
+
+func TestContextSetLookup(t *testing.T) {
+	h := New(1, 1)
+	if _, ok := h.LookupContext(KeyTenantID); ok {
+		t.Error("lookup on empty context succeeded")
+	}
+	if err := h.SetContext(KeyTenantID, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.LookupContext(KeyTenantID); !ok || v != 100 {
+		t.Errorf("LookupContext = %d,%v want 100,true", v, ok)
+	}
+	// Overwrite in place must not consume a second slot.
+	if err := h.SetContext(KeyTenantID, 200); err != nil {
+		t.Fatal(err)
+	}
+	if h.ContextLen() != 1 {
+		t.Errorf("ContextLen = %d after overwrite, want 1", h.ContextLen())
+	}
+	if v, _ := h.LookupContext(KeyTenantID); v != 200 {
+		t.Errorf("overwrite failed: got %d", v)
+	}
+}
+
+func TestContextFull(t *testing.T) {
+	h := New(1, 1)
+	for k := uint8(1); k <= NumContextPairs; k++ {
+		if err := h.SetContext(k, uint16(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.SetContext(99, 1); err != ErrContextFull {
+		t.Errorf("SetContext on full context = %v, want ErrContextFull", err)
+	}
+	if !h.DeleteContext(2) {
+		t.Error("DeleteContext existing key failed")
+	}
+	if h.DeleteContext(2) {
+		t.Error("DeleteContext deleted a key twice")
+	}
+	if err := h.SetContext(99, 1); err != nil {
+		t.Errorf("SetContext after delete = %v, want nil", err)
+	}
+}
+
+func TestContextKeyZeroRejected(t *testing.T) {
+	h := New(1, 1)
+	if err := h.SetContext(KeyNone, 1); err == nil {
+		t.Error("SetContext(KeyNone) succeeded, want error")
+	}
+	if _, ok := h.LookupContext(KeyNone); ok {
+		t.Error("LookupContext(KeyNone) found a value")
+	}
+	if h.DeleteContext(KeyNone) {
+		t.Error("DeleteContext(KeyNone) deleted an empty slot")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	h := New(1, 2)
+	if h.Done() {
+		t.Error("fresh header reports Done")
+	}
+	if got := h.Advance(); got != 1 {
+		t.Errorf("Advance = %d, want 1", got)
+	}
+	if got := h.Advance(); got != 0 {
+		t.Errorf("Advance = %d, want 0", got)
+	}
+	if !h.Done() {
+		t.Error("header with index 0 not Done")
+	}
+	// Saturates at zero.
+	if got := h.Advance(); got != 0 {
+		t.Errorf("Advance past 0 = %d, want 0", got)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	h := New(7, 4)
+	if h.Meta.OutPort != OutPortUnset {
+		t.Errorf("New OutPort = %d, want OutPortUnset", h.Meta.OutPort)
+	}
+	if h.Meta.Flags != 0 {
+		t.Errorf("New Flags = %x, want 0", h.Meta.Flags)
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	h := New(12, 3)
+	h.Meta.Set(FlagRecirculate)
+	h.SetContext(KeyDebug, 1)
+	s := h.String()
+	for _, want := range []string{"path=12", "idx=3", "recirc", "out=unset"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	h := New(42, 5)
+	h.SetContext(KeyTenantID, 0xBEEF)
+	var buf [HeaderLen]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.SerializeTo(buf[:])
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	h := New(42, 5)
+	h.SetContext(KeyTenantID, 0xBEEF)
+	var buf [HeaderLen]byte
+	h.SerializeTo(buf[:])
+	var got Header
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got.DecodeFromBytes(buf[:])
+	}
+}

@@ -1,0 +1,231 @@
+package p4
+
+import (
+	"fmt"
+)
+
+// CondKind enumerates gateway condition forms.
+type CondKind uint8
+
+// Condition kinds.
+const (
+	CondFieldEq  CondKind = iota // field == value
+	CondFieldNeq                 // field != value
+	CondValid                    // header is valid
+)
+
+// Cond is a gateway condition guarding part of a control block's apply
+// body. Gateways consume dedicated MAU resources on RMT hardware.
+type Cond struct {
+	Kind   CondKind
+	Field  FieldRef // for CondFieldEq / CondFieldNeq
+	Value  uint64
+	Header string // for CondValid
+}
+
+// Reads returns the fields the condition examines.
+func (c Cond) Reads() []FieldRef {
+	switch c.Kind {
+	case CondFieldEq, CondFieldNeq:
+		return []FieldRef{c.Field}
+	default:
+		return nil
+	}
+}
+
+// Stmt is one statement of a control block's apply body.
+type Stmt interface{ isStmt() }
+
+// ApplyStmt applies a match-action table.
+type ApplyStmt struct{ Table string }
+
+// IfStmt branches on a gateway condition.
+type IfStmt struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// CallStmt invokes another control block by name (P4-16 modular
+// control block invocation, the mechanism §2 highlights).
+type CallStmt struct{ Block string }
+
+func (ApplyStmt) isStmt() {}
+func (IfStmt) isStmt()    {}
+func (CallStmt) isStmt()  {}
+
+// ControlBlock is a modular NF control block: a set of tables plus an
+// apply body, mirroring Dejavu's
+// `control XX_control(inout all_headers_t hdr)` interface (§3.1).
+type ControlBlock struct {
+	Name   string
+	Tables []*Table
+	Body   []Stmt
+}
+
+// TableByName returns the named table, or nil.
+func (cb *ControlBlock) TableByName(name string) *Table {
+	for _, t := range cb.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// appliedTable is a table application in linearized program order,
+// with the accumulated guard conditions it executes under.
+type appliedTable struct {
+	table  *Table
+	guards []Cond
+}
+
+// linearize flattens the body into program order, accumulating guards.
+// Call statements are not resolved here (the composer inlines them).
+func (cb *ControlBlock) linearize(body []Stmt, guards []Cond, out *[]appliedTable) error {
+	for _, s := range body {
+		switch st := s.(type) {
+		case ApplyStmt:
+			t := cb.TableByName(st.Table)
+			if t == nil {
+				return fmt.Errorf("p4: control %s applies unknown table %q", cb.Name, st.Table)
+			}
+			*out = append(*out, appliedTable{table: t, guards: append([]Cond(nil), guards...)})
+		case IfStmt:
+			if err := cb.linearize(st.Then, append(guards, st.Cond), out); err != nil {
+				return err
+			}
+			if err := cb.linearize(st.Else, append(guards, st.Cond), out); err != nil {
+				return err
+			}
+		case CallStmt:
+			return fmt.Errorf("p4: control %s contains unresolved call to %q (inline before analysis)", cb.Name, st.Block)
+		default:
+			return fmt.Errorf("p4: control %s contains unknown statement %T", cb.Name, s)
+		}
+	}
+	return nil
+}
+
+// AppliedOrder returns the tables in linearized apply order. A table
+// applied in several branches appears once per application site.
+func (cb *ControlBlock) AppliedOrder() ([]*Table, error) {
+	var apps []appliedTable
+	if err := cb.linearize(cb.Body, nil, &apps); err != nil {
+		return nil, err
+	}
+	out := make([]*Table, len(apps))
+	for i, a := range apps {
+		out[i] = a.table
+	}
+	return out, nil
+}
+
+// GatewayCount returns the number of distinct gateway conditions in the
+// body, which sizes gateway resource usage.
+func (cb *ControlBlock) GatewayCount() int {
+	seen := make(map[Cond]bool)
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			if st, ok := s.(IfStmt); ok {
+				seen[st.Cond] = true
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(cb.Body)
+	return len(seen)
+}
+
+// Deps computes the table dependency graph of the control block in
+// linearized order. Guard conditions contribute their read fields to
+// the guarded table's read set (a gateway reads its inputs at stage
+// entry, so a write to a guard field forces a later stage, i.e. a
+// match dependency). Pure control nesting without data overlap yields
+// successor dependencies, which permit same-stage placement through
+// predication.
+func (cb *ControlBlock) Deps() ([]Dep, error) {
+	var apps []appliedTable
+	if err := cb.linearize(cb.Body, nil, &apps); err != nil {
+		return nil, err
+	}
+	var deps []Dep
+	for i := 0; i < len(apps); i++ {
+		for j := i + 1; j < len(apps); j++ {
+			a, b := apps[i], apps[j]
+			if a.table.Name == b.table.Name {
+				continue
+			}
+			kind := classifyGuarded(a, b)
+			if kind == DepNone {
+				continue
+			}
+			deps = append(deps, Dep{From: a.table.Name, To: b.table.Name, Kind: kind})
+		}
+	}
+	SortDeps(deps)
+	return dedupDeps(deps), nil
+}
+
+// classifyGuarded extends Classify with guard-read fields.
+func classifyGuarded(a, b appliedTable) DepKind {
+	aw := refSet(a.table.WriteSet())
+	reads := b.table.ReadSet()
+	for _, g := range b.guards {
+		reads = append(reads, g.Reads()...)
+	}
+	for _, r := range reads {
+		if aw[r] {
+			return DepMatch
+		}
+	}
+	for _, r := range b.table.WriteSet() {
+		if aw[r] {
+			return DepAction
+		}
+	}
+	// Control dependence: b is guarded and at least one of its guards
+	// differs from a's guard prefix (b's execution depends on control
+	// flow a participates in). A conservative but useful rule: any
+	// guarded pair is successor-dependent.
+	if len(b.guards) > 0 {
+		return DepSuccessor
+	}
+	return DepNone
+}
+
+func dedupDeps(deps []Dep) []Dep {
+	out := deps[:0]
+	var last Dep
+	for i, d := range deps {
+		if i > 0 && d.From == last.From && d.To == last.To {
+			continue // keep strictest (deps sorted by kind ascending = strictest first)
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out
+}
+
+// Validate checks the block's tables and body.
+func (cb *ControlBlock) Validate() error {
+	if cb.Name == "" {
+		return fmt.Errorf("p4: control block with empty name")
+	}
+	seen := make(map[string]bool, len(cb.Tables))
+	for _, t := range cb.Tables {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("control %s: %w", cb.Name, err)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("p4: control %s declares table %q twice", cb.Name, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	if _, err := cb.AppliedOrder(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex is one node of a parser graph: a header type at a particular
+// location offset in the packet. Per §3 of the paper, two vertices are
+// equivalent only when both the header type and the offset coincide —
+// the same header type appearing at different offsets (e.g. inner vs
+// outer IPv4) yields distinct vertices.
+type Vertex struct {
+	Type   string // header type name
+	Offset int    // byte offset from the start of the packet
+}
+
+// String renders the vertex as "type@offset".
+func (v Vertex) String() string { return fmt.Sprintf("%s@%d", v.Type, v.Offset) }
+
+// Transition is a parser edge: from one vertex, on a select-field
+// value, proceed to the next vertex. A Default transition fires when
+// no valued transition matches.
+type Transition struct {
+	From    Vertex
+	Select  FieldRef // field of From's header examined (empty for Default)
+	Value   uint64
+	Default bool
+	To      Vertex
+}
+
+// AcceptType is the pseudo header type of the accept vertex.
+const AcceptType = "accept"
+
+// Accept returns the accepting vertex at a given offset. All accept
+// vertices are equivalent regardless of offset; offset -1 is canonical.
+func Accept() Vertex { return Vertex{Type: AcceptType, Offset: -1} }
+
+// ParserGraph is a parse graph: a DAG of (header type, offset)
+// vertices. The zero value is empty; use NewParserGraph.
+type ParserGraph struct {
+	Start    Vertex
+	vertices map[Vertex]bool
+	edges    []Transition
+}
+
+// NewParserGraph creates a graph rooted at start.
+func NewParserGraph(start Vertex) *ParserGraph {
+	g := &ParserGraph{Start: start, vertices: map[Vertex]bool{start: true, Accept(): true}}
+	return g
+}
+
+// AddVertex inserts a vertex (idempotent).
+func (g *ParserGraph) AddVertex(v Vertex) { g.vertices[v] = true }
+
+// HasVertex reports whether the graph contains v.
+func (g *ParserGraph) HasVertex(v Vertex) bool { return g.vertices[v] }
+
+// Vertices returns the vertex set in deterministic order.
+func (g *ParserGraph) Vertices() []Vertex {
+	out := make([]Vertex, 0, len(g.vertices))
+	for v := range g.vertices {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Offset != out[j].Offset {
+			return out[i].Offset < out[j].Offset
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// Edges returns the transitions in insertion order.
+func (g *ParserGraph) Edges() []Transition { return g.edges }
+
+// AddEdge inserts a transition, adding endpoints as needed. It rejects
+// duplicate select values from the same vertex that lead to different
+// targets, and transitions that do not advance the offset (which would
+// create a cycle).
+func (g *ParserGraph) AddEdge(t Transition) error {
+	if t.To.Type != AcceptType && t.To.Offset <= t.From.Offset {
+		return fmt.Errorf("p4: parser edge %s -> %s does not advance offset", t.From, t.To)
+	}
+	for _, e := range g.edges {
+		if e.From != t.From {
+			continue
+		}
+		if e.Default && t.Default && e.To != t.To {
+			return fmt.Errorf("p4: conflicting default transitions from %s: %s vs %s", t.From, e.To, t.To)
+		}
+		if !e.Default && !t.Default && e.Select == t.Select && e.Value == t.Value && e.To != t.To {
+			return fmt.Errorf("p4: conflicting transitions from %s on %s=%#x: %s vs %s",
+				t.From, t.Select, t.Value, e.To, t.To)
+		}
+		if e == t {
+			return nil // exact duplicate: idempotent
+		}
+	}
+	g.AddVertex(t.From)
+	g.AddVertex(t.To)
+	g.edges = append(g.edges, t)
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; used for static graphs.
+func (g *ParserGraph) MustEdge(t Transition) {
+	if err := g.AddEdge(t); err != nil {
+		panic(err)
+	}
+}
+
+// Successors returns the transitions leaving v.
+func (g *ParserGraph) Successors(v Vertex) []Transition {
+	var out []Transition
+	for _, e := range g.edges {
+		if e.From == v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of vertices reachable from Start.
+func (g *ParserGraph) Reachable() map[Vertex]bool {
+	seen := map[Vertex]bool{g.Start: true}
+	stack := []Vertex{g.Start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Successors(v) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate checks that the graph is rooted, acyclic (guaranteed by the
+// offset-advance rule but re-verified), and that every non-accept
+// vertex reaches accept.
+func (g *ParserGraph) Validate() error {
+	if !g.vertices[g.Start] {
+		return fmt.Errorf("p4: parser start vertex %s not in graph", g.Start)
+	}
+	reach := g.Reachable()
+	for v := range reach {
+		if v.Type == AcceptType {
+			continue
+		}
+		if !g.reachesAccept(v, map[Vertex]bool{}) {
+			return fmt.Errorf("p4: parser vertex %s cannot reach accept", v)
+		}
+	}
+	return nil
+}
+
+func (g *ParserGraph) reachesAccept(v Vertex, visiting map[Vertex]bool) bool {
+	if v.Type == AcceptType {
+		return true
+	}
+	if visiting[v] {
+		return false
+	}
+	visiting[v] = true
+	for _, e := range g.Successors(v) {
+		if g.reachesAccept(e.To, visiting) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph.
+func (g *ParserGraph) Clone() *ParserGraph {
+	c := NewParserGraph(g.Start)
+	for v := range g.vertices {
+		c.vertices[v] = true
+	}
+	c.edges = append([]Transition(nil), g.edges...)
+	return c
+}
+
+// ParseStates returns the number of parse states (non-accept vertices),
+// a rough measure of parser TCAM usage.
+func (g *ParserGraph) ParseStates() int {
+	n := 0
+	for v := range g.vertices {
+		if v.Type != AcceptType {
+			n++
+		}
+	}
+	return n
+}

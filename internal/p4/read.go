@@ -1,0 +1,467 @@
+package p4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements the reader for the P4-16-style subset the
+// emitter (emit.go) produces: header declarations, parser blocks with
+// per-(type, offset) states, and control blocks with actions, tables
+// and apply bodies. Reading back emitted programs gives the system a
+// textual interchange format and lets tests verify emission/parsing
+// are mutually consistent (emit → read → emit is a fixed point).
+
+// token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single punctuation rune: { } ( ) ; : , < > = . !
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer splits source text into tokens, skipping comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() token {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			goto lex
+		}
+	}
+lex:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}
+	}
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r)) || r == '_' {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		// Decimal or 0x hex.
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			l.pos += 2
+		}
+		for l.pos < len(l.src) {
+			r := l.src[l.pos]
+			if unicode.IsDigit(rune(r)) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F') {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}
+	default:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}
+	}
+}
+
+// reader is a recursive-descent parser over the token stream.
+type reader struct {
+	lex  *lexer
+	tok  token
+	prev token
+}
+
+func newReader(src string) *reader {
+	r := &reader{lex: newLexer(src)}
+	r.advance()
+	return r
+}
+
+func (r *reader) advance() { r.prev, r.tok = r.tok, r.lex.next() }
+
+func (r *reader) errf(format string, args ...any) error {
+	return fmt.Errorf("p4: line %d: %s", r.tok.line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token with the given kind/text.
+func (r *reader) expect(kind tokKind, text string) error {
+	if r.tok.kind != kind || (text != "" && r.tok.text != text) {
+		return r.errf("expected %q, found %q", text, r.tok.text)
+	}
+	r.advance()
+	return nil
+}
+
+// accept consumes the token when it matches.
+func (r *reader) accept(kind tokKind, text string) bool {
+	if r.tok.kind == kind && (text == "" || r.tok.text == text) {
+		r.advance()
+		return true
+	}
+	return false
+}
+
+func (r *reader) ident() (string, error) {
+	if r.tok.kind != tokIdent {
+		return "", r.errf("expected identifier, found %q", r.tok.text)
+	}
+	s := r.tok.text
+	r.advance()
+	return s, nil
+}
+
+func (r *reader) number() (uint64, error) {
+	if r.tok.kind != tokNumber {
+		return 0, r.errf("expected number, found %q", r.tok.text)
+	}
+	s := r.tok.text
+	r.advance()
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, r.errf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// ReadProgram parses the emitted-subset source into a Program. The
+// reconstruction preserves everything the composition and placement
+// machinery consumes: header layouts, parser vertices/transitions,
+// table keys/sizes/actions, and apply-body structure. Action bodies
+// are parsed best-effort into primitive ops.
+func ReadProgram(name string, src string) (*Program, error) {
+	r := newReader(src)
+	prog := &Program{Name: name}
+	headers := make(map[string]*HeaderType)
+
+	for r.tok.kind != tokEOF {
+		kw, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "header":
+			h, err := r.readHeader()
+			if err != nil {
+				return nil, err
+			}
+			headers[h.Name] = h
+		case "parser":
+			g, err := r.readParser()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Parser != nil {
+				return nil, fmt.Errorf("p4: multiple parser blocks")
+			}
+			prog.Parser = g
+		case "control":
+			cb, err := r.readControl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Blocks = append(prog.Blocks, cb)
+		default:
+			return nil, r.errf("unexpected top-level keyword %q", kw)
+		}
+	}
+	if prog.Parser == nil {
+		return nil, fmt.Errorf("p4: program has no parser")
+	}
+	return prog, nil
+}
+
+// readHeader parses `header name_t { bit<N> f; ... }`; the `header`
+// keyword is already consumed.
+func (r *reader) readHeader() (*HeaderType, error) {
+	name, err := r.ident()
+	if err != nil {
+		return nil, err
+	}
+	name = strings.TrimSuffix(name, "_t")
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	h := &HeaderType{Name: name}
+	for !r.accept(tokPunct, "}") {
+		bits, err := r.readBitType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		h.Fields = append(h.Fields, Field{Name: fname, Bits: bits})
+	}
+	return h, nil
+}
+
+// readBitType parses `bit<N>`.
+func (r *reader) readBitType() (int, error) {
+	if err := r.expect(tokIdent, "bit"); err != nil {
+		return 0, err
+	}
+	if err := r.expect(tokPunct, "<"); err != nil {
+		return 0, err
+	}
+	n, err := r.number()
+	if err != nil {
+		return 0, err
+	}
+	if err := r.expect(tokPunct, ">"); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// vertexFromState decodes "parse_<type>_at_<off>" into a Vertex.
+func vertexFromState(state string) (Vertex, error) {
+	if state == "accept" {
+		return Accept(), nil
+	}
+	rest, ok := strings.CutPrefix(state, "parse_")
+	if !ok {
+		return Vertex{}, fmt.Errorf("p4: unrecognized parser state %q", state)
+	}
+	i := strings.LastIndex(rest, "_at_")
+	if i < 0 {
+		return Vertex{}, fmt.Errorf("p4: parser state %q lacks offset", state)
+	}
+	off, err := strconv.Atoi(rest[i+4:])
+	if err != nil {
+		return Vertex{}, fmt.Errorf("p4: parser state %q has bad offset", state)
+	}
+	return Vertex{Type: rest[:i], Offset: off}, nil
+}
+
+// readParser parses a parser block; `parser` is consumed.
+func (r *reader) readParser() (*ParserGraph, error) {
+	if _, err := r.ident(); err != nil { // parser name
+		return nil, err
+	}
+	// Skip the parameter list.
+	if err := r.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !r.accept(tokPunct, ")") {
+		if r.tok.kind == tokEOF {
+			return nil, r.errf("unexpected EOF in parser parameters")
+		}
+		r.advance()
+	}
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+
+	type rawEdge struct {
+		from    Vertex
+		sel     string
+		value   uint64
+		deflt   bool
+		toState string
+	}
+	var edges []rawEdge
+	var start Vertex
+	haveStart := false
+
+	for !r.accept(tokPunct, "}") {
+		if err := r.expect(tokIdent, "state"); err != nil {
+			return nil, err
+		}
+		stateName, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		if stateName == "start" {
+			// transition <first>;
+			if err := r.expect(tokIdent, "transition"); err != nil {
+				return nil, err
+			}
+			first, err := r.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			start, err = vertexFromState(first)
+			if err != nil {
+				return nil, err
+			}
+			haveStart = true
+			if err := r.expect(tokPunct, "}"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		from, err := vertexFromState(stateName)
+		if err != nil {
+			return nil, err
+		}
+		for !r.accept(tokPunct, "}") {
+			kw, err := r.ident()
+			if err != nil {
+				return nil, err
+			}
+			switch kw {
+			case "pkt":
+				// pkt.extract(hdr.X); — skip to semicolon.
+				for !r.accept(tokPunct, ";") {
+					if r.tok.kind == tokEOF {
+						return nil, r.errf("unexpected EOF in extract")
+					}
+					r.advance()
+				}
+			case "transition":
+				if r.accept(tokIdent, "select") {
+					// select(hdr.<field>) { v: state; default: state; }
+					if err := r.expect(tokPunct, "("); err != nil {
+						return nil, err
+					}
+					if err := r.expect(tokIdent, "hdr"); err != nil {
+						return nil, err
+					}
+					if err := r.expect(tokPunct, "."); err != nil {
+						return nil, err
+					}
+					field, err := r.ident()
+					if err != nil {
+						return nil, err
+					}
+					if err := r.expect(tokPunct, ")"); err != nil {
+						return nil, err
+					}
+					if err := r.expect(tokPunct, "{"); err != nil {
+						return nil, err
+					}
+					sel := unsanitizeFieldRef(field)
+					for !r.accept(tokPunct, "}") {
+						if r.accept(tokIdent, "default") {
+							if err := r.expect(tokPunct, ":"); err != nil {
+								return nil, err
+							}
+							to, err := r.ident()
+							if err != nil {
+								return nil, err
+							}
+							if err := r.expect(tokPunct, ";"); err != nil {
+								return nil, err
+							}
+							edges = append(edges, rawEdge{from: from, deflt: true, toState: to})
+							continue
+						}
+						v, err := r.number()
+						if err != nil {
+							return nil, err
+						}
+						if err := r.expect(tokPunct, ":"); err != nil {
+							return nil, err
+						}
+						to, err := r.ident()
+						if err != nil {
+							return nil, err
+						}
+						if err := r.expect(tokPunct, ";"); err != nil {
+							return nil, err
+						}
+						edges = append(edges, rawEdge{from: from, sel: sel, value: v, toState: to})
+					}
+				} else {
+					to, err := r.ident()
+					if err != nil {
+						return nil, err
+					}
+					if err := r.expect(tokPunct, ";"); err != nil {
+						return nil, err
+					}
+					edges = append(edges, rawEdge{from: from, deflt: true, toState: to})
+				}
+			default:
+				return nil, r.errf("unexpected statement %q in parser state", kw)
+			}
+		}
+	}
+	if !haveStart {
+		return nil, fmt.Errorf("p4: parser has no start state")
+	}
+	g := NewParserGraph(start)
+	for _, e := range edges {
+		to, err := vertexFromState(e.toState)
+		if err != nil {
+			return nil, err
+		}
+		t := Transition{From: e.from, To: to, Default: e.deflt}
+		if !e.deflt {
+			t.Select = FieldRef(e.sel)
+			t.Value = e.value
+		}
+		if err := g.AddEdge(t); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// unsanitizeFieldRef maps "ethernet_ether_type" back to
+// "ethernet.ether_type" using the standard header registry: the
+// longest registered header name that prefixes the identifier wins.
+func unsanitizeFieldRef(ident string) string {
+	reg := StandardHeaderTypes()
+	best := ""
+	for name := range reg {
+		if strings.HasPrefix(ident, name+"_") && len(name) > len(best) {
+			best = name
+		}
+	}
+	if best == "" {
+		return ident
+	}
+	return best + "." + ident[len(best)+1:]
+}

@@ -1,0 +1,481 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// readControl parses a control block; the `control` keyword is
+// consumed. Actions and tables are reconstructed fully; action bodies
+// are mapped back to primitive ops best-effort (comments, including
+// emitted no-ops, do not survive the text form).
+func (r *reader) readControl() (*ControlBlock, error) {
+	name, err := r.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Skip the parameter list.
+	if err := r.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !r.accept(tokPunct, ")") {
+		if r.tok.kind == tokEOF {
+			return nil, r.errf("unexpected EOF in control parameters")
+		}
+		r.advance()
+	}
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+
+	cb := &ControlBlock{Name: name}
+	actions := make(map[string]*Action)
+
+	for !r.accept(tokPunct, "}") {
+		kw, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "action":
+			a, err := r.readAction()
+			if err != nil {
+				return nil, err
+			}
+			actions[a.Name] = a
+		case "table":
+			t, err := r.readTable(actions)
+			if err != nil {
+				return nil, err
+			}
+			cb.Tables = append(cb.Tables, t)
+		case "apply":
+			if err := r.expect(tokPunct, "{"); err != nil {
+				return nil, err
+			}
+			body, err := r.readApplyBody()
+			if err != nil {
+				return nil, err
+			}
+			cb.Body = body
+		default:
+			return nil, r.errf("unexpected control member %q", kw)
+		}
+	}
+	return cb, nil
+}
+
+// readAction parses `action name(params) { stmts }`; `action` is
+// consumed.
+func (r *reader) readAction() (*Action, error) {
+	name, err := r.ident()
+	if err != nil {
+		return nil, err
+	}
+	a := &Action{Name: name}
+	if err := r.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !r.accept(tokPunct, ")") {
+		bits, err := r.readBitType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, Field{Name: pname, Bits: bits})
+		r.accept(tokPunct, ",")
+	}
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !r.accept(tokPunct, "}") {
+		op, err := r.readActionStmt(a)
+		if err != nil {
+			return nil, err
+		}
+		if op != nil {
+			a.Ops = append(a.Ops, *op)
+		}
+	}
+	return a, nil
+}
+
+// readActionStmt parses one action statement into an Op.
+func (r *reader) readActionStmt(a *Action) (*Op, error) {
+	kw, err := r.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "counter":
+		// counter.count();
+		for !r.accept(tokPunct, ";") {
+			if r.tok.kind == tokEOF {
+				return nil, r.errf("unexpected EOF in counter statement")
+			}
+			r.advance()
+		}
+		return &Op{Kind: OpCount}, nil
+	case "hdr":
+		if err := r.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		target, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		// hdr.<h>.setValid(); / setInvalid();
+		if r.accept(tokPunct, ".") {
+			method, err := r.ident()
+			if err != nil {
+				return nil, err
+			}
+			for !r.accept(tokPunct, ";") {
+				if r.tok.kind == tokEOF {
+					return nil, r.errf("unexpected EOF in method call")
+				}
+				r.advance()
+			}
+			dst := FieldRef(target + ".valid")
+			switch method {
+			case "setValid":
+				return &Op{Kind: OpAddHeader, Dst: dst}, nil
+			case "setInvalid":
+				return &Op{Kind: OpRemoveHeader, Dst: dst}, nil
+			default:
+				return nil, r.errf("unknown header method %q", method)
+			}
+		}
+		// hdr.<field> = <rhs>;
+		if err := r.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		dst := FieldRef(unsanitizeFieldRef(target))
+		// rhs variants.
+		switch {
+		case r.tok.kind == tokIdent && r.tok.text == "hdr":
+			r.advance()
+			if err := r.expect(tokPunct, "."); err != nil {
+				return nil, err
+			}
+			src, err := r.ident()
+			if err != nil {
+				return nil, err
+			}
+			// Self-increment: hdr.X = hdr.X + 1;
+			if r.accept(tokPunct, "+") {
+				if _, err := r.number(); err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				return &Op{Kind: OpAddToField, Dst: dst}, nil
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &Op{Kind: OpCopyField, Dst: dst, Srcs: []FieldRef{FieldRef(unsanitizeFieldRef(src))}}, nil
+		case r.tok.kind == tokIdent && r.tok.text == "hash":
+			r.advance()
+			if err := r.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "{"); err != nil {
+				return nil, err
+			}
+			op := &Op{Kind: OpHash, Dst: dst}
+			for !r.accept(tokPunct, "}") {
+				if err := r.expect(tokIdent, "hdr"); err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, "."); err != nil {
+					return nil, err
+				}
+				src, err := r.ident()
+				if err != nil {
+					return nil, err
+				}
+				op.Srcs = append(op.Srcs, FieldRef(unsanitizeFieldRef(src)))
+				r.accept(tokPunct, ",")
+			}
+			if err := r.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return op, nil
+		default:
+			// Parameter or immediate: hdr.X = <ident or number>;
+			if r.tok.kind == tokIdent || r.tok.kind == tokNumber {
+				r.advance()
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &Op{Kind: OpSetField, Dst: dst}, nil
+		}
+	default:
+		return nil, r.errf("unexpected action statement %q", kw)
+	}
+}
+
+// readTable parses a table declaration; `table` is consumed. The
+// actions map resolves action names declared earlier in the block.
+func (r *reader) readTable(actions map[string]*Action) (*Table, error) {
+	name, err := r.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name}
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !r.accept(tokPunct, "}") {
+		kw, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "key":
+			if err := r.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "{"); err != nil {
+				return nil, err
+			}
+			for !r.accept(tokPunct, "}") {
+				if err := r.expect(tokIdent, "hdr"); err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, "."); err != nil {
+					return nil, err
+				}
+				field, err := r.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, ":"); err != nil {
+					return nil, err
+				}
+				kindName, err := r.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				kind, err := matchKindFromName(kindName)
+				if err != nil {
+					return nil, err
+				}
+				t.Keys = append(t.Keys, Key{Field: FieldRef(unsanitizeFieldRef(field)), Kind: kind})
+			}
+		case "actions":
+			if err := r.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "{"); err != nil {
+				return nil, err
+			}
+			for !r.accept(tokPunct, "}") {
+				an, err := r.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := r.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				a := actions[an]
+				if a == nil {
+					return nil, r.errf("table %s references undeclared action %q", name, an)
+				}
+				t.Actions = append(t.Actions, a)
+			}
+		case "const":
+			// const default_action = name();
+			if err := r.expect(tokIdent, "default_action"); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			def, err := r.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			t.DefaultAction = def
+		case "size":
+			if err := r.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			n, err := r.number()
+			if err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			t.Size = int(n)
+		default:
+			return nil, r.errf("unexpected table member %q", kw)
+		}
+	}
+	return t, nil
+}
+
+// matchKindFromName inverts MatchKind.String.
+func matchKindFromName(s string) (MatchKind, error) {
+	switch s {
+	case "exact":
+		return MatchExact, nil
+	case "lpm":
+		return MatchLPM, nil
+	case "ternary":
+		return MatchTernary, nil
+	case "range":
+		return MatchRange, nil
+	default:
+		return 0, fmt.Errorf("p4: unknown match kind %q", s)
+	}
+}
+
+// readApplyBody parses statements until the closing brace (consumed).
+func (r *reader) readApplyBody() ([]Stmt, error) {
+	var body []Stmt
+	for !r.accept(tokPunct, "}") {
+		kw, err := r.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "if":
+			st, err := r.readIf()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, st)
+		default:
+			// <name>.apply(); or <name>.apply(hdr);
+			if err := r.expect(tokPunct, "."); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokIdent, "apply"); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			isCall := r.accept(tokIdent, "hdr")
+			if err := r.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			if err := r.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			if isCall {
+				body = append(body, CallStmt{Block: kw})
+			} else {
+				body = append(body, ApplyStmt{Table: kw})
+			}
+		}
+	}
+	return body, nil
+}
+
+// readIf parses `if (cond) { ... } [else { ... }]`; `if` is consumed.
+func (r *reader) readIf() (Stmt, error) {
+	if err := r.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := r.readCond()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if err := r.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	then, err := r.readApplyBody()
+	if err != nil {
+		return nil, err
+	}
+	st := IfStmt{Cond: cond, Then: then}
+	if r.accept(tokIdent, "else") {
+		if err := r.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		els, err := r.readApplyBody()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+// readCond parses `hdr.<f> == N`, `hdr.<f> != N` or
+// `hdr.<h>.isValid()`.
+func (r *reader) readCond() (Cond, error) {
+	if err := r.expect(tokIdent, "hdr"); err != nil {
+		return Cond{}, err
+	}
+	if err := r.expect(tokPunct, "."); err != nil {
+		return Cond{}, err
+	}
+	target, err := r.ident()
+	if err != nil {
+		return Cond{}, err
+	}
+	if r.accept(tokPunct, ".") {
+		if err := r.expect(tokIdent, "isValid"); err != nil {
+			return Cond{}, err
+		}
+		if err := r.expect(tokPunct, "("); err != nil {
+			return Cond{}, err
+		}
+		if err := r.expect(tokPunct, ")"); err != nil {
+			return Cond{}, err
+		}
+		return Cond{Kind: CondValid, Header: target}, nil
+	}
+	var kind CondKind
+	switch {
+	case r.accept(tokPunct, "="):
+		if err := r.expect(tokPunct, "="); err != nil {
+			return Cond{}, err
+		}
+		kind = CondFieldEq
+	case r.accept(tokPunct, "!"):
+		if err := r.expect(tokPunct, "="); err != nil {
+			return Cond{}, err
+		}
+		kind = CondFieldNeq
+	default:
+		return Cond{}, r.errf("expected comparison operator, found %q", r.tok.text)
+	}
+	v, err := r.number()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Kind: kind, Field: FieldRef(unsanitizeFieldRef(target)), Value: v}, nil
+}
+
+// normalizeForRead prepares a field ref string (no-op placeholder kept
+// for symmetry; sanitization is one-way for unknown headers).
+var _ = strings.TrimSpace

@@ -1,0 +1,390 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+)
+
+// emitLB renders the Fig. 4 block for reader tests.
+func emitLB(t *testing.T) string {
+	t.Helper()
+	p := &Program{Name: "rt", Parser: SFCIPv4Parser(), Blocks: []*ControlBlock{makeLBBlock()}}
+	src, err := EmitProgram(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestReadProgramRoundTrip(t *testing.T) {
+	src := emitLB(t)
+	prog, err := ReadProgram("rt", src)
+	if err != nil {
+		t.Fatalf("ReadProgram: %v\nsource:\n%s", err, src)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("re-read program invalid: %v", err)
+	}
+	// Parser graph structurally equal to the original.
+	orig := SFCIPv4Parser()
+	if prog.Parser.ParseStates() != orig.ParseStates() {
+		t.Errorf("parser states: %d vs %d", prog.Parser.ParseStates(), orig.ParseStates())
+	}
+	if len(prog.Parser.Edges()) != len(orig.Edges()) {
+		t.Errorf("parser edges: %d vs %d", len(prog.Parser.Edges()), len(orig.Edges()))
+	}
+	for _, v := range orig.Vertices() {
+		if !prog.Parser.HasVertex(v) {
+			t.Errorf("vertex %s lost in round trip", v)
+		}
+	}
+	// Control block structure.
+	if len(prog.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(prog.Blocks))
+	}
+	cb := prog.Blocks[0]
+	if cb.Name != "LB_control" {
+		t.Errorf("block name = %q", cb.Name)
+	}
+	session := cb.TableByName("lb_session")
+	if session == nil {
+		t.Fatal("lb_session lost")
+	}
+	if session.Size != 65536 || session.DefaultAction != "toCpu" {
+		t.Errorf("table meta: size=%d default=%q", session.Size, session.DefaultAction)
+	}
+	if len(session.Keys) != 1 || session.Keys[0].Field != "meta.session_hash" || session.Keys[0].Kind != MatchExact {
+		t.Errorf("keys = %+v", session.Keys)
+	}
+	modify := session.ActionByName("modify_dstIp")
+	if modify == nil || len(modify.Params) != 1 || modify.Params[0].Bits != 32 {
+		t.Errorf("modify_dstIp = %+v", modify)
+	}
+	// Apply order preserved.
+	order, err := cb.AppliedOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0].Name != "compute_hash" || order[1].Name != "lb_session" {
+		t.Errorf("apply order = %v", order)
+	}
+}
+
+func TestEmitReadEmitFixedPoint(t *testing.T) {
+	// After one emit→read round, further rounds must be stable:
+	// emit(read(emit(P))) == emit(read(emit(read(emit(P))))).
+	src1 := emitLB(t)
+	p2, err := ReadProgram("rt", src1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := EmitProgram(p2, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := ReadProgram("rt", src2)
+	if err != nil {
+		t.Fatalf("second read failed: %v", err)
+	}
+	src3, err := EmitProgram(p3, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != src3 {
+		t.Error("emit/read not a fixed point after one round")
+	}
+}
+
+func TestReadConditionals(t *testing.T) {
+	tbl := &Table{Name: "t", Actions: []*Action{{Name: "a", Ops: []Op{{Kind: OpCount}}}}}
+	cb := &ControlBlock{
+		Name:   "cond_block",
+		Tables: []*Table{tbl},
+		Body: []Stmt{
+			IfStmt{
+				Cond: Cond{Kind: CondFieldEq, Field: "meta.next_nf", Value: 3},
+				Then: []Stmt{ApplyStmt{Table: "t"}},
+				Else: []Stmt{
+					IfStmt{
+						Cond: Cond{Kind: CondValid, Header: "vxlan"},
+						Then: []Stmt{ApplyStmt{Table: "t"}},
+					},
+				},
+			},
+			IfStmt{
+				Cond: Cond{Kind: CondFieldNeq, Field: "meta.class_id", Value: 9},
+				Then: []Stmt{ApplyStmt{Table: "t"}},
+			},
+		},
+	}
+	p := &Program{Name: "c", Parser: BasicIPv4Parser(), Blocks: []*ControlBlock{cb}}
+	src, err := EmitProgram(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram("c", src)
+	if err != nil {
+		t.Fatalf("read: %v\nsource:\n%s", err, src)
+	}
+	body := got.Blocks[0].Body
+	if len(body) != 2 {
+		t.Fatalf("body = %d statements", len(body))
+	}
+	first, ok := body[0].(IfStmt)
+	if !ok || first.Cond.Kind != CondFieldEq || first.Cond.Field != "meta.next_nf" || first.Cond.Value != 3 {
+		t.Errorf("first cond = %+v", first.Cond)
+	}
+	if len(first.Else) != 1 {
+		t.Fatalf("else arm lost: %+v", first)
+	}
+	nested, ok := first.Else[0].(IfStmt)
+	if !ok || nested.Cond.Kind != CondValid || nested.Cond.Header != "vxlan" {
+		t.Errorf("nested cond = %+v", nested.Cond)
+	}
+	second, ok := body[1].(IfStmt)
+	if !ok || second.Cond.Kind != CondFieldNeq || second.Cond.Value != 9 {
+		t.Errorf("second cond = %+v", second.Cond)
+	}
+}
+
+func TestReadActionOps(t *testing.T) {
+	cb := &ControlBlock{
+		Name: "ops_block",
+		Tables: []*Table{{
+			Name: "t",
+			Actions: []*Action{{
+				Name:   "everything",
+				Params: []Field{{Name: "port", Bits: 12}},
+				Ops: []Op{
+					{Kind: OpSetField, Dst: "meta.out_port"},
+					{Kind: OpCopyField, Dst: "meta.drop", Srcs: []FieldRef{"sfc.flags"}},
+					{Kind: OpAddToField, Dst: "ipv4.ttl"},
+					{Kind: OpAddHeader, Dst: "vxlan.vni"},
+					{Kind: OpRemoveHeader, Dst: "sfc.service_path_id"},
+					{Kind: OpHash, Dst: "meta.session_hash", Srcs: []FieldRef{"ipv4.src_addr", "ipv4.dst_addr"}},
+					{Kind: OpCount},
+				},
+			}},
+		}},
+		Body: []Stmt{ApplyStmt{Table: "t"}},
+	}
+	p := &Program{Name: "o", Parser: BasicIPv4Parser(), Blocks: []*ControlBlock{cb}}
+	src, err := EmitProgram(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram("o", src)
+	if err != nil {
+		t.Fatalf("read: %v\nsource:\n%s", err, src)
+	}
+	a := got.Blocks[0].Tables[0].Actions[0]
+	kinds := make([]OpKind, len(a.Ops))
+	for i, op := range a.Ops {
+		kinds[i] = op.Kind
+	}
+	want := []OpKind{OpSetField, OpCopyField, OpAddToField, OpAddHeader, OpRemoveHeader, OpHash, OpCount}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// Field refs survive the sanitize/unsanitize round.
+	if a.Ops[0].Dst != "meta.out_port" {
+		t.Errorf("set dst = %s", a.Ops[0].Dst)
+	}
+	if a.Ops[1].Srcs[0] != "sfc.flags" {
+		t.Errorf("copy src = %s", a.Ops[1].Srcs[0])
+	}
+	if len(a.Ops[5].Srcs) != 2 || a.Ops[5].Srcs[1] != "ipv4.dst_addr" {
+		t.Errorf("hash srcs = %v", a.Ops[5].Srcs)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "widget foo {}",
+		"no parser":       "header x_t { bit<8> a; }",
+		"bad state":       "parser p(x y) { state start { transition weird_state_name; } }",
+		"unclosed":        "parser p(x y) { state start { transition accept; }",
+		"dup parser":      "parser p(x) { state start { transition accept; } } parser q(x) { state start { transition accept; } }",
+		"bad cond op":     "parser p(x) { state start { transition accept; } } control c(x) { apply { if (hdr.meta_drop < 3) { } } }",
+		"unknown control": "parser p(x) { state start { transition accept; } } control c(x) { widget t {} }",
+	}
+	for name, doc := range cases {
+		if _, err := ReadProgram("x", doc); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadScenarioPipeletProgram(t *testing.T) {
+	// A composed pipelet block from the real system must survive the
+	// text round trip. We build one via the LB + a branching-like
+	// framework table with exact keys.
+	branching := &Table{
+		Name:      "branching",
+		Framework: true,
+		Keys: []Key{
+			{Field: "sfc.service_path_id", Kind: MatchExact},
+			{Field: "sfc.service_index", Kind: MatchExact},
+		},
+		Actions: []*Action{
+			{Name: "forward", Params: []Field{{Name: "port", Bits: 12}}, Ops: []Op{{Kind: OpSetField, Dst: "meta.out_port"}}},
+			{Name: "to_cpu", Ops: []Op{{Kind: OpSetField, Dst: "meta.to_cpu"}}},
+		},
+		DefaultAction: "to_cpu",
+		Size:          12,
+	}
+	cb := makeLBBlock()
+	cb.Tables = append(cb.Tables, branching)
+	cb.Body = append(cb.Body, ApplyStmt{Table: "branching"})
+	p := &Program{Name: "pipelet", Parser: VXLANParser(), Blocks: []*ControlBlock{cb}}
+	src, err := EmitProgram(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram("pipelet", src)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	tb := got.Blocks[0].TableByName("branching")
+	if tb == nil || len(tb.Keys) != 2 || tb.Size != 12 {
+		t.Errorf("branching table = %+v", tb)
+	}
+	// Dependency analysis still works on the re-read block.
+	deps, err := got.Blocks[0].Deps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) == 0 {
+		t.Error("re-read block lost its dependencies")
+	}
+}
+
+func TestUnsanitizeFieldRef(t *testing.T) {
+	cases := map[string]string{
+		"ethernet_ether_type": "ethernet.ether_type",
+		"meta_session_hash":   "meta.session_hash",
+		"sfc_service_index":   "sfc.service_index",
+		"ipv4_dst_addr":       "ipv4.dst_addr",
+		"unknownthing":        "unknownthing",
+	}
+	for in, want := range cases {
+		if got := unsanitizeFieldRef(in); got != want {
+			t.Errorf("unsanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	l := newLexer("foo 0x1A 42 { } // comment\nbar /* block\ncomment */ baz")
+	var kinds []tokKind
+	var texts []string
+	for {
+		tok := l.next()
+		if tok.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"foo", "0x1A", "42", "{", "}", "bar", "baz"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestMatchKindRoundTrip(t *testing.T) {
+	for _, k := range []MatchKind{MatchExact, MatchLPM, MatchTernary, MatchRange} {
+		got, err := matchKindFromName(k.String())
+		if err != nil || got != k {
+			t.Errorf("matchKindFromName(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := matchKindFromName("fuzzy"); err == nil {
+		t.Error("unknown match kind accepted")
+	}
+}
+
+func TestReadTableAllMatchKinds(t *testing.T) {
+	tbl := &Table{
+		Name: "kinds",
+		Keys: []Key{
+			{Field: "ipv4.dst_addr", Kind: MatchLPM},
+			{Field: "ipv4.src_addr", Kind: MatchTernary},
+			{Field: "tcp.dst_port", Kind: MatchRange},
+			{Field: "udp.dst_port", Kind: MatchExact},
+		},
+		Actions: []*Action{{Name: "a", Ops: []Op{{Kind: OpCount}}}},
+		Size:    64,
+	}
+	cb := &ControlBlock{Name: "kb", Tables: []*Table{tbl}, Body: []Stmt{ApplyStmt{Table: "kinds"}}}
+	p := &Program{Name: "k", Parser: ARPParser(), Blocks: []*ControlBlock{cb}}
+	src, err := EmitProgram(p, EmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram("k", src)
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, src)
+	}
+	keys := got.Blocks[0].Tables[0].Keys
+	want := []MatchKind{MatchLPM, MatchTernary, MatchRange, MatchExact}
+	for i, k := range keys {
+		if k.Kind != want[i] {
+			t.Errorf("key %d kind = %v, want %v", i, k.Kind, want[i])
+		}
+	}
+	// ARP parser round trip too.
+	if !got.Parser.HasVertex(Vertex{Type: "arp", Offset: OffIPv4Plain}) {
+		t.Error("arp vertex lost")
+	}
+}
+
+func TestReadErrorPaths(t *testing.T) {
+	base := "parser p(x) { state start { transition accept; } } "
+	bad := []string{
+		base + "control c(x) { table t { key = { hdr.ipv4_dst_addr : fuzzy; } actions = { a; } } }",
+		base + "control c(x) { table t { actions = { ghost; } } }",
+		base + "control c(x) { action a() { widget(); } }",
+		base + "control c(x) { action a() { hdr.x.explode(); } }",
+		base + "header h_t { bit<8 f; }",
+		"parser p(x { state start { transition accept; } }",
+	}
+	for i, doc := range bad {
+		if _, err := ReadProgram("x", doc); err == nil {
+			t.Errorf("bad doc %d accepted", i)
+		}
+	}
+}
+
+func TestSortDepsDeterministic(t *testing.T) {
+	deps := []Dep{
+		{From: "b", To: "c", Kind: DepAction},
+		{From: "a", To: "c", Kind: DepMatch},
+		{From: "a", To: "b", Kind: DepSuccessor},
+		{From: "a", To: "c", Kind: DepAction},
+	}
+	SortDeps(deps)
+	if deps[0].From != "a" || deps[0].To != "b" {
+		t.Errorf("sorted[0] = %+v", deps[0])
+	}
+	// Same From/To: strictest (lowest) kind first.
+	if deps[1].Kind != DepMatch || deps[2].Kind != DepAction {
+		t.Errorf("kind ordering: %+v %+v", deps[1], deps[2])
+	}
+}
+
+func TestMustEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEdge did not panic on conflicting edge")
+		}
+	}()
+	g := NewParserGraph(EthernetStart())
+	g.MustEdge(Transition{From: g.Start, Default: true, To: Accept()})
+	g.MustEdge(Transition{From: g.Start, Default: true, To: Vertex{Type: "ipv4", Offset: 14}})
+}

@@ -1,0 +1,192 @@
+package p4
+
+import (
+	"testing"
+)
+
+func TestHeaderTypeWidths(t *testing.T) {
+	cases := []struct {
+		ht    *HeaderType
+		bits  int
+		bytes int
+	}{
+		{HdrEthernet, 112, 14},
+		{HdrSFC, 160, 20},
+		{HdrIPv4, 160, 20},
+		{HdrTCP, 160, 20},
+		{HdrUDP, 64, 8},
+		{HdrVXLAN, 64, 8},
+		{HdrICMP, 64, 8},
+		{HdrARP, 224, 28},
+	}
+	for _, c := range cases {
+		if got := c.ht.Bits(); got != c.bits {
+			t.Errorf("%s.Bits() = %d, want %d", c.ht.Name, got, c.bits)
+		}
+		if got := c.ht.Bytes(); got != c.bytes {
+			t.Errorf("%s.Bytes() = %d, want %d", c.ht.Name, got, c.bytes)
+		}
+	}
+}
+
+func TestHeaderTypeFieldLookup(t *testing.T) {
+	if got := HdrIPv4.FieldBits("dst_addr"); got != 32 {
+		t.Errorf("ipv4.dst_addr bits = %d, want 32", got)
+	}
+	if HdrIPv4.HasField("nonexistent") {
+		t.Error("HasField(nonexistent) = true")
+	}
+	if got := HdrIPv4.FieldBits("nonexistent"); got != 0 {
+		t.Errorf("FieldBits(nonexistent) = %d, want 0", got)
+	}
+}
+
+func TestFieldRefSplit(t *testing.T) {
+	h, f := FieldRef("ipv4.dst_addr").Split()
+	if h != "ipv4" || f != "dst_addr" {
+		t.Errorf("Split = %q,%q", h, f)
+	}
+	if FieldRef("meta").Header() != "meta" {
+		t.Error("Header() on bare ref failed")
+	}
+}
+
+func TestActionReadWriteSets(t *testing.T) {
+	a := &Action{
+		Name: "rewrite",
+		Ops: []Op{
+			{Kind: OpSetField, Dst: "ipv4.dst_addr"},
+			{Kind: OpCopyField, Dst: "ipv4.src_addr", Srcs: []FieldRef{"meta.tenant_id"}},
+			{Kind: OpHash, Dst: "meta.session_hash", Srcs: []FieldRef{"ipv4.src_addr", "ipv4.dst_addr"}},
+		},
+	}
+	ws := a.WriteSet()
+	if len(ws) != 3 {
+		t.Errorf("WriteSet = %v", ws)
+	}
+	rs := a.ReadSet()
+	if len(rs) != 3 { // meta.tenant_id, ipv4.src_addr, ipv4.dst_addr
+		t.Errorf("ReadSet = %v", rs)
+	}
+}
+
+func TestDedupRefsSorted(t *testing.T) {
+	in := []FieldRef{"b.x", "a.y", "b.x", "a.y", "c.z"}
+	out := dedupRefs(in)
+	want := []FieldRef{"a.y", "b.x", "c.z"}
+	if len(out) != len(want) {
+		t.Fatalf("dedupRefs = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("dedupRefs[%d] = %s, want %s", i, out[i], want[i])
+		}
+	}
+}
+
+func TestTableKeyBits(t *testing.T) {
+	tb := &Table{
+		Name: "lpm",
+		Keys: []Key{
+			{Field: "ipv4.dst_addr", Kind: MatchLPM},
+			{Field: "meta.class_id", Kind: MatchExact},
+		},
+		Actions: []*Action{{Name: "fwd"}},
+	}
+	if got := tb.KeyBits(); got != 48 {
+		t.Errorf("KeyBits = %d, want 48", got)
+	}
+	if !tb.NeedsTCAM() {
+		t.Error("LPM table does not report TCAM need")
+	}
+	exact := &Table{Name: "e", Keys: []Key{{Field: "ipv4.src_addr", Kind: MatchExact}}, Actions: []*Action{{Name: "a"}}}
+	if exact.NeedsTCAM() {
+		t.Error("exact table reports TCAM need")
+	}
+}
+
+func TestTableExplicitKeyBits(t *testing.T) {
+	tb := &Table{
+		Name:    "custom",
+		Keys:    []Key{{Field: "scratch.v", Kind: MatchExact, Bits: 9}},
+		Actions: []*Action{{Name: "a"}},
+	}
+	if got := tb.KeyBits(); got != 9 {
+		t.Errorf("KeyBits = %d, want 9", got)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	ok := &Table{
+		Name:          "t",
+		Keys:          []Key{{Field: "ipv4.dst_addr", Kind: MatchExact}},
+		Actions:       []*Action{{Name: "a"}, {Name: "b"}},
+		DefaultAction: "b",
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	bad := []*Table{
+		{Name: "", Actions: []*Action{{Name: "a"}}},
+		{Name: "noact"},
+		{Name: "baddef", Actions: []*Action{{Name: "a"}}, DefaultAction: "zzz"},
+		{Name: "dupact", Actions: []*Action{{Name: "a"}, {Name: "a"}}},
+		{Name: "badhdr", Keys: []Key{{Field: "nosuch.f", Kind: MatchExact}}, Actions: []*Action{{Name: "a"}}},
+		{Name: "badfld", Keys: []Key{{Field: "ipv4.nosuch", Kind: MatchExact}}, Actions: []*Action{{Name: "a"}}},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("invalid table %q accepted", b.Name)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	writer := &Table{
+		Name:    "nat",
+		Actions: []*Action{{Name: "rewrite", Ops: []Op{{Kind: OpSetField, Dst: "ipv4.dst_addr"}}}},
+	}
+	matcher := &Table{
+		Name:    "route",
+		Keys:    []Key{{Field: "ipv4.dst_addr", Kind: MatchLPM}},
+		Actions: []*Action{{Name: "fwd", Ops: []Op{{Kind: OpSetField, Dst: "meta.out_port"}}}},
+	}
+	if got := Classify(writer, matcher, false); got != DepMatch {
+		t.Errorf("Classify(writer, matcher) = %s, want match", got)
+	}
+	writer2 := &Table{
+		Name:    "nat2",
+		Actions: []*Action{{Name: "rewrite", Ops: []Op{{Kind: OpSetField, Dst: "ipv4.dst_addr"}}}},
+	}
+	if got := Classify(writer, writer2, false); got != DepAction {
+		t.Errorf("Classify(writer, writer2) = %s, want action", got)
+	}
+	indep := &Table{
+		Name:    "acl",
+		Keys:    []Key{{Field: "tcp.dst_port", Kind: MatchExact}},
+		Actions: []*Action{{Name: "drop", Ops: []Op{{Kind: OpSetField, Dst: "meta.drop"}}}},
+	}
+	if got := Classify(writer, indep, false); got != DepNone {
+		t.Errorf("Classify(writer, indep) = %s, want none", got)
+	}
+	if got := Classify(writer, indep, true); got != DepSuccessor {
+		t.Errorf("Classify(writer, indep, ctl) = %s, want successor", got)
+	}
+}
+
+func TestDepKindStrings(t *testing.T) {
+	for k, want := range map[DepKind]string{
+		DepMatch: "match", DepAction: "action", DepSuccessor: "successor", DepNone: "none",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", k, k.String())
+		}
+	}
+	for k, want := range map[MatchKind]string{
+		MatchExact: "exact", MatchLPM: "lpm", MatchTernary: "ternary", MatchRange: "range",
+	} {
+		if k.String() != want {
+			t.Errorf("MatchKind.String() = %s, want %s", k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package packet
+
+// EthernetLen is the size of an untagged Ethernet header.
+const EthernetLen = 14
+
+// Ethernet is an Ethernet II header (untagged).
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// DecodeFromBytes parses an Ethernet header from the front of data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = be16(data[12:14])
+	return nil
+}
+
+// SerializeTo writes the header into b and returns the bytes written.
+func (e *Ethernet) SerializeTo(b []byte) (int, error) {
+	if len(b) < EthernetLen {
+		return 0, ErrShortBuf
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	put16(b[12:14], e.EtherType)
+	return EthernetLen, nil
+}
+
+// Len returns the serialized header length.
+func (e *Ethernet) Len() int { return EthernetLen }

@@ -1,0 +1,98 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejavu/internal/nsh"
+)
+
+// TestParseNeverPanicsOnRandomBytes feeds the parser arbitrary byte
+// soup: it must return errors, never panic or read out of bounds.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		var p Parsed
+		_ = p.Parse(data) // error or not — must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnStructuredMutations starts from valid packets
+// and flips bytes — the adversarial middle ground between random soup
+// and valid input where length-field bugs live.
+func TestParseNeverPanicsOnStructuredMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seeds := [][]byte{}
+
+	tcp := NewTCP(TCPOpts{Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}, SrcPort: 1, DstPort: 2, Payload: []byte("abc")})
+	w1, _ := tcp.Serialize(nil)
+	seeds = append(seeds, w1)
+
+	vx := NewVXLAN(VXLANOpts{
+		OuterSrc: IP4{1, 1, 1, 1}, OuterDst: IP4{2, 2, 2, 2}, VNI: 7,
+		InnerSrc: IP4{10, 0, 0, 1}, InnerDst: IP4{10, 0, 0, 2}, InnerSrcPort: 1, InnerDstPort: 2,
+	})
+	w2, _ := vx.Serialize(nil)
+	seeds = append(seeds, w2)
+
+	sfc := NewTCP(TCPOpts{Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}, SrcPort: 1, DstPort: 2})
+	sfc.PushSFC(nsh.New(5, 3))
+	w3, _ := sfc.Serialize(nil)
+	seeds = append(seeds, w3)
+
+	arp := NewARP(ARPRequest, MAC{2, 0, 0, 0, 0, 1}, IP4{10, 0, 0, 1}, MAC{}, IP4{10, 0, 0, 2})
+	w4, _ := arp.Serialize(nil)
+	seeds = append(seeds, w4)
+
+	var p Parsed
+	for trial := 0; trial < 20000; trial++ {
+		seed := seeds[rng.Intn(len(seeds))]
+		mut := append([]byte(nil), seed...)
+		// 1-4 random byte flips.
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		}
+		// Occasionally truncate.
+		if rng.Intn(4) == 0 {
+			mut = mut[:rng.Intn(len(mut)+1)]
+		}
+		_ = p.Parse(mut) // must not panic
+	}
+}
+
+// TestParseSerializeMutationStability checks that whenever a mutated
+// packet still parses, re-serializing and re-parsing it converges (no
+// oscillation or corruption amplification).
+func TestParseSerializeMutationStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := NewTCP(TCPOpts{Src: IP4{10, 0, 0, 1}, Dst: IP4{10, 0, 0, 2}, SrcPort: 1, DstPort: 2, Payload: make([]byte, 32)})
+	wire, _ := base.Serialize(nil)
+
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), wire...)
+		mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		var p Parsed
+		if err := p.Parse(mut); err != nil {
+			continue
+		}
+		out1, err := p.Serialize(nil)
+		if err != nil {
+			continue
+		}
+		var q Parsed
+		if err := q.Parse(out1); err != nil {
+			t.Fatalf("trial %d: serialized output does not reparse: %v", trial, err)
+		}
+		out2, err := q.Serialize(nil)
+		if err != nil {
+			t.Fatalf("trial %d: second serialize failed: %v", trial, err)
+		}
+		if string(out1) != string(out2) {
+			t.Fatalf("trial %d: serialize not idempotent after one round", trial)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+
+	"dejavu/internal/nsh"
+)
+
+// HeaderBit identifies one header in the parsed header vector, mirroring
+// P4 header validity bits.
+type HeaderBit uint16
+
+// Validity bits for every header the generic parser understands.
+const (
+	HdrEth HeaderBit = 1 << iota
+	HdrSFC
+	HdrARP
+	HdrIPv4
+	HdrTCP
+	HdrUDP
+	HdrICMP
+	HdrVXLAN
+	HdrInnerEth
+	HdrInnerIPv4
+	HdrInnerTCP
+	HdrInnerUDP
+)
+
+// headerBitNames maps validity bits to display names.
+var headerBitNames = []struct {
+	bit  HeaderBit
+	name string
+}{
+	{HdrEth, "eth"},
+	{HdrSFC, "sfc"},
+	{HdrARP, "arp"},
+	{HdrIPv4, "ipv4"},
+	{HdrTCP, "tcp"},
+	{HdrUDP, "udp"},
+	{HdrICMP, "icmp"},
+	{HdrVXLAN, "vxlan"},
+	{HdrInnerEth, "inner_eth"},
+	{HdrInnerIPv4, "inner_ipv4"},
+	{HdrInnerTCP, "inner_tcp"},
+	{HdrInnerUDP, "inner_udp"},
+}
+
+// Parsed is the parsed header vector handed to NF control blocks — the
+// behavioural analogue of the `hdr` argument in Dejavu's control block
+// programming interface (§3.1). All supported headers live here with
+// validity bits; NFs read and write fields and toggle validity (e.g.
+// the virtualization gateway invalidates the VXLAN encapsulation).
+type Parsed struct {
+	valid HeaderBit
+
+	Eth   Ethernet
+	SFC   nsh.Header
+	ARP   ARP
+	IPv4  IPv4
+	TCP   TCP
+	UDP   UDP
+	ICMP  ICMP
+	VXLAN VXLAN
+
+	InnerEth  Ethernet
+	InnerIPv4 IPv4
+	InnerTCP  TCP
+	InnerUDP  UDP
+
+	// Payload is the unparsed remainder of the packet. It aliases the
+	// buffer passed to Parse; callers that retain the Parsed beyond the
+	// lifetime of that buffer must copy it.
+	Payload []byte
+}
+
+// Valid reports whether all headers in mask are valid.
+func (p *Parsed) Valid(mask HeaderBit) bool { return p.valid&mask == mask }
+
+// SetValid marks the headers in mask as valid.
+func (p *Parsed) SetValid(mask HeaderBit) { p.valid |= mask }
+
+// SetInvalid marks the headers in mask as invalid.
+func (p *Parsed) SetInvalid(mask HeaderBit) { p.valid &^= mask }
+
+// ValidMask returns the raw validity bit set.
+func (p *Parsed) ValidMask() HeaderBit { return p.valid }
+
+// Reset clears the parsed vector for reuse.
+func (p *Parsed) Reset() {
+	p.valid = 0
+	p.Payload = nil
+}
+
+// Parse decodes a full packet from data, following the generic parser
+// graph: Ethernet → {ARP | SFC | IPv4} and, under IPv4,
+// {TCP | UDP | ICMP} with UDP port 4789 triggering VXLAN → inner
+// Ethernet → inner IPv4 → inner {TCP | UDP}. Unknown EtherTypes or IP
+// protocols leave the remainder as payload rather than failing, like a
+// P4 parser accepting on a default transition.
+func (p *Parsed) Parse(data []byte) error {
+	p.Reset()
+	if err := p.Eth.DecodeFromBytes(data); err != nil {
+		return fmt.Errorf("ethernet: %w", err)
+	}
+	p.SetValid(HdrEth)
+	rest := data[EthernetLen:]
+	etherType := p.Eth.EtherType
+
+	if etherType == EtherTypeSFC {
+		if err := p.SFC.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("sfc: %w", err)
+		}
+		p.SetValid(HdrSFC)
+		rest = rest[nsh.HeaderLen:]
+		switch p.SFC.NextProto {
+		case nsh.ProtoIPv4:
+			etherType = EtherTypeIPv4
+		case nsh.ProtoEthernet:
+			etherType = EtherTypeVLAN // unsupported: treat as payload
+		default:
+			p.Payload = rest
+			return nil
+		}
+	}
+
+	switch etherType {
+	case EtherTypeARP:
+		if err := p.ARP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("arp: %w", err)
+		}
+		p.SetValid(HdrARP)
+		p.Payload = rest[ARPLen:]
+		return nil
+	case EtherTypeIPv4:
+		if err := p.IPv4.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("ipv4: %w", err)
+		}
+		p.SetValid(HdrIPv4)
+		rest = rest[p.IPv4.HeaderLen():]
+		return p.parseL4(rest)
+	default:
+		p.Payload = rest
+		return nil
+	}
+}
+
+// parseL4 continues parsing below the outer IPv4 header.
+func (p *Parsed) parseL4(rest []byte) error {
+	switch p.IPv4.Protocol {
+	case ProtoTCP:
+		if err := p.TCP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("tcp: %w", err)
+		}
+		p.SetValid(HdrTCP)
+		p.Payload = rest[p.TCP.HeaderLen():]
+	case ProtoUDP:
+		if err := p.UDP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("udp: %w", err)
+		}
+		p.SetValid(HdrUDP)
+		rest = rest[UDPLen:]
+		if p.UDP.DstPort == VXLANPort {
+			return p.parseVXLAN(rest)
+		}
+		p.Payload = rest
+	case ProtoICMP:
+		if err := p.ICMP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("icmp: %w", err)
+		}
+		p.SetValid(HdrICMP)
+		p.Payload = rest[ICMPLen:]
+	default:
+		p.Payload = rest
+	}
+	return nil
+}
+
+// parseVXLAN parses a VXLAN encapsulation and one level of inner
+// headers.
+func (p *Parsed) parseVXLAN(rest []byte) error {
+	if err := p.VXLAN.DecodeFromBytes(rest); err != nil {
+		return fmt.Errorf("vxlan: %w", err)
+	}
+	p.SetValid(HdrVXLAN)
+	rest = rest[VXLANLen:]
+	if err := p.InnerEth.DecodeFromBytes(rest); err != nil {
+		return fmt.Errorf("inner ethernet: %w", err)
+	}
+	p.SetValid(HdrInnerEth)
+	rest = rest[EthernetLen:]
+	if p.InnerEth.EtherType != EtherTypeIPv4 {
+		p.Payload = rest
+		return nil
+	}
+	if err := p.InnerIPv4.DecodeFromBytes(rest); err != nil {
+		return fmt.Errorf("inner ipv4: %w", err)
+	}
+	p.SetValid(HdrInnerIPv4)
+	rest = rest[p.InnerIPv4.HeaderLen():]
+	switch p.InnerIPv4.Protocol {
+	case ProtoTCP:
+		if err := p.InnerTCP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("inner tcp: %w", err)
+		}
+		p.SetValid(HdrInnerTCP)
+		p.Payload = rest[p.InnerTCP.HeaderLen():]
+	case ProtoUDP:
+		if err := p.InnerUDP.DecodeFromBytes(rest); err != nil {
+			return fmt.Errorf("inner udp: %w", err)
+		}
+		p.SetValid(HdrInnerUDP)
+		p.Payload = rest[UDPLen:]
+	default:
+		p.Payload = rest
+	}
+	return nil
+}
+
+// WireLen returns the total serialized packet length for the current
+// validity bits and payload.
+func (p *Parsed) WireLen() int {
+	n := 0
+	if p.Valid(HdrEth) {
+		n += EthernetLen
+	}
+	if p.Valid(HdrSFC) {
+		n += nsh.HeaderLen
+	}
+	if p.Valid(HdrARP) {
+		n += ARPLen
+	}
+	if p.Valid(HdrIPv4) {
+		n += p.IPv4.HeaderLen()
+	}
+	if p.Valid(HdrTCP) {
+		n += p.TCP.HeaderLen()
+	}
+	if p.Valid(HdrUDP) {
+		n += UDPLen
+	}
+	if p.Valid(HdrICMP) {
+		n += ICMPLen
+	}
+	if p.Valid(HdrVXLAN) {
+		n += VXLANLen
+	}
+	if p.Valid(HdrInnerEth) {
+		n += EthernetLen
+	}
+	if p.Valid(HdrInnerIPv4) {
+		n += p.InnerIPv4.HeaderLen()
+	}
+	if p.Valid(HdrInnerTCP) {
+		n += p.InnerTCP.HeaderLen()
+	}
+	if p.Valid(HdrInnerUDP) {
+		n += UDPLen
+	}
+	return n + len(p.Payload)
+}
+
+// Serialize appends the packet's wire representation to b and returns
+// the extended slice — the behavioural analogue of the generic
+// deparser. It fixes up chaining fields (EtherType/NextProto when the
+// SFC header is valid, IP protocol numbers, IP and UDP total lengths)
+// and recomputes the IPv4 header checksums, so NFs may toggle header
+// validity without maintaining those invariants themselves.
+func (p *Parsed) Serialize(b []byte) ([]byte, error) {
+	p.fixup()
+	start := len(b)
+	n := p.WireLen()
+	if cap(b)-start < n {
+		nb := make([]byte, start, start+n)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:start+n]
+	out := b[start:]
+	off := 0
+	write := func(h interface {
+		SerializeTo([]byte) (int, error)
+	}) error {
+		m, err := h.SerializeTo(out[off:])
+		if err != nil {
+			return err
+		}
+		off += m
+		return nil
+	}
+	if p.Valid(HdrEth) {
+		if err := write(&p.Eth); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrSFC) {
+		if err := write(&p.SFC); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrARP) {
+		if err := write(&p.ARP); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrIPv4) {
+		if err := write(&p.IPv4); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrTCP) {
+		if err := write(&p.TCP); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrUDP) {
+		if err := write(&p.UDP); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrICMP) {
+		if err := write(&p.ICMP); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrVXLAN) {
+		if err := write(&p.VXLAN); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrInnerEth) {
+		if err := write(&p.InnerEth); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrInnerIPv4) {
+		if err := write(&p.InnerIPv4); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrInnerTCP) {
+		if err := write(&p.InnerTCP); err != nil {
+			return nil, err
+		}
+	}
+	if p.Valid(HdrInnerUDP) {
+		if err := write(&p.InnerUDP); err != nil {
+			return nil, err
+		}
+	}
+	copy(out[off:], p.Payload)
+	return b, nil
+}
+
+// fixup repairs chaining fields and lengths before serialization.
+func (p *Parsed) fixup() {
+	// Inner stack first so outer lengths see final inner sizes.
+	if p.Valid(HdrInnerIPv4) {
+		innerL4 := 0
+		switch {
+		case p.Valid(HdrInnerTCP):
+			p.InnerIPv4.Protocol = ProtoTCP
+			innerL4 = p.InnerTCP.HeaderLen()
+		case p.Valid(HdrInnerUDP):
+			p.InnerIPv4.Protocol = ProtoUDP
+			innerL4 = UDPLen
+			p.InnerUDP.Length = uint16(UDPLen + len(p.Payload))
+		}
+		p.InnerIPv4.Length = uint16(p.InnerIPv4.HeaderLen() + innerL4 + len(p.Payload))
+	}
+	if p.Valid(HdrInnerEth) && p.Valid(HdrInnerIPv4) {
+		p.InnerEth.EtherType = EtherTypeIPv4
+	}
+
+	if p.Valid(HdrIPv4) {
+		after := 0
+		switch {
+		case p.Valid(HdrTCP):
+			p.IPv4.Protocol = ProtoTCP
+			after = p.TCP.HeaderLen() + len(p.Payload)
+		case p.Valid(HdrUDP):
+			p.IPv4.Protocol = ProtoUDP
+			after = UDPLen
+			if p.Valid(HdrVXLAN) {
+				after += VXLANLen
+				if p.Valid(HdrInnerEth) {
+					after += EthernetLen
+				}
+				if p.Valid(HdrInnerIPv4) {
+					after += int(p.InnerIPv4.Length)
+				} else {
+					after += len(p.Payload)
+				}
+			} else {
+				after += len(p.Payload)
+			}
+			p.UDP.Length = uint16(after)
+		case p.Valid(HdrICMP):
+			p.IPv4.Protocol = ProtoICMP
+			after = ICMPLen + len(p.Payload)
+		default:
+			after = len(p.Payload)
+		}
+		p.IPv4.Length = uint16(p.IPv4.HeaderLen() + after)
+	}
+
+	// Ethernet / SFC chaining.
+	switch {
+	case p.Valid(HdrSFC):
+		p.Eth.EtherType = EtherTypeSFC
+		switch {
+		case p.Valid(HdrIPv4):
+			p.SFC.NextProto = nsh.ProtoIPv4
+		default:
+			p.SFC.NextProto = nsh.ProtoNone
+		}
+	case p.Valid(HdrARP):
+		p.Eth.EtherType = EtherTypeARP
+	case p.Valid(HdrIPv4):
+		p.Eth.EtherType = EtherTypeIPv4
+	}
+}
+
+// FiveTuple is the canonical flow key used by the L4 load balancer.
+type FiveTuple struct {
+	Src, Dst IP4
+	Proto    uint8
+	SrcPort  uint16
+	DstPort  uint16
+}
+
+// FiveTuple extracts the flow key from the outer headers. ok is false
+// when the packet has no IPv4+TCP/UDP stack.
+func (p *Parsed) FiveTuple() (ft FiveTuple, ok bool) {
+	if !p.Valid(HdrIPv4) {
+		return ft, false
+	}
+	ft.Src = p.IPv4.Src
+	ft.Dst = p.IPv4.Dst
+	ft.Proto = p.IPv4.Protocol
+	switch {
+	case p.Valid(HdrTCP):
+		ft.SrcPort = p.TCP.SrcPort
+		ft.DstPort = p.TCP.DstPort
+	case p.Valid(HdrUDP):
+		ft.SrcPort = p.UDP.SrcPort
+		ft.DstPort = p.UDP.DstPort
+	default:
+		return ft, false
+	}
+	return ft, true
+}
+
+// Hash returns a CRC32-style hash of the five-tuple, matching the
+// sessionHash computation in the paper's LB example (Fig. 4).
+func (ft FiveTuple) Hash() uint32 {
+	var key [13]byte
+	copy(key[0:4], ft.Src[:])
+	copy(key[4:8], ft.Dst[:])
+	key[8] = ft.Proto
+	put16(key[9:11], ft.SrcPort)
+	put16(key[11:13], ft.DstPort)
+	return crc32Hash(key[:])
+}
+
+// crc32Hash is a table-free CRC-32 (IEEE polynomial, reflected).
+func crc32Hash(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// String lists the valid headers and key addressing fields.
+func (p *Parsed) String() string {
+	var parts []string
+	for _, hn := range headerBitNames {
+		if p.Valid(hn.bit) {
+			parts = append(parts, hn.name)
+		}
+	}
+	s := "pkt[" + strings.Join(parts, ",") + "]"
+	if p.Valid(HdrIPv4) {
+		s += fmt.Sprintf(" %s->%s", p.IPv4.Src, p.IPv4.Dst)
+	}
+	if p.Valid(HdrSFC) {
+		s += " " + p.SFC.String()
+	}
+	return s
+}

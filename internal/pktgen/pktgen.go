@@ -1,0 +1,120 @@
+// Package pktgen generates synthetic traffic for functional tests and
+// experiments — the stand-in for Tofino's internal packet generator
+// used in §4's measurements. Generation is deterministic under a seed
+// so experiments are reproducible.
+package pktgen
+
+import (
+	"math/rand"
+
+	"dejavu/internal/packet"
+)
+
+// Config parameterizes a flow generator.
+type Config struct {
+	Seed int64
+	// SrcNet/DstNet are /16 bases for random addresses.
+	SrcNet packet.IP4
+	DstNet packet.IP4
+	// FixedDst, when nonzero, overrides DstNet (e.g. all traffic to a
+	// VIP).
+	FixedDst packet.IP4
+	DstPort  uint16 // 0 = random
+	Proto    uint8  // packet.ProtoTCP (default) or ProtoUDP
+	// PayloadLen bytes of payload per packet.
+	PayloadLen int
+	SrcMAC     packet.MAC
+	DstMAC     packet.MAC
+}
+
+// Generator produces packets and flows.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	if cfg.SrcNet == (packet.IP4{}) {
+		cfg.SrcNet = packet.IP4{198, 51, 0, 0}
+	}
+	if cfg.DstNet == (packet.IP4{}) {
+		cfg.DstNet = packet.IP4{203, 0, 0, 0}
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Flow identifies one generated flow.
+type Flow struct {
+	Tuple packet.FiveTuple
+}
+
+// NextFlow draws a new random flow.
+func (g *Generator) NextFlow() Flow {
+	src := g.cfg.SrcNet
+	src[2], src[3] = byte(g.rng.Intn(256)), byte(1+g.rng.Intn(254))
+	dst := g.cfg.FixedDst
+	if dst == (packet.IP4{}) {
+		dst = g.cfg.DstNet
+		dst[2], dst[3] = byte(g.rng.Intn(256)), byte(1+g.rng.Intn(254))
+	}
+	proto := g.cfg.Proto
+	if proto == 0 {
+		proto = packet.ProtoTCP
+	}
+	dstPort := g.cfg.DstPort
+	if dstPort == 0 {
+		dstPort = uint16(1024 + g.rng.Intn(64000))
+	}
+	return Flow{Tuple: packet.FiveTuple{
+		Src:     src,
+		Dst:     dst,
+		Proto:   proto,
+		SrcPort: uint16(1024 + g.rng.Intn(64000)),
+		DstPort: dstPort,
+	}}
+}
+
+// Packet materializes one packet of a flow.
+func (g *Generator) Packet(f Flow) *packet.Parsed {
+	payload := make([]byte, g.cfg.PayloadLen)
+	if f.Tuple.Proto == packet.ProtoUDP {
+		return packet.NewUDP(packet.UDPOpts{
+			SrcMAC: g.cfg.SrcMAC, DstMAC: g.cfg.DstMAC,
+			Src: f.Tuple.Src, Dst: f.Tuple.Dst,
+			SrcPort: f.Tuple.SrcPort, DstPort: f.Tuple.DstPort,
+			Payload: payload,
+		})
+	}
+	return packet.NewTCP(packet.TCPOpts{
+		SrcMAC: g.cfg.SrcMAC, DstMAC: g.cfg.DstMAC,
+		Src: f.Tuple.Src, Dst: f.Tuple.Dst,
+		SrcPort: f.Tuple.SrcPort, DstPort: f.Tuple.DstPort,
+		Payload: payload,
+	})
+}
+
+// Flows draws n distinct flows.
+func (g *Generator) Flows(n int) []Flow {
+	out := make([]Flow, 0, n)
+	seen := make(map[packet.FiveTuple]bool, n)
+	for len(out) < n {
+		f := g.NextFlow()
+		if seen[f.Tuple] {
+			continue
+		}
+		seen[f.Tuple] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Packets draws n packets from n distinct flows.
+func (g *Generator) Packets(n int) []*packet.Parsed {
+	flows := g.Flows(n)
+	out := make([]*packet.Parsed, n)
+	for i, f := range flows {
+		out[i] = g.Packet(f)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package pktgen
+
+import (
+	"testing"
+
+	"dejavu/internal/packet"
+)
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := New(Config{Seed: 7}).Flows(50)
+	b := New(Config{Seed: 7}).Flows(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs under same seed", i)
+		}
+	}
+	c := New(Config{Seed: 8}).Flows(50)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical flows")
+	}
+}
+
+func TestFlowsDistinct(t *testing.T) {
+	flows := New(Config{Seed: 1}).Flows(200)
+	seen := make(map[packet.FiveTuple]bool)
+	for _, f := range flows {
+		if seen[f.Tuple] {
+			t.Fatalf("duplicate flow %+v", f.Tuple)
+		}
+		seen[f.Tuple] = true
+	}
+}
+
+func TestFixedDstAndPort(t *testing.T) {
+	vip := packet.IP4{203, 0, 113, 80}
+	g := New(Config{Seed: 2, FixedDst: vip, DstPort: 443})
+	for _, f := range g.Flows(20) {
+		if f.Tuple.Dst != vip {
+			t.Errorf("dst = %s", f.Tuple.Dst)
+		}
+		if f.Tuple.DstPort != 443 {
+			t.Errorf("dst port = %d", f.Tuple.DstPort)
+		}
+		if f.Tuple.Proto != packet.ProtoTCP {
+			t.Errorf("proto = %d", f.Tuple.Proto)
+		}
+	}
+}
+
+func TestPacketsParse(t *testing.T) {
+	g := New(Config{Seed: 3, PayloadLen: 64, Proto: packet.ProtoUDP})
+	for _, p := range g.Packets(20) {
+		wire, err := p.Serialize(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q packet.Parsed
+		if err := q.Parse(wire); err != nil {
+			t.Fatalf("generated packet does not parse: %v", err)
+		}
+		if !q.Valid(packet.HdrUDP) {
+			t.Errorf("expected UDP packet, got %s", q.String())
+		}
+		if len(q.Payload) != 64 {
+			t.Errorf("payload = %d bytes", len(q.Payload))
+		}
+	}
+}
+
+func TestPacketsMatchFlows(t *testing.T) {
+	g := New(Config{Seed: 4})
+	f := g.NextFlow()
+	p := g.Packet(f)
+	ft, ok := p.FiveTuple()
+	if !ok || ft != f.Tuple {
+		t.Errorf("packet tuple %+v != flow tuple %+v", ft, f.Tuple)
+	}
+}
+
+func TestSrcAddressesNeverZeroHost(t *testing.T) {
+	g := New(Config{Seed: 5})
+	for _, f := range g.Flows(100) {
+		if f.Tuple.Src[3] == 0 {
+			t.Errorf("flow src %s has zero host byte", f.Tuple.Src)
+		}
+	}
+}
+
+func BenchmarkNextFlow(b *testing.B) {
+	g := New(Config{Seed: 1})
+	for i := 0; i < b.N; i++ {
+		g.NextFlow()
+	}
+}

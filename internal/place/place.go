@@ -1,0 +1,467 @@
+// Package place implements NF placement optimization (§3.3): given a
+// set of weighted service chains and a switch profile, choose a pipelet
+// for every NF so that the weighted number of packet recirculations is
+// minimized, subject to per-pipelet stage budgets.
+//
+// Four strategies are provided:
+//
+//   - Naive — the paper's strawman: NFs placed one by one in chain
+//     order, alternating between ingress and egress pipes ("this naïve
+//     scheme usually results in sub-optimal placements").
+//   - Greedy — each NF (in chain order) goes to the feasible pipelet
+//     that minimizes the cost of the partial placement.
+//   - Exhaustive — enumerates all feasible assignments; exact but
+//     exponential, fine for chains the size of the paper's examples.
+//   - Anneal — simulated annealing with a deterministic seed for
+//     larger problems.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/route"
+)
+
+// frameworkStagesPerNF is the stage overhead the Dejavu wrapper adds
+// around each NF on a pipelet (check_nextNF + check_sfcFlags, see
+// internal/compose and Table 1).
+const frameworkStagesPerNF = 2
+
+// branchingStages is the stage overhead of the ingress branching table.
+const branchingStages = 1
+
+// Problem describes one placement instance.
+type Problem struct {
+	Prof   asic.Profile
+	Chains []route.Chain
+	// Enter is the pipeline whose ingress pipe receives external
+	// traffic.
+	Enter int
+	// EntryWeights optionally spreads external traffic over several
+	// entry pipelines (pipeline index -> share). When set, the cost is
+	// the entry-weighted sum over all entries and Enter is ignored.
+	EntryWeights map[int]float64
+	// StageDemand gives each NF's own MAU stage demand (from
+	// compiler.MinStages); NFs absent from the map default to 1 stage.
+	StageDemand map[string]int
+	// Fixed pins NFs to pipelets (e.g. the classifier must face
+	// external traffic on the entry ingress pipe).
+	Fixed map[string]asic.PipeletID
+}
+
+// nfNames returns the distinct NF names across the chains, in first-
+// appearance order.
+func (p Problem) nfNames() []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range p.Chains {
+		for _, n := range c.NFs {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// pipelets returns all pipelets of the profile.
+func (p Problem) pipelets() []asic.PipeletID {
+	out := make([]asic.PipeletID, 0, p.Prof.TotalPipelets())
+	for pipe := 0; pipe < p.Prof.Pipelines; pipe++ {
+		out = append(out, asic.PipeletID{Pipeline: pipe, Dir: asic.Ingress})
+		out = append(out, asic.PipeletID{Pipeline: pipe, Dir: asic.Egress})
+	}
+	return out
+}
+
+// demand returns an NF's stage demand.
+func (p Problem) demand(name string) int {
+	if d, ok := p.StageDemand[name]; ok {
+		return d
+	}
+	return 1
+}
+
+// Feasible reports whether a placement fits the per-pipelet stage
+// budget under sequential composition, including framework overhead.
+func (p Problem) Feasible(pl *route.Placement) bool {
+	load := make(map[asic.PipeletID]int)
+	for _, name := range p.nfNames() {
+		at, ok := pl.Of(name)
+		if !ok {
+			return false
+		}
+		load[at] += p.demand(name) + frameworkStagesPerNF
+	}
+	for pipelet, stages := range load {
+		if pipelet.Dir == asic.Ingress {
+			stages += branchingStages
+		}
+		if stages > p.Prof.StagesPerPipelet {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects malformed problems.
+func (p Problem) Validate() error {
+	if p.Prof.Pipelines < 1 {
+		return fmt.Errorf("place: profile has no pipelines")
+	}
+	if len(p.Chains) == 0 {
+		return fmt.Errorf("place: no chains")
+	}
+	for _, c := range p.Chains {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Enter < 0 || p.Enter >= p.Prof.Pipelines {
+		return fmt.Errorf("place: entry pipeline %d out of range", p.Enter)
+	}
+	for enter, w := range p.EntryWeights {
+		if enter < 0 || enter >= p.Prof.Pipelines {
+			return fmt.Errorf("place: entry pipeline %d out of range", enter)
+		}
+		if w < 0 {
+			return fmt.Errorf("place: entry pipeline %d has negative weight", enter)
+		}
+	}
+	for name, at := range p.Fixed {
+		if at.Pipeline < 0 || at.Pipeline >= p.Prof.Pipelines {
+			return fmt.Errorf("place: NF %q pinned to nonexistent pipeline %d", name, at.Pipeline)
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of one optimizer run.
+type Result struct {
+	Placement   *route.Placement
+	Cost        route.Cost
+	Evaluations int // placements evaluated
+}
+
+// evaluate scores a placement: single-entry, or the entry-weighted sum
+// when EntryWeights is set.
+func (p Problem) evaluate(pl *route.Placement) (route.Cost, error) {
+	if len(p.EntryWeights) == 0 {
+		return route.Evaluate(p.Chains, pl, p.Enter)
+	}
+	var total route.Cost
+	for enter, w := range p.EntryWeights {
+		c, err := route.Evaluate(p.Chains, pl, enter)
+		if err != nil {
+			return route.Cost{}, err
+		}
+		total.WeightedRecircs += w * c.WeightedRecircs
+		total.WeightedResubmits += w * c.WeightedResubmits
+	}
+	return total, nil
+}
+
+// applyFixed writes pinned assignments into a placement.
+func (p Problem) applyFixed(pl *route.Placement) {
+	for name, at := range p.Fixed {
+		pl.Assign(name, at)
+	}
+}
+
+// Naive places NFs one by one in chain-appearance order, alternating
+// ingress and egress pipes round-robin across pipelines — the §3.3
+// strawman.
+func Naive(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := route.NewPlacement()
+	p.applyFixed(pl)
+	order := p.pipelets()
+	// Reorder to alternate ingress/egress starting at the entry
+	// pipeline: ing(enter), eg(enter), ing(enter+1), eg(enter+1), ...
+	var alt []asic.PipeletID
+	for i := 0; i < p.Prof.Pipelines; i++ {
+		pipe := (p.Enter + i) % p.Prof.Pipelines
+		alt = append(alt, asic.PipeletID{Pipeline: pipe, Dir: asic.Ingress},
+			asic.PipeletID{Pipeline: pipe, Dir: asic.Egress})
+	}
+	order = alt
+
+	slot := 0
+	load := make(map[asic.PipeletID]int)
+	for name, at := range p.Fixed {
+		load[at] += p.demand(name) + frameworkStagesPerNF
+	}
+	for _, name := range p.nfNames() {
+		if _, pinned := p.Fixed[name]; pinned {
+			continue
+		}
+		// Advance to the next pipelet with room.
+		for tries := 0; tries < len(order); tries++ {
+			at := order[slot%len(order)]
+			need := p.demand(name) + frameworkStagesPerNF
+			budget := p.Prof.StagesPerPipelet
+			if at.Dir == asic.Ingress {
+				budget -= branchingStages
+			}
+			if load[at]+need <= budget {
+				pl.Assign(name, at)
+				load[at] += need
+				slot++
+				break
+			}
+			slot++
+		}
+		if _, ok := pl.Of(name); !ok {
+			return nil, fmt.Errorf("place: naive placement cannot fit NF %q", name)
+		}
+	}
+	cost, err := p.evaluate(pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Placement: pl, Cost: cost, Evaluations: 1}, nil
+}
+
+// Greedy places NFs in chain-appearance order, each on the feasible
+// pipelet minimizing the cost over the chains restricted to already-
+// placed NFs.
+func Greedy(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pl := route.NewPlacement()
+	p.applyFixed(pl)
+	placed := make(map[string]bool)
+	for n := range p.Fixed {
+		placed[n] = true
+	}
+	evals := 0
+	for _, name := range p.nfNames() {
+		if placed[name] {
+			continue
+		}
+		var best asic.PipeletID
+		var bestCost route.Cost
+		found := false
+		for _, at := range p.pipelets() {
+			cand := pl.Clone()
+			cand.Assign(name, at)
+			if !partialFeasible(p, cand) {
+				continue
+			}
+			cost, err := partialCost(p, cand)
+			if err != nil {
+				continue
+			}
+			evals++
+			if !found || cost.Less(bestCost) {
+				best, bestCost, found = at, cost, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("place: greedy cannot place NF %q", name)
+		}
+		pl.Assign(name, best)
+		placed[name] = true
+	}
+	cost, err := p.evaluate(pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Placement: pl, Cost: cost, Evaluations: evals}, nil
+}
+
+// partialCost evaluates the chains truncated to placed NFs.
+func partialCost(p Problem, pl *route.Placement) (route.Cost, error) {
+	var trunc []route.Chain
+	for _, c := range p.Chains {
+		var nfs []string
+		for _, n := range c.NFs {
+			if _, ok := pl.Of(n); ok {
+				nfs = append(nfs, n)
+			}
+		}
+		if len(nfs) == 0 {
+			continue
+		}
+		tc := c
+		tc.NFs = nfs
+		trunc = append(trunc, tc)
+	}
+	if len(trunc) == 0 {
+		return route.Cost{}, nil
+	}
+	sub := p
+	sub.Chains = trunc
+	return sub.evaluate(pl)
+}
+
+// partialFeasible checks the stage budget over currently-placed NFs.
+func partialFeasible(p Problem, pl *route.Placement) bool {
+	load := make(map[asic.PipeletID]int)
+	for _, name := range p.nfNames() {
+		if at, ok := pl.Of(name); ok {
+			load[at] += p.demand(name) + frameworkStagesPerNF
+		}
+	}
+	for pipelet, stages := range load {
+		if pipelet.Dir == asic.Ingress {
+			stages += branchingStages
+		}
+		if stages > p.Prof.StagesPerPipelet {
+			return false
+		}
+	}
+	return true
+}
+
+// Exhaustive enumerates every feasible assignment of unpinned NFs to
+// pipelets and returns the optimum. Complexity is
+// (2·pipelines)^(unpinned NFs); it is exact for paper-scale problems.
+func Exhaustive(p Problem) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	names := p.nfNames()
+	var free []string
+	for _, n := range names {
+		if _, pinned := p.Fixed[n]; !pinned {
+			free = append(free, n)
+		}
+	}
+	pipelets := p.pipelets()
+	if len(free) > 12 {
+		return nil, fmt.Errorf("place: exhaustive search over %d NFs is infeasible; use Anneal", len(free))
+	}
+
+	base := route.NewPlacement()
+	p.applyFixed(base)
+
+	var best *Result
+	assign := make([]int, len(free))
+	evals := 0
+	for {
+		cand := base.Clone()
+		for i, n := range free {
+			cand.Assign(n, pipelets[assign[i]])
+		}
+		if p.Feasible(cand) {
+			cost, err := p.evaluate(cand)
+			if err == nil {
+				evals++
+				if best == nil || cost.Less(best.Cost) {
+					best = &Result{Placement: cand, Cost: cost}
+				}
+			}
+		}
+		// Increment the mixed-radix counter.
+		i := 0
+		for ; i < len(assign); i++ {
+			assign[i]++
+			if assign[i] < len(pipelets) {
+				break
+			}
+			assign[i] = 0
+		}
+		if i == len(assign) {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("place: no feasible placement exists")
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// AnnealOpts parameterizes simulated annealing.
+type AnnealOpts struct {
+	Seed       int64
+	Iterations int     // default 20000
+	InitTemp   float64 // default 4
+	Cooling    float64 // default 0.999
+}
+
+// Anneal optimizes the placement with simulated annealing, starting
+// from the greedy solution (or naive if greedy fails).
+func Anneal(p Problem, opts AnnealOpts) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 20000
+	}
+	if opts.InitTemp == 0 {
+		opts.InitTemp = 4
+	}
+	if opts.Cooling == 0 {
+		opts.Cooling = 0.999
+	}
+	start, err := Greedy(p)
+	if err != nil {
+		if start, err = Naive(p); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	names := p.nfNames()
+	var free []string
+	for _, n := range names {
+		if _, pinned := p.Fixed[n]; !pinned {
+			free = append(free, n)
+		}
+	}
+	if len(free) == 0 {
+		return start, nil
+	}
+	pipelets := p.pipelets()
+
+	curr := start.Placement.Clone()
+	currCost := start.Cost
+	best := &Result{Placement: curr.Clone(), Cost: currCost, Evaluations: start.Evaluations}
+
+	temp := opts.InitTemp
+	score := func(c route.Cost) float64 {
+		return c.WeightedRecircs + 0.01*c.WeightedResubmits
+	}
+	for i := 0; i < opts.Iterations; i++ {
+		name := free[rng.Intn(len(free))]
+		target := pipelets[rng.Intn(len(pipelets))]
+		old, _ := curr.Of(name)
+		if target == old {
+			continue
+		}
+		curr.Assign(name, target)
+		ok := p.Feasible(curr)
+		var cost route.Cost
+		if ok {
+			cost, err = p.evaluate(curr)
+			ok = err == nil
+		}
+		best.Evaluations++
+		accept := false
+		if ok {
+			delta := score(cost) - score(currCost)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				accept = true
+			}
+		}
+		if accept {
+			currCost = cost
+			if cost.Less(best.Cost) {
+				best.Placement = curr.Clone()
+				best.Cost = cost
+			}
+		} else {
+			curr.Assign(name, old)
+		}
+		temp *= opts.Cooling
+	}
+	return best, nil
+}

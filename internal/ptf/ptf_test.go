@@ -1,0 +1,207 @@
+package ptf
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/ctl"
+	"dejavu/internal/packet"
+	"dejavu/internal/scenario"
+)
+
+// harness deploys the §5 scenario with a control-plane hook.
+func harness(t *testing.T) (*scenario.Scenario, *Harness) {
+	t.Helper()
+	s := scenario.MustNew()
+	c, err := compose.New(s.Prof, s.Chains, s.Placement, s.NFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := asic.New(s.Prof)
+	if err := d.InstallOn(sw); err != nil {
+		t.Fatal(err)
+	}
+	h := New(sw)
+	ctrl := ctl.New(sw, s.NFs)
+	h.AfterInject = func() error {
+		_, err := ctrl.Poll()
+		return err
+	}
+	return s, h
+}
+
+// suite returns the §5 validation cases for all three SFC paths.
+func suite() []TestCase {
+	return []TestCase{
+		{
+			Name:   "full-path-lb-miss-learns",
+			InPort: scenario.PortClient,
+			Pkt:    scenario.ClientTCP(443),
+			// The miss punts to CPU; the hook installs the session and
+			// reinjects, so the packet still has no direct output in
+			// this trace but a CPU event.
+			ExpectCPU:         true,
+			MaxRecirculations: 1,
+		},
+		{
+			Name:              "full-path-after-learning",
+			InPort:            scenario.PortClient,
+			Pkt:               scenario.ClientTCP(443),
+			ExpectOut:         []Expect{{Port: scenario.PortBackends, Checks: []Check{NoSFC(), HasTTL(63), Reparses()}}},
+			MaxRecirculations: 1,
+		},
+		{
+			Name:       "full-path-firewall-deny",
+			InPort:     scenario.PortClient,
+			Pkt:        scenario.ClientTCP(22),
+			ExpectDrop: true,
+			// The drop happens in egress 1 after 0 recirculations.
+			MaxRecirculations: 0,
+		},
+		{
+			Name:   "medium-path-vxlan-encap",
+			InPort: scenario.PortClient,
+			Pkt:    scenario.TenantBound(),
+			ExpectOut: []Expect{{Port: scenario.PortVTEP, Checks: []Check{
+				HasVXLAN(scenario.TenantVNI), HasDst(scenario.RemoteVTEP), NoSFC(), Reparses(),
+			}}},
+			MaxRecirculations: 1,
+		},
+		{
+			Name:              "basic-path-default-route",
+			InPort:            scenario.PortClient,
+			Pkt:               scenario.InternetBound(),
+			ExpectOut:         []Expect{{Port: scenario.PortUpstream, Checks: []Check{HasEthDst(scenario.UpstreamMAC), NoSFC()}}},
+			MaxRecirculations: 1,
+		},
+	}
+}
+
+func TestSuitePasses(t *testing.T) {
+	_, h := harness(t)
+	rep := h.RunAll(suite())
+	if rep.Failed != 0 {
+		t.Fatalf("suite failed:\n%s", rep.String())
+	}
+	if rep.Passed != len(suite()) {
+		t.Errorf("passed = %d, want %d", rep.Passed, len(suite()))
+	}
+}
+
+func TestHarnessDetectsWrongPort(t *testing.T) {
+	_, h := harness(t)
+	res := h.Run(TestCase{
+		Name:              "wrong-port",
+		InPort:            scenario.PortClient,
+		Pkt:               scenario.InternetBound(),
+		ExpectOut:         []Expect{{Port: 15}}, // actually exits on PortUpstream
+		MaxRecirculations: -1,
+	})
+	if res.Err == nil {
+		t.Error("wrong expected port not detected")
+	}
+	if !strings.Contains(res.Err.Error(), "port 15") {
+		t.Errorf("unhelpful error: %v", res.Err)
+	}
+}
+
+func TestHarnessDetectsFailedCheck(t *testing.T) {
+	_, h := harness(t)
+	res := h.Run(TestCase{
+		Name:   "bad-check",
+		InPort: scenario.PortClient,
+		Pkt:    scenario.InternetBound(),
+		ExpectOut: []Expect{{
+			Port:   scenario.PortUpstream,
+			Checks: []Check{HasTTL(99)},
+		}},
+		MaxRecirculations: -1,
+	})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "ttl") {
+		t.Errorf("failed check not surfaced: %v", res.Err)
+	}
+}
+
+func TestHarnessDetectsUnexpectedDrop(t *testing.T) {
+	_, h := harness(t)
+	res := h.Run(TestCase{
+		Name:              "expect-drop-mismatch",
+		InPort:            scenario.PortClient,
+		Pkt:               scenario.InternetBound(),
+		ExpectDrop:        true,
+		MaxRecirculations: -1,
+	})
+	if res.Err == nil {
+		t.Error("drop mismatch not detected")
+	}
+}
+
+func TestHarnessRecircBudget(t *testing.T) {
+	_, h := harness(t)
+	res := h.Run(TestCase{
+		Name:              "tight-recirc-budget",
+		InPort:            scenario.PortClient,
+		Pkt:               scenario.InternetBound(),
+		ExpectOut:         []Expect{{Port: scenario.PortUpstream}},
+		MaxRecirculations: 0, // the chain needs 1
+	})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "recirculations") {
+		t.Errorf("recirculation budget not enforced: %v", res.Err)
+	}
+}
+
+func TestHarnessInjectError(t *testing.T) {
+	_, h := harness(t)
+	res := h.Run(TestCase{
+		Name:   "bad-port",
+		InPort: 999,
+		Pkt:    scenario.InternetBound(),
+	})
+	if res.Err == nil {
+		t.Error("inject error not propagated")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	_, h := harness(t)
+	rep := h.RunAll([]TestCase{
+		{
+			Name: "fails", InPort: scenario.PortClient, Pkt: scenario.InternetBound(),
+			ExpectDrop: true, MaxRecirculations: -1,
+		},
+	})
+	if rep.Failed != 1 {
+		t.Fatalf("Failed = %d", rep.Failed)
+	}
+	if !strings.Contains(rep.String(), "FAIL fails") {
+		t.Errorf("report missing failure: %s", rep.String())
+	}
+}
+
+func TestChecksStandalone(t *testing.T) {
+	p := packet.NewTCP(packet.TCPOpts{
+		Src: packet.IP4{1, 2, 3, 4}, Dst: packet.IP4{5, 6, 7, 8},
+		SrcPort: 1, DstPort: 2,
+	})
+	if err := HasDst(packet.IP4{5, 6, 7, 8})(p); err != nil {
+		t.Errorf("HasDst: %v", err)
+	}
+	if err := HasDst(packet.IP4{9, 9, 9, 9})(p); err == nil {
+		t.Error("HasDst passed on mismatch")
+	}
+	if err := NoSFC()(p); err != nil {
+		t.Errorf("NoSFC: %v", err)
+	}
+	if err := HasVXLAN(1)(p); err == nil {
+		t.Error("HasVXLAN passed without VXLAN header")
+	}
+	if err := Reparses()(p); err != nil {
+		t.Errorf("Reparses: %v", err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package recirc implements the analytical recirculation model of §4:
+// the capacity split when m of n Ethernet ports are put in loopback
+// mode, the feedback-queue fixed point that governs throughput under
+// multiple recirculations, and the latency model for recirculated
+// packets.
+//
+// The feedback queue: when every packet entering at rate O must pass a
+// loopback resource of capacity C a total of k times, the passes share
+// the resource. With proportional (fair) loss, each pass is delivered
+// with the same fraction d, so pass i is offered O·d^(i-1) and the
+// capacity constraint reads
+//
+//	O · (d + d² + … + d^k) = C   (when saturated)
+//
+// The effective throughput is O·d^k. For the paper's setting O = C = T
+// and k = 2 this gives x² + xT − T² = 0, x ≈ 0.62T, and an effective
+// throughput of 0.38T; k = 3 yields 0.16T — exactly the §4 numbers.
+package recirc
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dejavu/internal/asic"
+)
+
+// DeliveryFraction returns the per-pass delivery fraction d for a
+// loopback resource of capacity cap offered external load at rate
+// offered, with every packet requiring k passes. It returns 1 when the
+// resource is unsaturated. Rates may be in any common unit (Gbps).
+func DeliveryFraction(offered, cap float64, k int) float64 {
+	if k <= 0 || offered <= 0 {
+		return 1
+	}
+	if cap <= 0 {
+		return 0
+	}
+	// Unsaturated: every pass fits.
+	if offered*float64(k) <= cap {
+		return 1
+	}
+	target := cap / offered
+	// Solve sum_{i=1..k} d^i = target for d in (0,1); the left side is
+	// strictly increasing in d.
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if geomSum(mid, k) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// geomSum computes d + d² + … + d^k.
+func geomSum(d float64, k int) float64 {
+	sum, p := 0.0, 1.0
+	for i := 0; i < k; i++ {
+		p *= d
+		sum += p
+	}
+	return sum
+}
+
+// Throughput returns the effective egress rate of traffic offered at
+// rate offered that must recirculate k times through a loopback
+// resource of capacity cap.
+func Throughput(offered, cap float64, k int) float64 {
+	d := DeliveryFraction(offered, cap, k)
+	return offered * math.Pow(d, float64(k))
+}
+
+// PassRates returns the delivered rate of each pass 1..k, useful for
+// inspecting the feedback queue (the x and y of Fig. 7).
+func PassRates(offered, cap float64, k int) []float64 {
+	d := DeliveryFraction(offered, cap, k)
+	out := make([]float64, k)
+	rate := offered
+	for i := 0; i < k; i++ {
+		rate *= d
+		out[i] = rate
+	}
+	return out
+}
+
+// Stream is one traffic class of a mixed workload: an offered rate and
+// the number of passes its packets make through the loopback resource.
+type Stream struct {
+	OfferedGbps    float64
+	Recirculations int
+}
+
+// MixedThroughput generalizes the §4 feedback queue to several chains
+// sharing one loopback budget: stream i offers oᵢ and needs kᵢ passes;
+// with proportional loss all passes share a common delivery fraction d
+// satisfying
+//
+//	Σᵢ oᵢ (d + d² + … + d^kᵢ) = C    (when saturated)
+//
+// The function returns each stream's egress rate oᵢ·d^kᵢ. Streams with
+// kᵢ = 0 bypass the loopback resource entirely.
+func MixedThroughput(streams []Stream, cap float64) []float64 {
+	out := make([]float64, len(streams))
+	demand := 0.0
+	for _, s := range streams {
+		if s.OfferedGbps > 0 && s.Recirculations > 0 {
+			demand += s.OfferedGbps * float64(s.Recirculations)
+		}
+	}
+	d := 1.0
+	if demand > cap {
+		if cap <= 0 {
+			d = 0
+		} else {
+			lo, hi := 0.0, 1.0
+			for iter := 0; iter < 100; iter++ {
+				mid := (lo + hi) / 2
+				load := 0.0
+				for _, s := range streams {
+					if s.OfferedGbps > 0 && s.Recirculations > 0 {
+						load += s.OfferedGbps * geomSum(mid, s.Recirculations)
+					}
+				}
+				if load < cap {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			d = (lo + hi) / 2
+		}
+	}
+	for i, s := range streams {
+		if s.OfferedGbps <= 0 {
+			continue
+		}
+		if s.Recirculations <= 0 {
+			out[i] = s.OfferedGbps
+			continue
+		}
+		out[i] = s.OfferedGbps * math.Pow(d, float64(s.Recirculations))
+	}
+	return out
+}
+
+// Series returns effective throughput for 1..maxK recirculations with
+// offered load equal to the loopback capacity — the configuration of
+// Fig. 8(a), where 100 Gbps is injected and recirculated k times
+// through one 100 Gbps loopback port.
+func Series(t float64, maxK int) []float64 {
+	out := make([]float64, maxK)
+	for k := 1; k <= maxK; k++ {
+		out[k-1] = Throughput(t, t, k)
+	}
+	return out
+}
+
+// CapacitySplit describes a switch with m of n front-panel ports in
+// loopback mode (§4 "Throughput" and the §5 prototype configuration).
+type CapacitySplit struct {
+	TotalPorts    int
+	LoopbackPorts int
+	PortGbps      float64
+}
+
+// ExternalGbps returns the capacity available to external traffic:
+// (n-m)/n of the aggregate.
+func (c CapacitySplit) ExternalGbps() float64 {
+	if c.TotalPorts == 0 {
+		return 0
+	}
+	return float64(c.TotalPorts-c.LoopbackPorts) * c.PortGbps
+}
+
+// LoopbackGbps returns the aggregate recirculation bandwidth from
+// looped-back front-panel ports.
+func (c CapacitySplit) LoopbackGbps() float64 {
+	return float64(c.LoopbackPorts) * c.PortGbps
+}
+
+// ExternalFraction returns (n-m)/n.
+func (c CapacitySplit) ExternalFraction() float64 {
+	if c.TotalPorts == 0 {
+		return 0
+	}
+	return float64(c.TotalPorts-c.LoopbackPorts) / float64(c.TotalPorts)
+}
+
+// OnceRecirculableFraction returns min(1, m/(n-m)): the share of
+// external traffic that can recirculate once without loss.
+func (c CapacitySplit) OnceRecirculableFraction() float64 {
+	ext := c.TotalPorts - c.LoopbackPorts
+	if ext <= 0 {
+		return 1
+	}
+	f := float64(c.LoopbackPorts) / float64(ext)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Validate rejects impossible configurations.
+func (c CapacitySplit) Validate() error {
+	if c.TotalPorts <= 0 {
+		return fmt.Errorf("recirc: TotalPorts must be positive")
+	}
+	if c.LoopbackPorts < 0 || c.LoopbackPorts > c.TotalPorts {
+		return fmt.Errorf("recirc: LoopbackPorts %d out of range [0,%d]", c.LoopbackPorts, c.TotalPorts)
+	}
+	if c.PortGbps <= 0 {
+		return fmt.Errorf("recirc: PortGbps must be positive")
+	}
+	return nil
+}
+
+// Latency model (§4 "Latency", Fig. 8b).
+
+// RecircLatency returns the extra latency of one recirculation hop.
+func RecircLatency(p asic.Profile, mode asic.LoopbackMode) time.Duration {
+	switch mode {
+	case asic.LoopbackOffChip:
+		return p.RecircOffChip
+	default:
+		return p.RecircOnChip
+	}
+}
+
+// ChainLatency returns the idle-buffer end-to-end latency of a packet
+// that traverses the switch k+1 times (k recirculations): each
+// traversal costs the port-to-port base latency, and each
+// recirculation adds the loopback hop.
+func ChainLatency(p asic.Profile, k int, mode asic.LoopbackMode) time.Duration {
+	if k < 0 {
+		k = 0
+	}
+	return time.Duration(k+1)*p.PortToPortLatency() + time.Duration(k)*RecircLatency(p, mode)
+}
+
+// LatencyOverheadFraction returns the recirculation hop latency as a
+// fraction of the port-to-port latency — the paper reports ~11.5% for
+// on-chip recirculation (75 ns / 650 ns).
+func LatencyOverheadFraction(p asic.Profile, mode asic.LoopbackMode) float64 {
+	return float64(RecircLatency(p, mode)) / float64(p.PortToPortLatency())
+}

@@ -1,0 +1,324 @@
+package recirc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dejavu/internal/asic"
+)
+
+const T = 100.0 // Gbps, the Fig. 8(a) injection rate
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDeliveryFractionGoldenRatio(t *testing.T) {
+	// k=2, O=C=T: d solves d+d² = 1 → d = (√5-1)/2 ≈ 0.6180, the x ≈
+	// 0.62T of §4.
+	d := DeliveryFraction(T, T, 2)
+	if !almostEqual(d, (math.Sqrt(5)-1)/2, 1e-9) {
+		t.Errorf("d = %v, want golden ratio conjugate", d)
+	}
+}
+
+func TestThroughputMatchesPaperNumbers(t *testing.T) {
+	cases := []struct {
+		k    int
+		want float64 // paper §4: T, 0.38T, 0.16T
+		tol  float64
+	}{
+		{1, 100, 1e-9},
+		{2, 38.2, 0.05},
+		{3, 16.1, 0.1},
+	}
+	for _, c := range cases {
+		got := Throughput(T, T, c.k)
+		if !almostEqual(got, c.want, c.tol) {
+			t.Errorf("Throughput(k=%d) = %.3f, want ≈%.1f", c.k, got, c.want)
+		}
+	}
+}
+
+func TestThroughputSuperLinearDecay(t *testing.T) {
+	// §4 takeaway 1: throughput degrades super-linearly in k. Verify
+	// each additional recirculation removes a growing share.
+	s := Series(T, 5)
+	if len(s) != 5 {
+		t.Fatalf("Series length %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] >= s[i-1] {
+			t.Errorf("throughput not decreasing at k=%d: %v", i+1, s)
+		}
+	}
+	// Super-linearity (§4): the decay outpaces the linear 1/k sharing
+	// one would naively expect from k passes over a shared port.
+	for i := 1; i < len(s); i++ {
+		k := i + 1
+		if s[i] >= T/float64(k) {
+			t.Errorf("decay not super-linear at k=%d: %.2f >= %.2f", k, s[i], T/float64(k))
+		}
+	}
+}
+
+func TestThroughputUnsaturated(t *testing.T) {
+	// Offered load low enough that k passes fit in the loopback
+	// capacity: no loss at all.
+	if got := Throughput(10, 100, 5); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("unsaturated Throughput = %v, want 10", got)
+	}
+	if d := DeliveryFraction(50, 100, 2); d != 1 {
+		t.Errorf("unsaturated DeliveryFraction = %v, want 1", d)
+	}
+}
+
+func TestThroughputEdgeCases(t *testing.T) {
+	if got := Throughput(T, T, 0); got != T {
+		t.Errorf("k=0 Throughput = %v, want %v", got, T)
+	}
+	if got := Throughput(0, T, 3); got != 0 {
+		t.Errorf("zero offered Throughput = %v", got)
+	}
+	if got := Throughput(T, 0, 1); got != 0 {
+		t.Errorf("zero capacity Throughput = %v", got)
+	}
+}
+
+func TestPassRatesConsistency(t *testing.T) {
+	// The delivered pass rates must sum to the loopback capacity when
+	// saturated (x + y = T in Fig. 7), and the last pass rate is the
+	// effective throughput.
+	rates := PassRates(T, T, 2)
+	if len(rates) != 2 {
+		t.Fatalf("PassRates length %d", len(rates))
+	}
+	if !almostEqual(rates[0]+rates[1], T, 1e-6) {
+		t.Errorf("x+y = %v, want T", rates[0]+rates[1])
+	}
+	if !almostEqual(rates[1], Throughput(T, T, 2), 1e-9) {
+		t.Errorf("last pass %v != throughput %v", rates[1], Throughput(T, T, 2))
+	}
+	if !almostEqual(rates[0], 0.618*T, 0.1) {
+		t.Errorf("x = %v, want ≈0.62T", rates[0])
+	}
+}
+
+func TestPassRatesSumProperty(t *testing.T) {
+	// Property: for any saturated configuration the delivered pass
+	// rates sum to exactly the capacity.
+	f := func(o8, c8 uint8, k8 uint8) bool {
+		offered := float64(o8%100) + 1
+		cap := float64(c8%100) + 1
+		k := int(k8%6) + 1
+		if offered*float64(k) <= cap {
+			return true // unsaturated: skip
+		}
+		rates := PassRates(offered, cap, k)
+		sum := 0.0
+		for _, r := range rates {
+			sum += r
+		}
+		return almostEqual(sum, cap, 1e-6*cap)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCongestionCollapseShape(t *testing.T) {
+	// A feedback queue exhibits congestion collapse: goodput rises
+	// linearly with offered load until the loopback resource saturates
+	// (offered·k = cap), then *falls* as first-pass traffic squeezes
+	// the later passes.
+	const cap = 100.0
+	const k = 3
+	peak := cap / k
+	prev := 0.0
+	for o := 5.0; o <= peak; o += 5 {
+		got := Throughput(o, cap, k)
+		if !almostEqual(got, o, 1e-9) {
+			t.Errorf("pre-saturation throughput at offered=%v: %v, want %v", o, got, o)
+		}
+		if got < prev {
+			t.Errorf("rising edge not monotone at %v", o)
+		}
+		prev = got
+	}
+	prev = Throughput(peak, cap, k)
+	for o := peak + 5; o <= 300; o += 5 {
+		got := Throughput(o, cap, k)
+		if got > prev+1e-9 {
+			t.Errorf("post-saturation throughput rose at offered=%v: %v > %v", o, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCapacitySplitPrototype(t *testing.T) {
+	// §5: 16 of 32 ports looped → 1.6 Tbps external capacity and all
+	// traffic can recirculate once.
+	c := CapacitySplit{TotalPorts: 32, LoopbackPorts: 16, PortGbps: 100}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ExternalGbps(); got != 1600 {
+		t.Errorf("ExternalGbps = %v, want 1600", got)
+	}
+	if got := c.LoopbackGbps(); got != 1600 {
+		t.Errorf("LoopbackGbps = %v, want 1600", got)
+	}
+	if got := c.ExternalFraction(); got != 0.5 {
+		t.Errorf("ExternalFraction = %v, want 0.5", got)
+	}
+	if got := c.OnceRecirculableFraction(); got != 1 {
+		t.Errorf("OnceRecirculableFraction = %v, want 1", got)
+	}
+}
+
+func TestCapacitySplitPartial(t *testing.T) {
+	// 8 of 32 looped: 3/4 external, min(1, 8/24) = 1/3 once-recirculable.
+	c := CapacitySplit{TotalPorts: 32, LoopbackPorts: 8, PortGbps: 100}
+	if got := c.ExternalFraction(); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("ExternalFraction = %v", got)
+	}
+	if got := c.OnceRecirculableFraction(); !almostEqual(got, 1.0/3, 1e-12) {
+		t.Errorf("OnceRecirculableFraction = %v", got)
+	}
+	all := CapacitySplit{TotalPorts: 4, LoopbackPorts: 4, PortGbps: 100}
+	if all.OnceRecirculableFraction() != 1 {
+		t.Error("all-loopback fraction != 1")
+	}
+}
+
+func TestCapacitySplitValidate(t *testing.T) {
+	bad := []CapacitySplit{
+		{TotalPorts: 0, LoopbackPorts: 0, PortGbps: 100},
+		{TotalPorts: 4, LoopbackPorts: 5, PortGbps: 100},
+		{TotalPorts: 4, LoopbackPorts: -1, PortGbps: 100},
+		{TotalPorts: 4, LoopbackPorts: 1, PortGbps: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	p := asic.Wedge100B()
+	if got := RecircLatency(p, asic.LoopbackOnChip); got != 75*time.Nanosecond {
+		t.Errorf("on-chip RecircLatency = %v", got)
+	}
+	if got := RecircLatency(p, asic.LoopbackOffChip); got != 145*time.Nanosecond {
+		t.Errorf("off-chip RecircLatency = %v", got)
+	}
+	// §4: off-chip is ~70 ns slower than on-chip.
+	diff := RecircLatency(p, asic.LoopbackOffChip) - RecircLatency(p, asic.LoopbackOnChip)
+	if diff != 70*time.Nanosecond {
+		t.Errorf("off-chip minus on-chip = %v, want 70ns", diff)
+	}
+	// On-chip recirculation is ~2x faster than off-chip (§4 takeaway 3,
+	// within rounding).
+	ratio := float64(RecircLatency(p, asic.LoopbackOffChip)) / float64(RecircLatency(p, asic.LoopbackOnChip))
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("off/on latency ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestLatencyOverheadFraction(t *testing.T) {
+	p := asic.Wedge100B()
+	// ~11.5% of the 650 ns port-to-port latency.
+	got := LatencyOverheadFraction(p, asic.LoopbackOnChip)
+	if !almostEqual(got, 0.115, 0.005) {
+		t.Errorf("LatencyOverheadFraction = %v, want ≈0.115", got)
+	}
+}
+
+func TestChainLatency(t *testing.T) {
+	p := asic.Wedge100B()
+	if got := ChainLatency(p, 0, asic.LoopbackOnChip); got != 650*time.Nanosecond {
+		t.Errorf("k=0 ChainLatency = %v", got)
+	}
+	if got := ChainLatency(p, 1, asic.LoopbackOnChip); got != 1375*time.Nanosecond {
+		t.Errorf("k=1 ChainLatency = %v, want 1375ns", got)
+	}
+	if got := ChainLatency(p, 2, asic.LoopbackOffChip); got != (3*650+2*145)*time.Nanosecond {
+		t.Errorf("k=2 off-chip ChainLatency = %v", got)
+	}
+	if got := ChainLatency(p, -3, asic.LoopbackOnChip); got != 650*time.Nanosecond {
+		t.Errorf("negative k ChainLatency = %v", got)
+	}
+}
+
+func BenchmarkDeliveryFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DeliveryFraction(T, T, 5)
+	}
+}
+
+func TestMixedThroughputReducesToSingleStream(t *testing.T) {
+	// One stream must match the single-class model exactly.
+	for k := 1; k <= 4; k++ {
+		got := MixedThroughput([]Stream{{OfferedGbps: T, Recirculations: k}}, T)
+		want := Throughput(T, T, k)
+		if !almostEqual(got[0], want, 1e-6) {
+			t.Errorf("k=%d: mixed %v vs single %v", k, got[0], want)
+		}
+	}
+}
+
+func TestMixedThroughputUnsaturated(t *testing.T) {
+	streams := []Stream{
+		{OfferedGbps: 20, Recirculations: 1},
+		{OfferedGbps: 10, Recirculations: 3},
+		{OfferedGbps: 50, Recirculations: 0}, // bypasses the loopback
+	}
+	// Demand = 20 + 30 = 50 <= 100: lossless.
+	got := MixedThroughput(streams, 100)
+	for i, want := range []float64{20, 10, 50} {
+		if !almostEqual(got[i], want, 1e-9) {
+			t.Errorf("stream %d: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestMixedThroughputSaturatedSharesLoss(t *testing.T) {
+	// Two streams, k=1 and k=3, oversubscribing the budget: both see
+	// the same per-pass delivery fraction, so the k=3 stream suffers
+	// cubically.
+	streams := []Stream{
+		{OfferedGbps: 80, Recirculations: 1},
+		{OfferedGbps: 80, Recirculations: 3},
+	}
+	got := MixedThroughput(streams, 100)
+	if got[0] <= got[1] {
+		t.Errorf("k=1 stream (%v) should beat k=3 stream (%v)", got[0], got[1])
+	}
+	// Conservation at the loopback port: delivered pass-loads sum to
+	// the capacity.
+	d1 := got[0] / 80 // = d
+	d := d1
+	load := 80*d + 80*(d+d*d+d*d*d)
+	if !almostEqual(load, 100, 0.5) {
+		t.Errorf("loopback load = %v, want 100", load)
+	}
+	// The k=3 stream's egress is d^3 of its offer.
+	if !almostEqual(got[1], 80*d*d*d, 0.5) {
+		t.Errorf("k=3 egress = %v, want %v", got[1], 80*d*d*d)
+	}
+}
+
+func TestMixedThroughputEdgeCases(t *testing.T) {
+	if got := MixedThroughput(nil, 100); len(got) != 0 {
+		t.Error("empty streams")
+	}
+	got := MixedThroughput([]Stream{{OfferedGbps: 100, Recirculations: 2}}, 0)
+	if got[0] != 0 {
+		t.Errorf("zero capacity egress = %v", got[0])
+	}
+	got = MixedThroughput([]Stream{{OfferedGbps: 0, Recirculations: 2}}, 100)
+	if got[0] != 0 {
+		t.Errorf("zero offer egress = %v", got[0])
+	}
+}

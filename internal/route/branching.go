@@ -1,0 +1,165 @@
+package route
+
+import (
+	"fmt"
+
+	"dejavu/internal/asic"
+)
+
+// HopKind classifies a branching-table decision.
+type HopKind uint8
+
+// Hop kinds.
+const (
+	// HopForward sends the packet to a specific egress port (a real
+	// exit port or a loopback port toward the next NF's pipeline).
+	HopForward HopKind = iota
+	// HopResubmit re-enters the same ingress pipe.
+	HopResubmit
+	// HopToCPU punts the packet: the branching table has no entry for
+	// this (path, index) — an unknown service path.
+	HopToCPU
+)
+
+// Hop is one branching-table decision.
+type Hop struct {
+	Kind HopKind
+	Port asic.PortID // valid when Kind == HopForward
+}
+
+// Branching is the runtime form of the branching tables §3.4 installs
+// in the last MAU stage of every ingress pipelet. Decisions are a pure
+// function of (service path ID, service index, current pipeline,
+// already-chosen out port), derived from the chain set and placement,
+// so the same structure serves all ingress pipelets.
+type Branching struct {
+	chains    map[uint16]Chain
+	placement *Placement
+	// exitPort is the static front-panel exit port per chain, used
+	// when the chain completes without a dynamically chosen out port
+	// and for the Fig. 6(b) direct-exit optimization.
+	exitPort map[uint16]asic.PortID
+	// loopbackFor chooses the loopback port used to reach a pipeline's
+	// ingress; defaults to the pipeline's dedicated recirculation port.
+	loopbackFor func(pipeline int) asic.PortID
+	// remote maps NFs hosted on *another switch* (§7 multi-switch
+	// chaining) to the local egress port wired toward that switch.
+	remote map[string]asic.PortID
+}
+
+// NewBranching builds the branching function for a chain set and
+// placement.
+func NewBranching(chains []Chain, p *Placement) (*Branching, error) {
+	b := &Branching{
+		chains:      make(map[uint16]Chain, len(chains)),
+		placement:   p,
+		exitPort:    make(map[uint16]asic.PortID),
+		loopbackFor: func(pl int) asic.PortID { return asic.RecircPort(pl) },
+	}
+	for _, c := range chains {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := b.chains[c.PathID]; dup {
+			return nil, fmt.Errorf("route: duplicate chain path ID %d", c.PathID)
+		}
+		b.chains[c.PathID] = c
+		if c.HasStaticExit() {
+			b.exitPort[c.PathID] = c.StaticExitPort
+		}
+	}
+	return b, nil
+}
+
+// SetExitPort fixes the static exit port of a chain.
+func (b *Branching) SetExitPort(path uint16, port asic.PortID) { b.exitPort[path] = port }
+
+// SetLoopbackChooser overrides loopback port selection (e.g. to spread
+// recirculation over front-panel loopback ports).
+func (b *Branching) SetLoopbackChooser(f func(pipeline int) asic.PortID) { b.loopbackFor = f }
+
+// SetRemote declares that an NF lives on another switch reachable
+// through the given local egress port (a back-to-back wire, §7).
+// Packets whose next NF is remote are forwarded out that port with the
+// SFC header intact; the neighbouring switch's branching tables take
+// over.
+func (b *Branching) SetRemote(nfName string, port asic.PortID) {
+	if b.remote == nil {
+		b.remote = make(map[string]asic.PortID)
+	}
+	b.remote[nfName] = port
+}
+
+// Chain returns the chain with the given path ID.
+func (b *Branching) Chain(path uint16) (Chain, bool) {
+	c, ok := b.chains[path]
+	return c, ok
+}
+
+// NextNF returns the name of the NF a packet on (path, index) must
+// visit next — the check_nextNF lookup of §3.2.
+func (b *Branching) NextNF(path uint16, index uint8) (string, bool) {
+	c, ok := b.chains[path]
+	if !ok {
+		return "", false
+	}
+	return c.NFAt(index)
+}
+
+// Decide implements the ingress branching decision for a packet with
+// the given SFC state, currently finishing ingress processing on
+// pipeline curr. outPort is the packet's platform out port (unset if
+// no NF has chosen one yet).
+func (b *Branching) Decide(path uint16, index uint8, curr int, outPort asic.PortID) Hop {
+	// "If the outPort of a packet is already set, the branching table
+	// will directly forward the packet to the port" (§3.4).
+	if outPort != asic.PortID(0xFFF) {
+		return Hop{Kind: HopForward, Port: outPort}
+	}
+	c, ok := b.chains[path]
+	if !ok {
+		return Hop{Kind: HopToCPU}
+	}
+	name, ok := c.NFAt(index)
+	if !ok {
+		// Chain complete but no out port chosen: use the static exit.
+		if port, has := b.exitPort[path]; has {
+			return Hop{Kind: HopForward, Port: port}
+		}
+		return Hop{Kind: HopToCPU}
+	}
+	if port, isRemote := b.remote[name]; isRemote {
+		return Hop{Kind: HopForward, Port: port}
+	}
+	pl, placed := b.placement.Of(name)
+	if !placed {
+		return Hop{Kind: HopToCPU}
+	}
+	if pl == (asic.PipeletID{Pipeline: curr, Dir: asic.Ingress}) {
+		return Hop{Kind: HopResubmit}
+	}
+	// Fig. 6(b) direct exit: the rest of the chain completes within the
+	// exit pipeline's egress pipe.
+	target := pl.Pipeline
+	eg := asic.PipeletID{Pipeline: target, Dir: asic.Egress}
+	if port, has := b.exitPort[path]; has &&
+		c.ExitPipeline == target &&
+		b.placement.ModeOf(eg) != Parallel &&
+		remainderCompletesIn(c, b.placement, len(c.NFs)-int(index), eg) {
+		return Hop{Kind: HopForward, Port: port}
+	}
+	return Hop{Kind: HopForward, Port: b.loopbackFor(target)}
+}
+
+// BranchingEntries returns the number of (path, index) entries the
+// branching table holds — its size is known at compile time (§5).
+func (b *Branching) BranchingEntries() int {
+	n := 0
+	for _, c := range b.chains {
+		n += len(c.NFs) + 1 // one per index value 0..len
+	}
+	return n
+}
+
+// Chains returns the number of installed chains.
+func (b *Branching) Chains() int { return len(b.chains) }

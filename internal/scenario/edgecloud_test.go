@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/packet"
+	"dejavu/internal/route"
+)
+
+func TestNewIsFullyConfigured(t *testing.T) {
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.NFs) != 5 {
+		t.Errorf("NFs = %d, want 5", len(s.NFs))
+	}
+	if len(s.Chains) != 3 {
+		t.Errorf("Chains = %d, want 3", len(s.Chains))
+	}
+	// Paper's three paths: 5, 3, 2 NFs.
+	wantLens := map[uint16]int{PathFull: 5, PathMedium: 3, PathBasic: 2}
+	var totalWeight float64
+	for _, c := range s.Chains {
+		if err := c.Validate(); err != nil {
+			t.Errorf("chain %d invalid: %v", c.PathID, err)
+		}
+		if got := len(c.NFs); got != wantLens[c.PathID] {
+			t.Errorf("chain %d has %d NFs, want %d", c.PathID, got, wantLens[c.PathID])
+		}
+		if c.NFs[0] != "classifier" || c.NFs[len(c.NFs)-1] != "router" {
+			t.Errorf("chain %d does not start/end with framework NFs: %v", c.PathID, c.NFs)
+		}
+		totalWeight += c.Weight
+	}
+	if totalWeight != 1.0 {
+		t.Errorf("chain weights sum to %v, want 1.0", totalWeight)
+	}
+	if err := s.Placement.Validate(s.Prof, s.Chains); err != nil {
+		t.Errorf("placement invalid: %v", err)
+	}
+	// State installed.
+	if s.Classifier.Rules() != 2 || s.Firewall.Rules() != 2 || s.VGW.VNIs() != 1 || s.Router.Routes() != 3 {
+		t.Error("scenario state not fully installed")
+	}
+}
+
+func TestFig9PlacementShape(t *testing.T) {
+	s := MustNew()
+	// The classifier faces external traffic on ingress 0.
+	if at, _ := s.Placement.Of("classifier"); at != (asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}) {
+		t.Errorf("classifier at %v", at)
+	}
+	// Every chain recirculates exactly once under this placement (§5:
+	// "allow all the traffic recirculate on the ASIC for once").
+	for _, c := range s.Chains {
+		tr, err := route.Plan(c, s.Placement, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Recirculations != 1 {
+			t.Errorf("chain %d: %d recircs, want 1 (%s)", c.PathID, tr.Recirculations, tr.Path())
+		}
+	}
+}
+
+func TestPacketBuilders(t *testing.T) {
+	p := ClientTCP(443)
+	if ft, ok := p.FiveTuple(); !ok || ft.Dst != VIP || ft.DstPort != 443 {
+		t.Errorf("ClientTCP tuple wrong: %+v", p)
+	}
+	q := TenantBound()
+	if q.IPv4.Dst != TenantHost {
+		t.Errorf("TenantBound dst = %s", q.IPv4.Dst)
+	}
+	r := InternetBound()
+	if !r.Valid(packet.HdrUDP) {
+		t.Error("InternetBound not UDP")
+	}
+	// All builders produce serializable packets.
+	for _, pkt := range []*packet.Parsed{p, q, r} {
+		if _, err := pkt.Serialize(nil); err != nil {
+			t.Errorf("builder packet does not serialize: %v", err)
+		}
+	}
+}
