@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test race lint bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Static checks: go vet always; staticcheck when installed (CI installs
+# it, local environments may not have it); then Dejavu's own deployment
+# verifier over the shipped configs — the good config must be clean, the
+# demo-bad config must fail.
+lint: build
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	$(GO) run ./cmd/dejavu -config configs/edgecloud.json lint
+	@if $(GO) run ./cmd/dejavu -config configs/lintdemo-bad.json lint >/dev/null 2>&1; then \
+		echo "ERROR: lintdemo-bad.json unexpectedly passed"; exit 1; \
+	else \
+		echo "lintdemo-bad.json correctly rejected"; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+fmt:
+	gofmt -l -w .

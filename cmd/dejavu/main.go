@@ -8,6 +8,8 @@
 //	dejavu resources             # Table-1 style framework overhead
 //	dejavu run                   # deploy and push sample traffic through
 //	dejavu capacity -loopback 16 # §5 capacity analysis
+//	dejavu lint                  # static verification (exit 1 on errors)
+//	dejavu -config x.json lint -json
 package main
 
 import (
@@ -35,6 +37,7 @@ commands:
   run        deploy and forward sample traffic on all three SFC paths
   capacity   show the capacity split for a loopback configuration
   emit       print the composed multi-pipeline P4 program
+  lint       statically verify the deployment; exit nonzero on errors
 `)
 	os.Exit(2)
 }
@@ -69,6 +72,8 @@ dispatch:
 		err = runCapacity(args)
 	case "emit":
 		err = runEmit(args)
+	case "lint":
+		err = runLint(args)
 	default:
 		usage()
 	}
@@ -213,6 +218,54 @@ func runEmit(args []string) error {
 		return err
 	}
 	fmt.Print(src)
+	return nil
+}
+
+// runLint statically verifies the configured deployment without
+// touching the switch model. Exit status: 0 when no error-severity
+// findings exist (warn/info are advisory), 1 otherwise.
+func runLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	optimizer := fs.String("optimizer", "manual", "manual|naive|greedy|anneal|exhaustive")
+	fs.Parse(args)
+
+	var cfg *core.Config
+	if configPath != "" {
+		var err error
+		cfg, err = config.Load(configPath)
+		if err != nil {
+			return err
+		}
+		if *optimizer != "" && *optimizer != "manual" {
+			cfg.Optimizer = core.Optimizer(*optimizer)
+		}
+	} else {
+		s := scenario.MustNew()
+		c := core.Config{Prof: s.Prof, Chains: s.Chains, NFs: s.NFs, Enter: 0}
+		if *optimizer == "manual" {
+			c.Placement = s.Placement
+		} else {
+			c.Optimizer = core.Optimizer(*optimizer)
+		}
+		cfg = &c
+	}
+	rep, err := core.Lint(*cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		js, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Print(js)
+	} else {
+		fmt.Print(rep.String())
+	}
+	if rep.HasErrors() {
+		return fmt.Errorf("lint: %d error finding(s)", rep.Errors())
+	}
 	return nil
 }
 

@@ -42,6 +42,14 @@ type Composer struct {
 	NFs       nf.List
 	Branching *route.Branching
 
+	// Verifier, when non-nil, is a static deployment gate: Build runs
+	// it over the composed output and refuses to return a deployment it
+	// rejects, and InstallOn re-checks before touching a switch. The
+	// lint package provides the standard error-severity gate
+	// (lint.Gate); the indirection keeps compose free of a dependency
+	// on its own analyzer.
+	Verifier func(*Deployment) error
+
 	ids map[string]uint8 // NF name -> meta.next_nf ID
 
 	// telemetry aggregates per-NF and per-path datapath counters.
@@ -188,7 +196,19 @@ func (c *Composer) Build() (*Deployment, error) {
 			}
 		}
 	}
+	if c.Verifier != nil {
+		if err := c.Verifier(d); err != nil {
+			return nil, fmt.Errorf("compose: deployment rejected by verifier: %w", err)
+		}
+	}
 	return d, nil
+}
+
+// BlockFor composes the control block of a single pipelet. It is the
+// per-pipelet subset of Build for analyzers that must inspect blocks
+// even when composing the whole switch fails.
+func (c *Composer) BlockFor(pl asic.PipeletID) (*p4.ControlBlock, error) {
+	return c.PipeletBlock(pl, c.orderedNFsOn(pl), c.Placement.ModeOf(pl))
 }
 
 // EmitP4 renders the composed deployment as a single multi-pipeline
@@ -210,8 +230,15 @@ func (d *Deployment) EmitP4() (string, error) {
 	return p4.EmitProgram(prog, p4.EmitOptions{})
 }
 
-// InstallOn loads the deployment's behavioural programs onto a switch.
+// InstallOn loads the deployment's behavioural programs onto a switch,
+// re-running the composer's verifier (if any) first: a deployment must
+// never reach hardware with error-severity findings.
 func (d *Deployment) InstallOn(sw *asic.Switch) error {
+	if v := d.Composer.Verifier; v != nil {
+		if err := v(d); err != nil {
+			return fmt.Errorf("compose: install rejected by verifier: %w", err)
+		}
+	}
 	for pipe := 0; pipe < d.Composer.Prof.Pipelines; pipe++ {
 		if err := sw.InstallIngress(pipe, d.Ingress[pipe]); err != nil {
 			return err

@@ -31,6 +31,9 @@ type File struct {
 	Enter int `json:"enter"`
 	// LoopbackPorts lists front-panel ports to put in loopback mode.
 	LoopbackPorts []int `json:"loopback_ports"`
+	// StrictLint gates deployment on the static verifier: composing
+	// refuses configurations with error-severity lint findings.
+	StrictLint bool `json:"strict_lint,omitempty"`
 
 	Chains []ChainSpec `json:"chains"`
 
@@ -237,7 +240,7 @@ func Load(path string) (*core.Config, error) {
 
 // Build materializes the NFs and the core configuration.
 func (f *File) Build() (*core.Config, error) {
-	cfg := &core.Config{Enter: f.Enter}
+	cfg := &core.Config{Enter: f.Enter, StrictLint: f.StrictLint}
 
 	switch f.Profile {
 	case "", "wedge100b":

@@ -17,6 +17,7 @@ import (
 	"dejavu/internal/compiler"
 	"dejavu/internal/compose"
 	"dejavu/internal/ctl"
+	"dejavu/internal/lint"
 	"dejavu/internal/nf"
 	"dejavu/internal/packet"
 	"dejavu/internal/place"
@@ -55,6 +56,11 @@ type Config struct {
 	LoopbackPorts []asic.PortID
 	// AnnealSeed seeds the annealing optimizer.
 	AnnealSeed int64
+	// StrictLint makes composition refuse deployments with
+	// error-severity static-verification findings (internal/lint): the
+	// lint gate runs inside Build and again before installation. Warn
+	// and info findings never block; they appear in Deployment.Lint.
+	StrictLint bool
 }
 
 // ChainReport is the per-chain analysis of a deployment.
@@ -80,6 +86,10 @@ type Deployment struct {
 	Capacity recirc.CapacitySplit
 	// Deploymentable parser metadata.
 	ParserStates int
+	// Lint is the static-verification report of the composed
+	// deployment; it is recorded even when StrictLint is off (a strict
+	// deployment reaching this point has no error findings).
+	Lint *lint.Report
 
 	composed *compose.Deployment
 	loops    *loopbackPool
@@ -134,10 +144,14 @@ func (d *Deployment) Telemetry() *compose.Telemetry {
 	return d.composed.Composer.Telemetry()
 }
 
-// Deploy builds a deployment from a config.
-func Deploy(cfg Config) (*Deployment, error) {
+// Composer resolves the placement (configured or optimized) and
+// returns the configured composer plus the placement's weighted
+// recirculation cost, without building or installing anything. It is
+// the entry point for static analysis: lint.Analyze can inspect the
+// composer's output even when a full Build would abort.
+func Composer(cfg Config) (*compose.Composer, route.Cost, error) {
 	if len(cfg.Chains) == 0 {
-		return nil, fmt.Errorf("core: no chains configured")
+		return nil, route.Cost{}, fmt.Errorf("core: no chains configured")
 	}
 	if cfg.Prof.Pipelines == 0 {
 		cfg.Prof = asic.Wedge100B()
@@ -148,7 +162,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 	for _, f := range cfg.NFs {
 		n, err := compiler.MinStages(f.Block())
 		if err != nil {
-			return nil, fmt.Errorf("core: NF %s: %w", f.Name(), err)
+			return nil, route.Cost{}, fmt.Errorf("core: NF %s: %w", f.Name(), err)
 		}
 		demand[f.Name()] = n
 	}
@@ -188,10 +202,10 @@ func Deploy(cfg Config) (*Deployment, error) {
 				res, err = place.Anneal(prob, place.AnnealOpts{Seed: cfg.AnnealSeed})
 			}
 		default:
-			return nil, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
+			return nil, route.Cost{}, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: placement: %w", err)
+			return nil, route.Cost{}, fmt.Errorf("core: placement: %w", err)
 		}
 		placement = res.Placement
 		cost = res.Cost
@@ -199,19 +213,62 @@ func Deploy(cfg Config) (*Deployment, error) {
 		var err error
 		cost, err = route.Evaluate(cfg.Chains, placement, cfg.Enter)
 		if err != nil {
-			return nil, fmt.Errorf("core: evaluating placement: %w", err)
+			return nil, route.Cost{}, fmt.Errorf("core: evaluating placement: %w", err)
 		}
 	}
 
-	// Compose and compile.
 	comp, err := compose.New(cfg.Prof, cfg.Chains, placement, cfg.NFs)
 	if err != nil {
-		return nil, err
+		return nil, route.Cost{}, err
+	}
+	return comp, cost, nil
+}
+
+// Compose runs placement optimization and program composition without
+// touching a switch: it resolves the placement, composes the
+// per-pipelet programs plus framework tables, and returns the built
+// deployment with its weighted recirculation cost. When strict, the
+// static verifier (internal/lint) is installed as the composer's gate,
+// so a deployment with error-severity findings is refused here rather
+// than misbehaving on the ASIC.
+func Compose(cfg Config, strict bool) (*compose.Deployment, route.Cost, error) {
+	comp, cost, err := Composer(cfg)
+	if err != nil {
+		return nil, route.Cost{}, err
+	}
+	if strict {
+		comp.Verifier = lint.Gate()
 	}
 	dep, err := comp.Build()
 	if err != nil {
+		return nil, route.Cost{}, err
+	}
+	return dep, cost, nil
+}
+
+// Lint statically verifies a configuration without deploying it: the
+// placement is resolved, each pipelet is composed individually, and the
+// full rule set runs over the result. Compose/Build failures surface as
+// findings where possible rather than aborting the analysis.
+func Lint(cfg Config) (*lint.Report, error) {
+	comp, _, err := Composer(cfg)
+	if err != nil {
 		return nil, err
 	}
+	return lint.Analyze(comp), nil
+}
+
+// Deploy builds a deployment from a config.
+func Deploy(cfg Config) (*Deployment, error) {
+	if cfg.Prof.Pipelines == 0 {
+		cfg.Prof = asic.Wedge100B()
+	}
+	dep, cost, err := Compose(cfg, cfg.StrictLint)
+	if err != nil {
+		return nil, err
+	}
+	comp := dep.Composer
+	placement := comp.Placement
 	plans := make(map[asic.PipeletID]*compiler.Plan, len(dep.Blocks))
 	var planList []*compiler.Plan
 	for pl, block := range dep.Blocks {
@@ -256,6 +313,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 		Plans:        plans,
 		Resources:    compiler.FrameworkReport(cfg.Prof, planList),
 		ParserStates: dep.Parser.ParseStates(),
+		Lint:         lint.AnalyzeDeployment(dep),
 		Capacity: recirc.CapacitySplit{
 			TotalPorts:    cfg.Prof.TotalPorts(),
 			LoopbackPorts: len(cfg.LoopbackPorts),

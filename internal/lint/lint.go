@@ -1,0 +1,203 @@
+// Package lint statically verifies composed Dejavu deployments before
+// they ever touch a switch. The paper's central claim is that a
+// service chain either fits the Tofino pipeline or it does not: stage
+// budgets (§3.2), ingress-only recirculation decisions (§3.3–§3.4)
+// and parser-merge validity (§3) are all compile-time properties. The
+// runtime model (internal/asic) discovers some violations late and
+// others — a branching table with an unreachable (service path ID,
+// service index) entry — not at all: traffic is silently punted or
+// black-holed. This package makes every such property a named,
+// testable rule over the composed IR, in the spirit of the static
+// checks P4's own toolchain runs over its IR (Bosshart et al.) and of
+// the ahead-of-time SFC feasibility results of Sallam et al.
+//
+// Each rule emits structured findings (rule ID, severity, location,
+// message, suggested fix) into a Report. Rule IDs are stable: DV001
+// through DV008; see the rules_*.go files and the "Static
+// verification" section of DESIGN.md for the catalogue.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/nf"
+	"dejavu/internal/p4"
+	"dejavu/internal/route"
+)
+
+// Rule IDs, stable across releases.
+const (
+	RuleStageBudget   = "DV001" // per-pipelet stage-budget overflow
+	RuleTableDeps     = "DV002" // dependency cycles and gateway overflow
+	RuleContextDefUse = "DV003" // SFC context def-use analysis
+	RuleParserMerge   = "DV004" // generic-parser merge ambiguity
+	RuleRecircLegal   = "DV005" // recirculation/resubmission legality
+	RuleBranching     = "DV006" // branching completeness and termination
+	RulePlacement     = "DV007" // placement consistency
+	RuleChainShape    = "DV008" // chain structure sanity
+)
+
+// Target is the composed deployment state the rules analyze. All
+// fields derive from a compose.Composer; Blocks may be partial when
+// some pipelets failed to compose (the failures appear as findings).
+type Target struct {
+	Prof      asic.Profile
+	Chains    []route.Chain
+	Placement *route.Placement
+	NFs       nf.List
+	Branching *route.Branching
+	Blocks    map[asic.PipeletID]*p4.ControlBlock
+	// Enter is the pipeline receiving external traffic, derived from
+	// the classifier's pinned placement when available.
+	Enter int
+}
+
+// Pipelets returns the profile's pipelet IDs in deterministic order
+// (ingress 0, egress 0, ingress 1, ...).
+func (t *Target) Pipelets() []asic.PipeletID {
+	out := make([]asic.PipeletID, 0, 2*t.Prof.Pipelines)
+	for pipe := 0; pipe < t.Prof.Pipelines; pipe++ {
+		out = append(out,
+			asic.PipeletID{Pipeline: pipe, Dir: asic.Ingress},
+			asic.PipeletID{Pipeline: pipe, Dir: asic.Egress})
+	}
+	return out
+}
+
+// Rule is one static check over a composed deployment.
+type Rule interface {
+	// ID returns the stable rule identifier (e.g. "DV001").
+	ID() string
+	// Title is a one-line description for reports and docs.
+	Title() string
+	// Check appends findings about the target to the report.
+	Check(t *Target, r *Report)
+}
+
+// Rules returns the default rule set in ID order.
+func Rules() []Rule {
+	return []Rule{
+		stageBudgetRule{},
+		tableDepsRule{},
+		contextDefUseRule{},
+		parserMergeRule{},
+		recircLegalRule{},
+		branchingRule{},
+		placementRule{},
+		chainShapeRule{},
+	}
+}
+
+// enterPipeline derives the external entry pipeline: the classifier's
+// ingress pipeline when one is placed, else pipeline 0.
+func enterPipeline(c *compose.Composer) int {
+	if pl, ok := c.Placement.Of(compose.ClassifierNF); ok && pl.Dir == asic.Ingress {
+		return pl.Pipeline
+	}
+	return 0
+}
+
+// NewTarget derives an analysis target from a composer, composing each
+// pipelet's control block individually. Pipelets that fail to compose
+// are reported as error findings (attributed to DV002, the structural
+// rule) rather than aborting, so the remaining rules still run.
+func NewTarget(c *compose.Composer, r *Report) *Target {
+	t := &Target{
+		Prof:      c.Prof,
+		Chains:    c.Chains,
+		Placement: c.Placement,
+		NFs:       c.NFs,
+		Branching: c.Branching,
+		Blocks:    make(map[asic.PipeletID]*p4.ControlBlock),
+		Enter:     enterPipeline(c),
+	}
+	for _, pl := range t.Pipelets() {
+		block, err := c.BlockFor(pl)
+		if err != nil {
+			r.Add(Finding{
+				Rule:     RuleTableDeps,
+				Severity: SevError,
+				Where:    pl.String(),
+				Message:  fmt.Sprintf("pipelet failed to compose: %v", err),
+				Fix:      "fix the NF control block so the pipelet program is well-formed",
+			})
+			continue
+		}
+		t.Blocks[pl] = block
+	}
+	return t
+}
+
+// Analyze runs the default rule set over a composer's output and
+// returns the sorted report. It never fails: problems become findings.
+func Analyze(c *compose.Composer) *Report {
+	r := NewReport()
+	t := NewTarget(c, r)
+	runRules(t, r)
+	return r
+}
+
+// AnalyzeDeployment runs the default rule set over an already-built
+// deployment, reusing its composed blocks instead of recomposing.
+func AnalyzeDeployment(d *compose.Deployment) *Report {
+	r := NewReport()
+	t := &Target{
+		Prof:      d.Composer.Prof,
+		Chains:    d.Composer.Chains,
+		Placement: d.Composer.Placement,
+		NFs:       d.Composer.NFs,
+		Branching: d.Composer.Branching,
+		Blocks:    d.Blocks,
+		Enter:     enterPipeline(d.Composer),
+	}
+	runRules(t, r)
+	return r
+}
+
+func runRules(t *Target, r *Report) {
+	for _, rule := range Rules() {
+		rule.Check(t, r)
+	}
+	r.Sort()
+}
+
+// Gate returns a compose.Composer.Verifier that rejects deployments
+// with error-severity findings — the opt-in strict mode of
+// Composer.Build and Deployment.InstallOn.
+func Gate() func(*compose.Deployment) error {
+	return func(d *compose.Deployment) error {
+		rep := AnalyzeDeployment(d)
+		if !rep.HasErrors() {
+			return nil
+		}
+		errs := rep.BySeverity(SevError)
+		msgs := make([]string, 0, len(errs))
+		for _, f := range errs {
+			msgs = append(msgs, fmt.Sprintf("%s %s: %s", f.Rule, f.Where, f.Message))
+		}
+		sort.Strings(msgs)
+		return fmt.Errorf("lint: %d error finding(s): %s", len(errs), joinMax(msgs, 3))
+	}
+}
+
+// joinMax joins up to n items, eliding the rest.
+func joinMax(items []string, n int) string {
+	if len(items) <= n {
+		return join(items)
+	}
+	return fmt.Sprintf("%s; and %d more", join(items[:n]), len(items)-n)
+}
+
+func join(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += "; "
+		}
+		out += s
+	}
+	return out
+}

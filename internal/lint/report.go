@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a finding. Error findings make `dejavu lint` exit
+// non-zero and are rejected by the strict deployment gate; warnings
+// and infos are advisory.
+type Severity uint8
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarn
+	SevInfo
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warn"
+	case SevInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("Severity(%d)", uint8(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warn":
+		*s = SevWarn
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Finding is one diagnostic produced by a rule.
+type Finding struct {
+	// Rule is the stable rule ID (e.g. "DV001").
+	Rule string `json:"rule"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Where locates the finding: a pipelet ("ingress 0"), a chain
+	// ("chain 10"), a table, or an NF name.
+	Where string `json:"where"`
+	// Message states what is wrong.
+	Message string `json:"message"`
+	// Fix suggests how to repair the deployment, when known.
+	Fix string `json:"fix,omitempty"`
+}
+
+// String renders one finding as a single report line.
+func (f Finding) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %-5s [%s] %s", f.Rule, f.Severity, f.Where, f.Message)
+	if f.Fix != "" {
+		fmt.Fprintf(&sb, " (fix: %s)", f.Fix)
+	}
+	return sb.String()
+}
+
+// Report is the structured output of an analysis run.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{} }
+
+// Add appends a finding.
+func (r *Report) Add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// Sort orders findings by severity, then rule ID, then location — the
+// stable order reports and golden tests rely on.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Where < b.Where
+	})
+}
+
+// BySeverity returns the findings with the given severity.
+func (r *Report) BySeverity(s Severity) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByRule returns the findings emitted by one rule.
+func (r *Report) ByRule(id string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Errors returns the number of error-severity findings.
+func (r *Report) Errors() int { return len(r.BySeverity(SevError)) }
+
+// Warnings returns the number of warn-severity findings.
+func (r *Report) Warnings() int { return len(r.BySeverity(SevWarn)) }
+
+// HasErrors reports whether any finding is error-severity.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b) + "\n", nil
+}
+
+// String renders the report as text, one finding per line, with a
+// trailing summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, f := range r.Findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d finding(s): %d error, %d warn, %d info\n",
+		len(r.Findings), r.Errors(), r.Warnings(), len(r.BySeverity(SevInfo)))
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+
+	"dejavu/internal/nf"
+	"dejavu/internal/nsh"
+)
+
+// contextDefUseRule (DV003) runs a def-use analysis over the 12-byte
+// SFC context area (Fig. 3): for every chain, each context key an NF
+// declares it may read must have an upstream writer in that chain, and
+// each written key should have a downstream reader somewhere — a
+// write nobody consumes is dead metadata occupying one of only four
+// context slots. NFs declare their usage through the optional
+// nf.ContextUser interface; NFs without a declaration are treated as
+// using no context.
+type contextDefUseRule struct{}
+
+func (contextDefUseRule) ID() string    { return RuleContextDefUse }
+func (contextDefUseRule) Title() string { return "SFC context def-use analysis" }
+
+// frameworkReadKeys are context keys the Dejavu framework itself
+// consumes: check_sfcFlags reads the mirror port when translating the
+// mirror flag into a platform mirror action, so a write to it is live
+// even with no downstream NF reader.
+var frameworkReadKeys = map[uint8]bool{
+	nf.KeyMirrorPort: true,
+}
+
+// contextKeyName names the well-known context keys for messages.
+func contextKeyName(key uint8) string {
+	switch key {
+	case nsh.KeyTenantID:
+		return "tenant_id"
+	case nsh.KeyAppID:
+		return "app_id"
+	case nsh.KeyDebug:
+		return "debug"
+	case nsh.KeyVNI:
+		return "vni"
+	case nsh.KeyQoSClass:
+		return "qos_class"
+	case nf.KeyMirrorPort:
+		return "mirror_port"
+	default:
+		return fmt.Sprintf("key %d", key)
+	}
+}
+
+func (contextDefUseRule) Check(t *Target, r *Report) {
+	usage := func(name string) (reads, writes []uint8) {
+		f := t.NFs.ByName(name)
+		if f == nil {
+			return nil, nil
+		}
+		cu, ok := f.(nf.ContextUser)
+		if !ok {
+			return nil, nil
+		}
+		return cu.ContextReads(), cu.ContextWrites()
+	}
+
+	// liveReads[key] is true when some NF in some chain reads the key
+	// with a writer upstream — used for the dead-write pass.
+	type writeSite struct {
+		chain uint16
+		nfPos int
+		name  string
+	}
+	var writeSites []struct {
+		site writeSite
+		key  uint8
+	}
+	consumed := make(map[uint8]bool)
+
+	for _, ch := range t.Chains {
+		written := make(map[uint8]bool)
+		for pos, name := range ch.NFs {
+			reads, writes := usage(name)
+			for _, key := range reads {
+				if written[key] {
+					consumed[key] = true
+					continue
+				}
+				r.Add(Finding{
+					Rule:     RuleContextDefUse,
+					Severity: SevWarn,
+					Where:    fmt.Sprintf("chain %d", ch.PathID),
+					Message: fmt.Sprintf("NF %q reads context %s but no upstream NF of the chain writes it",
+						name, contextKeyName(key)),
+					Fix: "insert a writer (classifier tenant stamp, VGW) before the reader or drop the dependency",
+				})
+			}
+			for _, key := range writes {
+				written[key] = true
+				writeSites = append(writeSites, struct {
+					site writeSite
+					key  uint8
+				}{writeSite{chain: ch.PathID, nfPos: pos, name: name}, key})
+			}
+		}
+	}
+
+	// Dead writes: a (key, NF) pair whose key is never consumed by any
+	// downstream reader in any chain and is not framework-read. Report
+	// once per (NF, key), not per chain, to keep reports compact.
+	reported := make(map[string]bool)
+	for _, ws := range writeSites {
+		if consumed[ws.key] || frameworkReadKeys[ws.key] {
+			continue
+		}
+		dedup := fmt.Sprintf("%s/%d", ws.site.name, ws.key)
+		if reported[dedup] {
+			continue
+		}
+		reported[dedup] = true
+		r.Add(Finding{
+			Rule:     RuleContextDefUse,
+			Severity: SevInfo,
+			Where:    ws.site.name,
+			Message: fmt.Sprintf("context %s is written but never read by any downstream NF; dead metadata in a 4-slot area",
+				contextKeyName(ws.key)),
+			Fix: "remove the write or add the NF that consumes it",
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/p4"
+)
+
+// parserMergeRule (DV004) re-runs the §3 generic-parser merge over the
+// parser fragments of every chain NF, collecting ambiguities instead
+// of aborting on the first one: two NFs whose fragments take the same
+// (header type, offset) vertex to different successors on the same
+// select value disagree about the packet format, and the merged parser
+// cannot represent both. The rule also flags fragment vertices that
+// end up unreachable from the shared Ethernet start vertex — parser
+// states that consume TCAM but can never fire.
+type parserMergeRule struct{}
+
+func (parserMergeRule) ID() string    { return RuleParserMerge }
+func (parserMergeRule) Title() string { return "generic-parser merge ambiguity" }
+
+// edgeKey identifies one select decision of a parse vertex.
+type edgeKey struct {
+	From    p4.Vertex
+	Default bool
+	Select  p4.FieldRef
+	Value   uint64
+}
+
+func (parserMergeRule) Check(t *Target, r *Report) {
+	// Collect each placed NF's fragment once, in chain order.
+	type fragment struct {
+		nf    string
+		graph *p4.ParserGraph
+	}
+	var frags []fragment
+	seen := make(map[string]bool)
+	for _, ch := range t.Chains {
+		for _, name := range ch.NFs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			f := t.NFs.ByName(name)
+			if f == nil {
+				continue // placementRule reports the missing implementation
+			}
+			frags = append(frags, fragment{nf: name, graph: f.Parser()})
+		}
+	}
+	if len(frags) == 0 {
+		return
+	}
+
+	start := frags[0].graph.Start
+	merged := p4.NewParserGraph(start)
+	owners := make(map[edgeKey]struct {
+		to p4.Vertex
+		nf string
+	})
+	for _, fr := range frags {
+		if fr.graph.Start != start {
+			r.Add(Finding{
+				Rule:     RuleParserMerge,
+				Severity: SevError,
+				Where:    fr.nf,
+				Message: fmt.Sprintf("parser fragment starts at %s but the generic parser starts at %s",
+					fr.graph.Start, start),
+				Fix: "root every NF parser at the shared Ethernet@0 vertex",
+			})
+			continue
+		}
+		for _, v := range fr.graph.Vertices() {
+			merged.AddVertex(v)
+		}
+		for _, e := range fr.graph.Edges() {
+			k := edgeKey{From: e.From, Default: e.Default, Select: e.Select, Value: e.Value}
+			if prev, ok := owners[k]; ok && prev.to != e.To {
+				detail := "default transition"
+				if !e.Default {
+					detail = fmt.Sprintf("select %s=%#x", e.Select, e.Value)
+				}
+				r.Add(Finding{
+					Rule:     RuleParserMerge,
+					Severity: SevError,
+					Where:    fr.nf,
+					Message: fmt.Sprintf("parser merge ambiguity at %s: %s leads to %s here but to %s in NF %q",
+						e.From, detail, e.To, prev.to, prev.nf),
+					Fix: "align the NFs' parser fragments on one successor for the vertex",
+				})
+				continue
+			}
+			owners[k] = struct {
+				to p4.Vertex
+				nf string
+			}{e.To, fr.nf}
+			// AddEdge cannot conflict after the ownership check; other
+			// failures (offset not advancing) are real fragment bugs.
+			if err := merged.AddEdge(e); err != nil {
+				r.Add(Finding{
+					Rule:     RuleParserMerge,
+					Severity: SevError,
+					Where:    fr.nf,
+					Message:  fmt.Sprintf("parser fragment edge rejected: %v", err),
+					Fix:      "every transition must advance the byte offset toward accept",
+				})
+			}
+		}
+	}
+
+	// Unreachable vertices: merged states no packet can ever enter.
+	reach := merged.Reachable()
+	var unreachable []p4.Vertex
+	for _, v := range merged.Vertices() {
+		if v.Type == p4.AcceptType || reach[v] {
+			continue
+		}
+		unreachable = append(unreachable, v)
+	}
+	sort.Slice(unreachable, func(i, j int) bool {
+		if unreachable[i].Offset != unreachable[j].Offset {
+			return unreachable[i].Offset < unreachable[j].Offset
+		}
+		return unreachable[i].Type < unreachable[j].Type
+	})
+	for _, v := range unreachable {
+		r.Add(Finding{
+			Rule:     RuleParserMerge,
+			Severity: SevWarn,
+			Where:    v.String(),
+			Message:  "parser vertex is unreachable from the start vertex; it consumes parser TCAM but can never fire",
+			Fix:      "remove the orphan vertex or add the transition that reaches it",
+		})
+	}
+}

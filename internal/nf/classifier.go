@@ -123,6 +123,22 @@ func (c *Classifier) Execute(hdr *packet.Parsed) {
 // Rules returns the number of installed rules.
 func (c *Classifier) Rules() int { return c.rules.Len() }
 
+// ContextReads implements ContextUser: the classifier reads nothing.
+func (c *Classifier) ContextReads() []uint8 { return nil }
+
+// ContextWrites implements ContextUser: rules may stamp a tenant ID.
+func (c *Classifier) ContextWrites() []uint8 { return []uint8{nsh.KeyTenantID} }
+
+// StampedPaths implements PathStamper: every path a rule (or the miss
+// default) can assign, with the initial service index stamped for it.
+func (c *Classifier) StampedPaths() map[uint16]uint8 {
+	out := make(map[uint16]uint8, len(c.pathIndex))
+	for p, i := range c.pathIndex {
+		out[p] = i
+	}
+	return out
+}
+
 // Block implements NF.
 func (c *Classifier) Block() *p4.ControlBlock {
 	classMap := &p4.Table{

@@ -138,6 +138,13 @@ func (m *Mirror) AddTap(dst, mask packet.IP4, tapPort uint16, priority int) erro
 // Taps returns the number of installed taps.
 func (m *Mirror) Taps() int { return m.taps.Len() }
 
+// ContextReads implements ContextUser: the mirror reads nothing.
+func (m *Mirror) ContextReads() []uint8 { return nil }
+
+// ContextWrites implements ContextUser: the tap port is handed to the
+// framework's check_sfcFlags through the context area.
+func (m *Mirror) ContextWrites() []uint8 { return []uint8{KeyMirrorPort} }
+
 // Execute implements NF.
 func (m *Mirror) Execute(hdr *packet.Parsed) {
 	if !hdr.Valid(packet.HdrIPv4) {

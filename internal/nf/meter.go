@@ -78,6 +78,13 @@ func (r *RateLimiter) Tokens(tenant uint16) float64 {
 	return 0
 }
 
+// ContextReads implements ContextUser: metering is keyed by the tenant
+// ID an upstream classifier or VGW stamped.
+func (r *RateLimiter) ContextReads() []uint8 { return []uint8{nsh.KeyTenantID} }
+
+// ContextWrites implements ContextUser: the meter writes nothing.
+func (r *RateLimiter) ContextWrites() []uint8 { return nil }
+
 // Execute implements NF: charge the packet's wire length against the
 // tenant's bucket; drop on exhaustion (red marking).
 func (r *RateLimiter) Execute(hdr *packet.Parsed) {

@@ -39,6 +39,32 @@ type NF interface {
 	Execute(hdr *packet.Parsed)
 }
 
+// ContextUser is an optional interface NFs implement to declare which
+// SFC context keys (nsh.Key* values) their Execute logic may read and
+// write. The declarations feed the static context def-use analysis
+// (internal/lint): a key read by an NF with no upstream writer in the
+// chain is a configuration bug, and a key written but never read
+// downstream is dead metadata occupying one of the four context slots.
+// Declarations are may-sets: a conditional write still counts.
+type ContextUser interface {
+	// ContextReads returns the context keys the NF may read.
+	ContextReads() []uint8
+	// ContextWrites returns the context keys the NF may write.
+	ContextWrites() []uint8
+}
+
+// PathStamper is an optional interface for NFs that assign service
+// paths to untagged traffic (the classifier). It exposes the
+// (service path ID, initial service index) pairs the NF can stamp, so
+// static analysis can verify every stamped path resolves to an
+// installed chain with a consistent initial index — the branching
+// table is matched on exactly these values (§3.4).
+type PathStamper interface {
+	// StampedPaths maps each path ID the NF may assign to the initial
+	// service index it stamps alongside.
+	StampedPaths() map[uint16]uint8
+}
+
 // List is an ordered collection of NFs with name lookup.
 type List []NF
 

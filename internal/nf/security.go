@@ -67,6 +67,14 @@ func (c *ContextFirewall) AddPolicy(p TenantPolicy) error {
 // Policies returns the number of tenants with installed policies.
 func (c *ContextFirewall) Policies() int { return len(c.policies) }
 
+// ContextReads implements ContextUser: policy selection is keyed by
+// the tenant ID an upstream NF stamped (§3, "NFs can perform policy
+// decisions based on the context").
+func (c *ContextFirewall) ContextReads() []uint8 { return []uint8{nsh.KeyTenantID} }
+
+// ContextWrites implements ContextUser: the firewall writes nothing.
+func (c *ContextFirewall) ContextWrites() []uint8 { return nil }
+
 // Execute implements NF.
 func (c *ContextFirewall) Execute(hdr *packet.Parsed) {
 	tenant, ok := hdr.SFC.LookupContext(nsh.KeyTenantID)

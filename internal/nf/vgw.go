@@ -53,6 +53,13 @@ func (v *VGW) AddEncapRoute(innerDst packet.IP4, e EncapEntry) {
 	v.encap[innerDst] = e
 }
 
+// ContextReads implements ContextUser: the VGW reads nothing.
+func (v *VGW) ContextReads() []uint8 { return nil }
+
+// ContextWrites implements ContextUser: decap stamps the tenant behind
+// a VNI; both directions record the VNI itself.
+func (v *VGW) ContextWrites() []uint8 { return []uint8{nsh.KeyTenantID, nsh.KeyVNI} }
+
 // Execute implements NF.
 func (v *VGW) Execute(hdr *packet.Parsed) {
 	switch {
