@@ -10,6 +10,7 @@
 //	dejavu capacity -loopback 16 # §5 capacity analysis
 //	dejavu lint                  # static verification (exit 1 on errors)
 //	dejavu -config x.json lint -json
+//	dejavu chaos -seed 7         # seeded fault soak with self-healing
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"dejavu/internal/asic"
 	"dejavu/internal/config"
 	"dejavu/internal/core"
+	"dejavu/internal/fault"
 	"dejavu/internal/packet"
 	"dejavu/internal/scenario"
 )
@@ -38,6 +40,7 @@ commands:
   capacity   show the capacity split for a loopback configuration
   emit       print the composed multi-pipeline P4 program
   lint       statically verify the deployment; exit nonzero on errors
+  chaos      replay a seeded fault schedule and check healing invariants
 `)
 	os.Exit(2)
 }
@@ -74,6 +77,8 @@ dispatch:
 		err = runEmit(args)
 	case "lint":
 		err = runLint(args)
+	case "chaos":
+		err = runChaos(args)
 	default:
 		usage()
 	}
@@ -265,6 +270,61 @@ func runLint(args []string) error {
 	}
 	if rep.HasErrors() {
 		return fmt.Errorf("lint: %d error finding(s)", rep.Errors())
+	}
+	return nil
+}
+
+// runChaos replays a seeded random fault schedule against the
+// deployment, reconciling and probing after every tick. Without
+// -config it runs the reference edge-cloud soak (the same harness the
+// chaos tests use); with -config it derives the fault surface from the
+// loaded spec. Exit status: 0 when every invariant held, 1 otherwise.
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "fault schedule seed")
+	ticks := fs.Int("ticks", 40, "timeline length in ticks")
+	verbose := fs.Bool("v", false, "print the full transcript before the summary")
+	fs.Parse(args)
+
+	var res *core.ChaosResult
+	if configPath != "" {
+		cfg, err := config.Load(configPath)
+		if err != nil {
+			return err
+		}
+		// Derive the fault surface from the spec: loopback ports take
+		// recirculation overloads, static exit ports flap, the enter
+		// port sees wire corruption.
+		so := fault.ScheduleOpts{
+			Ticks:       *ticks,
+			WirePorts:   []asic.PortID{asic.PortID(cfg.Enter)},
+			RecircPorts: cfg.LoopbackPorts,
+		}
+		for _, c := range cfg.Chains {
+			if c.HasStaticExit() {
+				so.FlapPorts = append(so.FlapPorts, c.StaticExitPort)
+			}
+		}
+		res, err = core.RunChaos(*cfg, core.ChaosOpts{Seed: *seed, Ticks: *ticks, ScheduleOpts: so})
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		res, err = core.EdgeChaos(*seed, *ticks)
+		if err != nil {
+			return err
+		}
+	}
+	if *verbose {
+		for _, line := range res.Log {
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	fmt.Print(res.Summary())
+	if !res.OK() {
+		return fmt.Errorf("chaos: %d invariant violation(s)", len(res.Violations))
 	}
 	return nil
 }

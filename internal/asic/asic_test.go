@@ -1,6 +1,7 @@
 package asic
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -388,5 +389,176 @@ func BenchmarkInjectWithRecirc(b *testing.B) {
 		if _, err := sw.Inject(0, pkt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// countingHook is a FaultHook test double with per-callback behaviour.
+type countingHook struct {
+	injectErr error
+	emitOK    bool
+	recircOK  bool
+
+	injects, emits, recircs int
+}
+
+func (h *countingHook) OnInject(port PortID, pkt *packet.Parsed) error {
+	h.injects++
+	return h.injectErr
+}
+
+func (h *countingHook) OnEmit(port PortID, pkt *packet.Parsed) bool {
+	h.emits++
+	return h.emitOK
+}
+
+func (h *countingHook) OnRecirculate(port PortID, pkt *packet.Parsed) bool {
+	h.recircs++
+	return h.recircOK
+}
+
+func TestPortAdminState(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(3))
+
+	if !sw.PortIsUp(2) {
+		t.Fatal("fresh port reported down")
+	}
+	if err := sw.SetPortAdminState(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if sw.PortIsUp(2) {
+		t.Error("downed port reported up")
+	}
+	if _, err := sw.Inject(2, testPacket()); err == nil {
+		t.Error("inject on down port succeeded")
+	}
+	// Special ports cannot flap and are always up.
+	if err := sw.SetPortAdminState(RecircPort(0), false); err == nil {
+		t.Error("recirc port admin change accepted")
+	}
+	if err := sw.SetPortAdminState(PortCPU, false); err == nil {
+		t.Error("CPU port admin change accepted")
+	}
+	if !sw.PortIsUp(RecircPort(0)) || !sw.PortIsUp(PortCPU) {
+		t.Error("special ports must always be up")
+	}
+	// Recovery restores traffic.
+	if err := sw.SetPortAdminState(2, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil || tr.Dropped {
+		t.Fatalf("traffic broken after port recovery: %v", err)
+	}
+}
+
+func TestEmitToDownPortDrops(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(3))
+	if err := sw.SetPortAdminState(3, false); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "down") {
+		t.Errorf("packet to dead egress port not dropped: %+v", tr)
+	}
+	if sw.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", sw.Drops())
+	}
+}
+
+func TestRecirculationIntoDeadLoopbackPortDrops(t *testing.T) {
+	sw := New(Wedge100B())
+	if err := sw.SetLoopback(8, LoopbackOnChip); err != nil {
+		t.Fatal(err)
+	}
+	sw.InstallIngress(0, func(ctx *Ctx) {
+		if ctx.Meta.Passes == 1 {
+			ctx.Meta.OutPort = 8 // first pass: recirculate
+		} else {
+			ctx.Meta.OutPort = 3
+		}
+	})
+	if err := sw.SetPortAdminState(8, false); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "dead port") {
+		t.Errorf("recirculation into dead port not dropped: %+v", tr)
+	}
+}
+
+func TestFaultHookInject(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(3))
+	h := &countingHook{injectErr: fmt.Errorf("link noise"), emitOK: true, recircOK: true}
+	sw.SetFaultHook(h)
+	if _, err := sw.Inject(2, testPacket()); err == nil {
+		t.Error("faulted inject succeeded")
+	}
+	if h.injects != 1 {
+		t.Errorf("OnInject calls = %d, want 1", h.injects)
+	}
+	if sw.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", sw.Drops())
+	}
+	// Removing the hook restores normal forwarding.
+	sw.SetFaultHook(nil)
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil || tr.Dropped {
+		t.Fatalf("traffic broken after hook removal: %v", err)
+	}
+}
+
+func TestFaultHookEmitLoss(t *testing.T) {
+	sw := New(Wedge100B())
+	sw.InstallIngress(0, forwardTo(3))
+	h := &countingHook{emitOK: false, recircOK: true}
+	sw.SetFaultHook(h)
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "lost on wire") {
+		t.Errorf("wire loss not recorded: %+v", tr)
+	}
+	if h.emits != 1 {
+		t.Errorf("OnEmit calls = %d, want 1", h.emits)
+	}
+	// Nothing left the switch.
+	if got := sw.Stats(3).TxPackets.Load(); got != 0 {
+		t.Errorf("tx = %d on lossy port, want 0", got)
+	}
+}
+
+func TestFaultHookRecircOverload(t *testing.T) {
+	sw := New(Wedge100B())
+	if err := sw.SetLoopback(8, LoopbackOnChip); err != nil {
+		t.Fatal(err)
+	}
+	sw.InstallIngress(0, func(ctx *Ctx) {
+		if ctx.Meta.Passes == 1 {
+			ctx.Meta.OutPort = 8
+		} else {
+			ctx.Meta.OutPort = 3
+		}
+	})
+	h := &countingHook{emitOK: true, recircOK: false}
+	sw.SetFaultHook(h)
+	tr, err := sw.Inject(2, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Dropped || !strings.Contains(tr.DropReason, "overload") {
+		t.Errorf("overloaded recirculation not dropped: %+v", tr)
+	}
+	if h.recircs != 1 {
+		t.Errorf("OnRecirculate calls = %d, want 1", h.recircs)
 	}
 }

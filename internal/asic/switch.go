@@ -90,6 +90,23 @@ func (t *Trace) Path() string {
 // maxPasses bounds ingress entries per packet to catch routing loops.
 const maxPasses = 64
 
+// FaultHook intercepts packets at the switch's port boundaries so a
+// fault-injection layer (internal/fault) can model wire-level failures
+// without the switch knowing about schedules or seeds.
+type FaultHook interface {
+	// OnInject runs before a packet enters a front-panel port. A
+	// non-nil error refuses the packet at the port (link-level loss).
+	OnInject(port PortID, pkt *packet.Parsed) error
+	// OnEmit runs as a packet leaves through a front-panel port and may
+	// mutate it (corruption, truncation). Returning false loses the
+	// packet on the wire.
+	OnEmit(port PortID, pkt *packet.Parsed) bool
+	// OnRecirculate runs for every recirculation through a loopback
+	// port. Returning false drops the packet (recirculation-queue
+	// overload).
+	OnRecirculate(port PortID, pkt *packet.Parsed) bool
+}
+
 // Switch is a behavioural instance of a Profile: per-port state,
 // per-pipelet programs, and an execution engine implementing the
 // resubmission/recirculation rules.
@@ -98,6 +115,8 @@ type Switch struct {
 
 	mu       sync.RWMutex
 	loopback map[PortID]LoopbackMode
+	portDown map[PortID]bool
+	faults   FaultHook
 	ingress  []StageFunc // indexed by pipeline
 	egress   []StageFunc
 
@@ -114,6 +133,7 @@ func New(prof Profile) *Switch {
 	s := &Switch{
 		prof:      prof,
 		loopback:  make(map[PortID]LoopbackMode),
+		portDown:  make(map[PortID]bool),
 		ingress:   make([]StageFunc, prof.Pipelines),
 		egress:    make([]StageFunc, prof.Pipelines),
 		portStats: make(map[PortID]*PortStats),
@@ -123,6 +143,49 @@ func New(prof Profile) *Switch {
 
 // Profile returns the switch's static description.
 func (s *Switch) Profile() Profile { return s.prof }
+
+// SetFaultHook installs (or, with nil, removes) the switch's fault
+// interception layer.
+func (s *Switch) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = h
+}
+
+func (s *Switch) faultHook() FaultHook {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
+}
+
+// SetPortAdminState marks a front-panel port up or down. A down port
+// refuses injected traffic, loses packets emitted through it, and
+// drops recirculations if it was in loopback mode — the behavioural
+// equivalent of a link flap.
+func (s *Switch) SetPortAdminState(port PortID, up bool) error {
+	if !s.prof.ValidPort(port) || IsRecircPort(port) || port == PortCPU {
+		return fmt.Errorf("asic: port %d is not a front-panel port", port)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if up {
+		delete(s.portDown, port)
+	} else {
+		s.portDown[port] = true
+	}
+	return nil
+}
+
+// PortIsUp reports whether a port is administratively up. Dedicated
+// recirculation ports and the CPU port are always up.
+func (s *Switch) PortIsUp(port PortID) bool {
+	if IsRecircPort(port) || port == PortCPU {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.portDown[port]
+}
 
 // SetLoopback configures a front-panel port's loopback mode. A port in
 // loopback can no longer take external traffic: Inject on it fails.
@@ -225,6 +288,15 @@ func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
 	if s.LoopbackModeOf(in) != LoopbackOff {
 		return nil, fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)
 	}
+	if !s.PortIsUp(in) {
+		return nil, fmt.Errorf("asic: port %d is down", in)
+	}
+	if h := s.faultHook(); h != nil {
+		if err := h.OnInject(in, pkt); err != nil {
+			s.drops.Add(1)
+			return nil, fmt.Errorf("asic: inject fault on port %d: %w", in, err)
+		}
+	}
 	st := s.stats(in)
 	st.RxPackets.Add(1)
 	st.RxBytes.Add(uint64(pkt.WireLen()))
@@ -306,7 +378,8 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 		tr.Latency += s.prof.TMLatency
 
 		if ctx.Meta.Mirror && ctx.Meta.MirrorPort != PortUnset {
-			// Mirrored copy leaves immediately from the TM.
+			// Mirrored copy leaves immediately from the TM; a lost
+			// mirror does not affect the original packet.
 			cp := ctx.Pkt.Clone()
 			s.emit(ctx.Meta.MirrorPort, cp, tr)
 			ctx.Meta.Mirror = false
@@ -337,7 +410,23 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 		// is in loopback mode, not by a per-packet decision at egress.
 		mode := s.LoopbackModeOf(out)
 		if mode == LoopbackOff {
-			s.emit(out, ctx.Pkt, tr)
+			if ok, reason := s.emit(out, ctx.Pkt, tr); !ok {
+				tr.Dropped = true
+				tr.DropReason = reason
+				s.drops.Add(1)
+			}
+			return nil
+		}
+		if !s.PortIsUp(out) {
+			tr.Dropped = true
+			tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out)
+			s.drops.Add(1)
+			return nil
+		}
+		if h := s.faultHook(); h != nil && !h.OnRecirculate(out, ctx.Pkt) {
+			tr.Dropped = true
+			tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out)
+			s.drops.Add(1)
 			return nil
 		}
 		// Constraint (d): the packet re-enters the ingress pipe of the
@@ -369,10 +458,19 @@ func (s *Switch) toCPU(ctx *Ctx, tr *Trace) {
 	tr.CPU = append(tr.CPU, ctx.Pkt.Clone())
 }
 
-// emit records a packet leaving through a front-panel port.
-func (s *Switch) emit(port PortID, pkt *packet.Parsed, tr *Trace) {
+// emit records a packet leaving through a front-panel port. It reports
+// failure (and the reason) when the port is administratively down or
+// an injected fault loses the packet on the wire.
+func (s *Switch) emit(port PortID, pkt *packet.Parsed, tr *Trace) (bool, string) {
+	if !s.PortIsUp(port) {
+		return false, fmt.Sprintf("egress port %d down", port)
+	}
+	if h := s.faultHook(); h != nil && !h.OnEmit(port, pkt) {
+		return false, fmt.Sprintf("packet lost on wire at port %d", port)
+	}
 	st := s.stats(port)
 	st.TxPackets.Add(1)
 	st.TxBytes.Add(uint64(pkt.WireLen()))
 	tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
+	return true, ""
 }

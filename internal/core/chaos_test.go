@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavu/internal/fault"
+)
+
+// TestChaosSoak replays seeded random fault schedules over the
+// edge-cloud scenario and requires every invariant to hold after every
+// reconcile: no chain silently blackholed, capacity bookkeeping
+// consistent with the switch's loopback state, and a lint-clean
+// deployment. Three distinct seeds keep the coverage honest; CI runs
+// this under -race.
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := EdgeChaos(seed, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK() {
+				t.Fatalf("seed %d violated invariants:\n%s", seed, res.Summary())
+			}
+			if res.Events == 0 {
+				t.Errorf("seed %d: schedule fired no faults", seed)
+			}
+			if res.Probes == 0 || res.Delivered == 0 {
+				t.Errorf("seed %d: no traffic verified (probes=%d delivered=%d)", seed, res.Probes, res.Delivered)
+			}
+			// Every probe must be accounted for.
+			if res.Delivered+res.Dropped+res.Punted != res.Probes {
+				t.Errorf("seed %d: %d probes but %d+%d+%d accounted", seed,
+					res.Probes, res.Delivered, res.Dropped, res.Punted)
+			}
+			// Each reconcile left zero lint errors (a lint error is a
+			// violation, checked above) and the degradation report never
+			// invents error findings beyond RC004 blackholes.
+			for _, f := range res.Findings.Findings {
+				if !strings.HasPrefix(f.Rule, "RC") {
+					t.Errorf("seed %d: degradation finding with non-reconciler rule %s", seed, f.Rule)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic runs the same seeded soak twice and requires
+// byte-identical transcripts: the injector, reconciler and probes must
+// be a pure function of the seed.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := EdgeChaos(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EdgeChaos(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Log, b.Log) {
+		t.Fatalf("same seed diverged:\nrun1: %d lines\nrun2: %d lines", len(a.Log), len(b.Log))
+	}
+	if a.Events != b.Events || a.Repoints != b.Repoints || a.Delivered != b.Delivered {
+		t.Errorf("summaries diverged: %+v vs %+v", a, b)
+	}
+	c, err := EdgeChaos(8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Log, c.Log) && a.Events > 0 {
+		t.Error("different seeds produced identical transcripts")
+	}
+}
+
+// TestChaosScriptedExitFailure pins the headline self-healing story:
+// the static exit port dies mid-run, the reconciler re-points the
+// chain, and the probe keeps delivering — no invariant violations, and
+// the transcript shows the repair.
+func TestChaosScriptedExitFailure(t *testing.T) {
+	cfg, probes, err := EdgeChaosConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunChaos(cfg, ChaosOpts{
+		Seed:  1,
+		Ticks: 6,
+		Schedule: fault.Schedule{
+			{Tick: 2, Kind: fault.PortDown, Port: 30},
+			{Tick: 5, Kind: fault.PortUp, Port: 30},
+		},
+		Probes: probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("invariants violated:\n%s", res.Summary())
+	}
+	if res.Repoints != 1 {
+		t.Errorf("repoints = %d, want 1", res.Repoints)
+	}
+	// All probes delivered on every tick: 4 probes x 6 ticks.
+	if res.Delivered != 24 {
+		t.Errorf("delivered = %d, want 24 (4 probes x 6 ticks)", res.Delivered)
+	}
+	healed := false
+	for _, line := range res.Log {
+		if strings.Contains(line, "chain 40 re-pointed to port 31") {
+			healed = true
+		}
+	}
+	if !healed {
+		t.Errorf("transcript missing the re-point action:\n%s", strings.Join(res.Log, "\n"))
+	}
+}

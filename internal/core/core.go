@@ -93,6 +93,19 @@ type Deployment struct {
 
 	composed *compose.Deployment
 	loops    *loopbackPool
+	// dead tracks ports taken out by HandlePortDown so repeat failures
+	// cannot double-decrement capacity and HandlePortUp can restore the
+	// port's prior role.
+	dead map[asic.PortID]deadPort
+	// testPostInstall, when set by a test, runs after InstallOn inside
+	// swap — the seam that forces a post-commit failure to prove the
+	// rollback path.
+	testPostInstall func() error
+}
+
+// deadPort remembers what a failed port was doing when it died.
+type deadPort struct {
+	wasLoopback bool
 }
 
 // loopbackPool round-robins recirculation traffic over a pipeline's
@@ -117,6 +130,22 @@ func (p *loopbackPool) choose(pipeline int) asic.PortID {
 	n := p.rr[pipeline]
 	p.rr[pipeline] = n + 1
 	return ports[int(n)%len(ports)]
+}
+
+// add returns a port to the rotation (recovery), keeping the pool
+// duplicate-free.
+func (p *loopbackPool) add(port asic.PortID, pipeline int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, candidate := range p.byPipe[pipeline] {
+		if candidate == port {
+			return
+		}
+	}
+	if p.byPipe == nil {
+		p.byPipe = make(map[int][]asic.PortID)
+	}
+	p.byPipe[pipeline] = append(p.byPipe[pipeline], port)
 }
 
 // remove drops a port from rotation, reporting whether it was present.

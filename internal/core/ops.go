@@ -6,6 +6,7 @@ import (
 	"dejavu/internal/asic"
 	"dejavu/internal/compiler"
 	"dejavu/internal/compose"
+	"dejavu/internal/lint"
 	"dejavu/internal/route"
 )
 
@@ -132,9 +133,11 @@ func (d *Deployment) placeNewNF(placement *route.Placement, chains []route.Chain
 
 // swap recomposes the deployment for a new chain set + placement,
 // verifies every pipelet still fits, and installs the new programs on
-// the live switch. On any error the switch keeps running the old
-// programs ("the data plane programs have a much higher loading cost",
-// §7 — here the swap is transactional).
+// the live switch. The swap is transactional ("the data plane programs
+// have a much higher loading cost", §7): before InstallOn every error
+// simply aborts, and if anything fails after the switch was already
+// reprogrammed, the prior composed deployment is reinstalled so the
+// switch never runs new programs against stale bookkeeping.
 func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) error {
 	if err := placement.Validate(d.Config.Prof, chains); err != nil {
 		return err
@@ -142,6 +145,9 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 	comp, err := compose.New(d.Config.Prof, chains, placement, d.Config.NFs)
 	if err != nil {
 		return err
+	}
+	if d.Config.StrictLint {
+		comp.Verifier = lint.Gate()
 	}
 	if d.loops != nil {
 		// Keep spreading recirculation over the loopback pool.
@@ -161,13 +167,41 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 		plans[pl] = plan
 		planList = append(planList, plan)
 	}
-	// Commit: install new programs, then update bookkeeping.
+	// Derive the new bookkeeping BEFORE touching the switch where
+	// possible; anything that must run afterwards is covered by the
+	// rollback below.
+	reports := make([]ChainReport, 0, len(chains))
+	for _, ch := range chains {
+		tr, err := route.Plan(ch, placement, d.Config.Enter)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
+	}
+
+	// Commit point: reprogram the switch. From here on, any failure
+	// rolls the switch back to the prior composed deployment.
+	prev := d.composed
 	if err := dep.InstallOn(d.Switch); err != nil {
 		return err
 	}
+	rollback := func(cause error) error {
+		if prev == nil {
+			return fmt.Errorf("core: update failed with no prior deployment to restore: %w", cause)
+		}
+		if rbErr := prev.InstallOn(d.Switch); rbErr != nil {
+			return fmt.Errorf("core: update failed (%w) AND rollback failed: %v", cause, rbErr)
+		}
+		return fmt.Errorf("core: update rejected, switch rolled back to prior programs: %w", cause)
+	}
+	if d.testPostInstall != nil {
+		if err := d.testPostInstall(); err != nil {
+			return rollback(err)
+		}
+	}
 	cost, err := route.Evaluate(chains, placement, d.Config.Enter)
 	if err != nil {
-		return err
+		return rollback(err)
 	}
 	d.Config.Chains = chains
 	d.Placement = placement
@@ -176,14 +210,8 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 	d.Resources = compiler.FrameworkReport(d.Config.Prof, planList)
 	d.ParserStates = dep.Parser.ParseStates()
 	d.composed = dep
-	d.Chains = d.Chains[:0]
-	for _, ch := range chains {
-		tr, err := route.Plan(ch, placement, d.Config.Enter)
-		if err != nil {
-			return err
-		}
-		d.Chains = append(d.Chains, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
-	}
+	d.Chains = reports
+	d.Lint = lint.AnalyzeDeployment(dep)
 	return nil
 }
 
@@ -208,12 +236,19 @@ type PortDownReport struct {
 // HandlePortDown processes a front-panel port failure: loopback
 // bandwidth is re-budgeted and chains that statically exit through the
 // dead port are reported so the operator (or controller) can re-point
-// them.
+// them. A port already handled is rejected — capacity must never be
+// decremented twice for one failure.
 func (d *Deployment) HandlePortDown(port asic.PortID) (PortDownReport, error) {
 	if !d.Config.Prof.ValidPort(port) || asic.IsRecircPort(port) || port == asic.PortCPU {
 		return PortDownReport{}, fmt.Errorf("core: port %d is not a front-panel port", port)
 	}
+	if _, gone := d.dead[port]; gone {
+		return PortDownReport{}, fmt.Errorf("core: port %d is already down", port)
+	}
 	rep := PortDownReport{Port: port}
+	if d.dead == nil {
+		d.dead = make(map[asic.PortID]deadPort)
+	}
 	if d.Switch.LoopbackModeOf(port) != asic.LoopbackOff {
 		rep.WasLoopback = true
 		rep.LostLoopbackGbps = d.Config.Prof.PortGbps
@@ -239,6 +274,7 @@ func (d *Deployment) HandlePortDown(port asic.PortID) (PortDownReport, error) {
 	} else {
 		d.Capacity.TotalPorts--
 	}
+	d.dead[port] = deadPort{wasLoopback: rep.WasLoopback}
 	for _, c := range d.Config.Chains {
 		if c.StaticExitPort == port {
 			rep.AffectedChains = append(rep.AffectedChains, c.PathID)
@@ -252,4 +288,63 @@ func (d *Deployment) HandlePortDown(port asic.PortID) (PortDownReport, error) {
 		rep.SustainableOfferedGbps = d.Capacity.ExternalGbps()
 	}
 	return rep, nil
+}
+
+// PortUpReport describes the effect of a recovered port.
+type PortUpReport struct {
+	Port asic.PortID
+	// RestoredLoopback reports whether the port resumed its
+	// recirculation role.
+	RestoredLoopback bool
+	// RestoredLoopbackGbps is the recirculation bandwidth regained.
+	RestoredLoopbackGbps float64
+	// RemainingLoopbackGbps is the post-recovery recirculation budget.
+	RemainingLoopbackGbps float64
+}
+
+// HandlePortUp is the recovery inverse of HandlePortDown: the port
+// returns to capacity bookkeeping and, if it carried recirculation
+// bandwidth before it died, its loopback mode and place in the
+// rotation are restored. Only ports previously taken down by
+// HandlePortDown can be brought back.
+func (d *Deployment) HandlePortUp(port asic.PortID) (PortUpReport, error) {
+	if !d.Config.Prof.ValidPort(port) || asic.IsRecircPort(port) || port == asic.PortCPU {
+		return PortUpReport{}, fmt.Errorf("core: port %d is not a front-panel port", port)
+	}
+	was, gone := d.dead[port]
+	if !gone {
+		return PortUpReport{}, fmt.Errorf("core: port %d is not down", port)
+	}
+	rep := PortUpReport{Port: port}
+	if was.wasLoopback {
+		if err := d.Switch.SetLoopback(port, asic.LoopbackOnChip); err != nil {
+			return rep, err
+		}
+		rep.RestoredLoopback = true
+		rep.RestoredLoopbackGbps = d.Config.Prof.PortGbps
+		d.Config.LoopbackPorts = append(d.Config.LoopbackPorts, port)
+		d.Capacity.LoopbackPorts = len(d.Config.LoopbackPorts)
+		if d.loops != nil {
+			d.loops.add(port, d.Config.Prof.PipelineOf(port))
+		}
+	}
+	d.Capacity.TotalPorts++
+	delete(d.dead, port)
+	rep.RemainingLoopbackGbps = d.LoopbackGbps()
+	return rep, nil
+}
+
+// DeadPorts returns the ports currently taken out by HandlePortDown,
+// in ascending order.
+func (d *Deployment) DeadPorts() []asic.PortID {
+	out := make([]asic.PortID, 0, len(d.dead))
+	for p := range d.dead {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }

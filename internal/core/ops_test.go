@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"dejavu/internal/nf"
 	"dejavu/internal/p4"
 	"dejavu/internal/packet"
+	"dejavu/internal/ptf"
 	"dejavu/internal/route"
 	"dejavu/internal/scenario"
 )
@@ -334,5 +336,206 @@ func TestLoopbackSpreadingSurvivesUpdate(t *testing.T) {
 	}
 	if used < 2 {
 		t.Errorf("after update, loopback spread over %d ports", used)
+	}
+}
+
+// TestSwapRollbackOnPostInstallFailure forces swap to fail AFTER the
+// new programs were installed on the switch and proves the deployment
+// rolls the switch back: the old chain set still forwards end-to-end.
+func TestSwapRollbackOnPostInstallFailure(t *testing.T) {
+	cfg := edgeConfig()
+	nat := nf.NewNAT(packet.IP4{192, 0, 2, 1}, 1024)
+	cfg.NFs = append(cfg.NFs, nat)
+	d, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Forced post-commit failure: InstallOn has already loaded the new
+	// programs when this hook runs.
+	installed := false
+	d.testPostInstall = func() error {
+		installed = true
+		return fmt.Errorf("forced post-install validation failure")
+	}
+	chainsBefore := len(d.Chains)
+	costBefore := d.Cost
+
+	err = d.AddChain(route.Chain{PathID: 40, NFs: []string{"classifier", "nat", "router"}, Weight: 0.1, ExitPipeline: 0})
+	if err == nil {
+		t.Fatal("swap succeeded despite forced failure")
+	}
+	if !installed {
+		t.Fatal("post-install hook never ran — failure was not post-commit")
+	}
+	if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("error does not report rollback: %v", err)
+	}
+
+	// Bookkeeping untouched.
+	if len(d.Chains) != chainsBefore {
+		t.Errorf("chain reports = %d, want %d", len(d.Chains), chainsBefore)
+	}
+	if d.Cost != costBefore {
+		t.Errorf("cost mutated: %+v -> %+v", costBefore, d.Cost)
+	}
+	if _, ok := d.Placement.Of("nat"); ok {
+		t.Error("failed chain's NF left in placement")
+	}
+
+	// The switch runs the OLD programs again: all three original
+	// chains still forward end-to-end, checked through ptf.
+	d.testPostInstall = nil
+	h := ptf.New(d.Switch)
+	h.AfterInject = func() error { _, err := d.Controller.Poll(); return err }
+	rep := h.RunAll([]ptf.TestCase{
+		{
+			Name: "full path after rollback", InPort: scenario.PortClient,
+			Pkt:               scenario.ClientTCP(443),
+			ExpectCPU:         true, // first packet of the flow punts and learns
+			ExpectOut:         nil,
+			MaxRecirculations: -1,
+		},
+		{
+			Name: "full path hit after rollback", InPort: scenario.PortClient,
+			Pkt: scenario.ClientTCP(443),
+			ExpectOut: []ptf.Expect{{Port: scenario.PortBackends, Checks: []ptf.Check{
+				ptf.NoSFC(), ptf.Reparses(),
+			}}},
+			MaxRecirculations: -1,
+		},
+		{
+			Name: "medium path after rollback", InPort: scenario.PortClient,
+			Pkt: scenario.TenantBound(),
+			ExpectOut: []ptf.Expect{{Port: scenario.PortVTEP, Checks: []ptf.Check{
+				ptf.HasVXLAN(scenario.TenantVNI), ptf.Reparses(),
+			}}},
+			MaxRecirculations: -1,
+		},
+		{
+			Name: "basic path after rollback", InPort: scenario.PortClient,
+			Pkt: scenario.InternetBound(),
+			ExpectOut: []ptf.Expect{{Port: scenario.PortUpstream, Checks: []ptf.Check{
+				ptf.NoSFC(), ptf.Reparses(),
+			}}},
+			MaxRecirculations: -1,
+		},
+	})
+	if rep.Failed > 0 {
+		t.Fatalf("old chains broken after rollback:\n%s", rep.String())
+	}
+
+	// And the deployment is still updatable: the same chain now
+	// installs cleanly.
+	if err := d.AddChain(route.Chain{PathID: 40, NFs: []string{"classifier", "nat", "router"}, Weight: 0.1, ExitPipeline: 0}); err != nil {
+		t.Fatalf("deployment wedged after rollback: %v", err)
+	}
+}
+
+func TestHandlePortDownRepeatRejected(t *testing.T) {
+	cfg := edgeConfig()
+	for p := 16; p < 20; p++ {
+		cfg.LoopbackPorts = append(cfg.LoopbackPorts, asic.PortID(p))
+	}
+	d, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := d.Capacity.TotalPorts
+	if _, err := d.HandlePortDown(18); err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity.TotalPorts != total-1 {
+		t.Fatalf("TotalPorts = %d, want %d", d.Capacity.TotalPorts, total-1)
+	}
+	// The repeat must be rejected and must NOT decrement again.
+	if _, err := d.HandlePortDown(18); err == nil {
+		t.Fatal("second HandlePortDown for the same port accepted")
+	}
+	if d.Capacity.TotalPorts != total-1 {
+		t.Errorf("TotalPorts double-decremented: %d, want %d", d.Capacity.TotalPorts, total-1)
+	}
+	// Same for a non-loopback port.
+	if _, err := d.HandlePortDown(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.HandlePortDown(5); err == nil {
+		t.Error("repeat failure of front-panel port accepted")
+	}
+	if d.Capacity.TotalPorts != total-2 {
+		t.Errorf("TotalPorts = %d, want %d", d.Capacity.TotalPorts, total-2)
+	}
+	if got := d.DeadPorts(); len(got) != 2 || got[0] != 5 || got[1] != 18 {
+		t.Errorf("DeadPorts = %v", got)
+	}
+}
+
+func TestHandlePortUpRestoresLoopback(t *testing.T) {
+	cfg := edgeConfig()
+	for p := 16; p < 20; p++ {
+		cfg.LoopbackPorts = append(cfg.LoopbackPorts, asic.PortID(p))
+	}
+	d, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.LoopbackGbps()
+	totalBefore := d.Capacity.TotalPorts
+
+	// Down → up → down must be symmetric at every step.
+	if _, err := d.HandlePortDown(17); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.HandlePortUp(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RestoredLoopback || rep.RestoredLoopbackGbps != 100 {
+		t.Errorf("up report = %+v", rep)
+	}
+	if d.LoopbackGbps() != before {
+		t.Errorf("loopback budget = %v, want %v restored", d.LoopbackGbps(), before)
+	}
+	if d.Capacity.TotalPorts != totalBefore {
+		t.Errorf("TotalPorts = %d, want %d restored", d.Capacity.TotalPorts, totalBefore)
+	}
+	if d.Capacity.LoopbackPorts != 4 {
+		t.Errorf("LoopbackPorts = %d, want 4", d.Capacity.LoopbackPorts)
+	}
+	if d.Switch.LoopbackModeOf(17) != asic.LoopbackOnChip {
+		t.Error("switch loopback mode not restored")
+	}
+	// The port is back in the recirculation rotation: with all four
+	// pool ports alive again, sustained traffic touches port 17.
+	for i := 0; i < 16; i++ {
+		if _, err := d.Inject(scenario.PortClient, scenario.InternetBound()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Switch.Stats(17).RxPackets.Load() == 0 {
+		t.Error("recovered port sees no recirculation traffic")
+	}
+
+	// Second down works again after recovery.
+	if _, err := d.HandlePortDown(17); err != nil {
+		t.Fatalf("down after up rejected: %v", err)
+	}
+	if d.LoopbackGbps() != before-100 {
+		t.Errorf("loopback budget after re-down = %v, want %v", d.LoopbackGbps(), before-100)
+	}
+	// Up of a port that never went down is rejected.
+	if _, err := d.HandlePortUp(3); err == nil {
+		t.Error("HandlePortUp on healthy port accepted")
+	}
+	// Up of a plain (non-loopback) port restores only external capacity.
+	if _, err := d.HandlePortDown(5); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = d.HandlePortUp(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RestoredLoopback {
+		t.Error("plain port reported loopback restore")
 	}
 }

@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"strings"
 	"testing"
 
 	"dejavu/internal/asic"
@@ -127,38 +128,144 @@ func TestNATAllocation(t *testing.T) {
 	}
 }
 
+// TestApplyTableWrites covers the unified write API case by case:
+// every supported (nf, table) pair with a good write whose effect is
+// verified against the owning NF, the bad-argument paths (wrong arity,
+// wrong types), and the unknown-NF / unknown-table dispatch failures.
 func TestApplyTableWrites(t *testing.T) {
-	s, _, ctrl := deployed(t)
-	writes := []TableWrite{
-		{NF: "lb", Table: "lb_session", Args: []any{uint32(12345), scenario.Backend1}},
-		{NF: "router", Table: "ipv4_lpm", Args: []any{packet.IP4{192, 168, 0, 0}, 16, nf.NextHop{Port: 3}}},
-		{NF: "fw", Table: "fw_acl", Args: []any{nf.ACLRule{Priority: 5, Permit: true}}},
-		{NF: "classifier", Table: "class_map", Args: []any{nf.ClassRule{Path: 10, InitialIndex: 5, Priority: 9}}},
-		{NF: "vgw", Table: "vni_table", Args: []any{uint32(7777), uint16(9)}},
+	// Scenario baseline state the verifications count against:
+	// 0 sessions, 3 routes, 2 ACL rules, 2 class rules, 1 VNI.
+	cases := []struct {
+		name    string
+		write   TableWrite
+		wantErr string // substring of the expected error; empty = success
+		verify  func(t *testing.T, s *scenario.Scenario)
+	}{
+		{
+			name:  "lb session ok",
+			write: TableWrite{NF: "lb", Table: "lb_session", Args: []any{uint32(12345), scenario.Backend1}},
+			verify: func(t *testing.T, s *scenario.Scenario) {
+				if s.LB.Sessions() != 1 {
+					t.Errorf("sessions = %d, want 1", s.LB.Sessions())
+				}
+			},
+		},
+		{
+			name:    "lb wrong arity",
+			write:   TableWrite{NF: "lb", Table: "lb_session", Args: []any{uint32(12345)}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:    "lb wrong types",
+			write:   TableWrite{NF: "lb", Table: "lb_session", Args: []any{"hash", "backend"}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:  "router route ok",
+			write: TableWrite{NF: "router", Table: "ipv4_lpm", Args: []any{packet.IP4{192, 168, 0, 0}, 16, nf.NextHop{Port: 3}}},
+			verify: func(t *testing.T, s *scenario.Scenario) {
+				if s.Router.Routes() != 4 {
+					t.Errorf("routes = %d, want 4", s.Router.Routes())
+				}
+			},
+		},
+		{
+			name:    "router wrong arity",
+			write:   TableWrite{NF: "router", Table: "ipv4_lpm", Args: []any{packet.IP4{192, 168, 0, 0}}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:    "router wrong types",
+			write:   TableWrite{NF: "router", Table: "ipv4_lpm", Args: []any{packet.IP4{192, 168, 0, 0}, "16", nf.NextHop{Port: 3}}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:  "fw acl ok",
+			write: TableWrite{NF: "fw", Table: "fw_acl", Args: []any{nf.ACLRule{Priority: 5, Permit: true}}},
+			verify: func(t *testing.T, s *scenario.Scenario) {
+				if s.Firewall.Rules() != 3 {
+					t.Errorf("acl rules = %d, want 3", s.Firewall.Rules())
+				}
+			},
+		},
+		{
+			name:    "fw wrong arity",
+			write:   TableWrite{NF: "fw", Table: "fw_acl", Args: nil},
+			wantErr: "bad arguments",
+		},
+		{
+			name:    "fw wrong types",
+			write:   TableWrite{NF: "fw", Table: "fw_acl", Args: []any{"permit any"}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:  "classifier rule ok",
+			write: TableWrite{NF: "classifier", Table: "class_map", Args: []any{nf.ClassRule{Path: 10, InitialIndex: 5, Priority: 9}}},
+			verify: func(t *testing.T, s *scenario.Scenario) {
+				if s.Classifier.Rules() != 3 {
+					t.Errorf("class rules = %d, want 3", s.Classifier.Rules())
+				}
+			},
+		},
+		{
+			name:    "classifier wrong types",
+			write:   TableWrite{NF: "classifier", Table: "class_map", Args: []any{uint32(10)}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:  "vgw vni ok",
+			write: TableWrite{NF: "vgw", Table: "vni_table", Args: []any{uint32(7777), uint16(9)}},
+			verify: func(t *testing.T, s *scenario.Scenario) {
+				if s.VGW.VNIs() != 2 {
+					t.Errorf("vnis = %d, want 2", s.VGW.VNIs())
+				}
+			},
+		},
+		{
+			name:    "vgw wrong arity",
+			write:   TableWrite{NF: "vgw", Table: "vni_table", Args: []any{uint32(7777)}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:    "vgw wrong types",
+			write:   TableWrite{NF: "vgw", Table: "vni_table", Args: []any{uint16(9), uint32(7777)}},
+			wantErr: "bad arguments",
+		},
+		{
+			name:    "unknown NF",
+			write:   TableWrite{NF: "ghost", Table: "x"},
+			wantErr: "unknown NF",
+		},
+		{
+			name:    "unknown table",
+			write:   TableWrite{NF: "lb", Table: "nope"},
+			wantErr: "unknown table",
+		},
+		{
+			name:    "table of another NF",
+			write:   TableWrite{NF: "router", Table: "fw_acl", Args: []any{nf.ACLRule{}}},
+			wantErr: "unknown table",
+		},
 	}
-	for _, w := range writes {
-		if err := ctrl.Apply(w); err != nil {
-			t.Errorf("Apply(%s/%s): %v", w.NF, w.Table, err)
-		}
-	}
-	if s.LB.Sessions() != 1 || s.Router.Routes() != 4 || s.VGW.VNIs() != 2 {
-		t.Errorf("writes not applied: sessions=%d routes=%d vnis=%d",
-			s.LB.Sessions(), s.Router.Routes(), s.VGW.VNIs())
-	}
-}
-
-func TestApplyRejectsBadWrites(t *testing.T) {
-	_, _, ctrl := deployed(t)
-	bad := []TableWrite{
-		{NF: "ghost", Table: "x"},
-		{NF: "lb", Table: "nope"},
-		{NF: "lb", Table: "lb_session", Args: []any{"wrong", "types"}},
-		{NF: "router", Table: "ipv4_lpm", Args: []any{1}},
-	}
-	for i, w := range bad {
-		if err := ctrl.Apply(w); err == nil {
-			t.Errorf("bad write %d accepted", i)
-		}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s, _, ctrl := deployed(t)
+			err := ctrl.Apply(tc.write)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Apply(%s/%s): %v", tc.write.NF, tc.write.Table, err)
+				}
+				tc.verify(t, s)
+				return
+			}
+			if err == nil {
+				t.Fatalf("bad write %s/%s accepted", tc.write.NF, tc.write.Table)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,213 @@
+// Package fault is Dejavu's deterministic fault-injection layer: the
+// chaos substrate behind the §7 operational concerns ("service upgrade
+// and expansion, failure handling"). It produces seeded, reproducible
+// fault schedules — port flaps, wire corruption and truncation,
+// recirculation-queue overload, transient/permanent control-plane
+// write failures — and an Injector that replays a schedule against the
+// behavioural switch via asic.FaultHook, so the self-healing machinery
+// in internal/core can be exercised and regression-tested: the same
+// seed and schedule always reproduce the identical event sequence,
+// packet losses and reconciler decisions.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dejavu/internal/asic"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// PortDown takes a front-panel port administratively down: a link
+	// flap, a pulled cable, a dead transceiver.
+	PortDown Kind = iota
+	// PortUp brings a previously downed port back.
+	PortUp
+	// Corrupt flips bytes in the next packet crossing the port's wire.
+	Corrupt
+	// Truncate cuts bytes off the end of the next packet crossing the
+	// port's wire.
+	Truncate
+	// RecircOverload models a congested recirculation queue: for the
+	// event's duration every other recirculation is dropped.
+	RecircOverload
+	// TableWriteFail makes control-plane writes against one (nf, table)
+	// pair fail: a bounded number of times (transient), forever
+	// (permanent), or with the write applied but the ack lost
+	// (ambiguous — the idempotency case).
+	TableWriteFail
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case PortDown:
+		return "port-down"
+	case PortUp:
+		return "port-up"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case RecircOverload:
+		return "recirc-overload"
+	case TableWriteFail:
+		return "table-write-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Tick is the virtual time the event fires at (1-based).
+	Tick int
+	Kind Kind
+	// Port targets port-scoped faults (PortDown/PortUp/Corrupt/
+	// Truncate).
+	Port asic.PortID
+	// NF and Table target TableWriteFail events.
+	NF, Table string
+	// Failures is how many consecutive writes fail (TableWriteFail);
+	// negative means permanent.
+	Failures int
+	// Ambiguous marks a TableWriteFail where the write commits on the
+	// switch but the acknowledgement is lost, so a naive retry would
+	// apply it twice.
+	Ambiguous bool
+	// Bytes is how many bytes to flip (Corrupt) or strip (Truncate);
+	// zero means a default of 2.
+	Bytes int
+	// Ticks is how long a RecircOverload window lasts; zero means 1.
+	Ticks int
+}
+
+// String renders the event as one deterministic log line.
+func (e Event) String() string {
+	switch e.Kind {
+	case TableWriteFail:
+		mode := fmt.Sprintf("transient x%d", e.Failures)
+		if e.Failures < 0 {
+			mode = "permanent"
+		}
+		if e.Ambiguous {
+			mode += " ambiguous"
+		}
+		return fmt.Sprintf("t%03d %s %s/%s (%s)", e.Tick, e.Kind, e.NF, e.Table, mode)
+	case RecircOverload:
+		return fmt.Sprintf("t%03d %s port %d for %d tick(s)", e.Tick, e.Kind, e.Port, e.Dur())
+	case Corrupt, Truncate:
+		return fmt.Sprintf("t%03d %s port %d (%d bytes)", e.Tick, e.Kind, e.Port, e.bytes())
+	default:
+		return fmt.Sprintf("t%03d %s port %d", e.Tick, e.Kind, e.Port)
+	}
+}
+
+func (e Event) bytes() int {
+	if e.Bytes <= 0 {
+		return 2
+	}
+	return e.Bytes
+}
+
+// Dur is the effective duration of a RecircOverload window in ticks.
+func (e Event) Dur() int {
+	if e.Ticks <= 0 {
+		return 1
+	}
+	return e.Ticks
+}
+
+// Schedule is a fault timeline, ordered by tick.
+type Schedule []Event
+
+// Sort orders the schedule by tick, keeping the insertion order of
+// same-tick events stable.
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Tick < s[j].Tick })
+}
+
+// TableRef names one (nf, table) control-plane write target.
+type TableRef struct {
+	NF, Table string
+}
+
+// ScheduleOpts parameterizes random schedule generation.
+type ScheduleOpts struct {
+	// Ticks is the length of the timeline.
+	Ticks int
+	// FlapPorts are the ports eligible for PortDown/PortUp events.
+	FlapPorts []asic.PortID
+	// WirePorts are the ports eligible for Corrupt/Truncate events.
+	WirePorts []asic.PortID
+	// RecircPorts are the loopback ports eligible for RecircOverload.
+	RecircPorts []asic.PortID
+	// Tables are the write targets eligible for TableWriteFail.
+	Tables []TableRef
+	// EventsPerTick is the expected event rate; zero means 0.5.
+	EventsPerTick float64
+}
+
+// RandomSchedule generates a deterministic, seed-reproducible fault
+// schedule: the same seed and opts always produce the identical event
+// list. PortUp events are only generated for ports a prior PortDown
+// took out, so the schedule is self-consistent.
+func RandomSchedule(seed int64, opts ScheduleOpts) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if opts.Ticks <= 0 {
+		opts.Ticks = 20
+	}
+	rate := opts.EventsPerTick
+	if rate <= 0 {
+		rate = 0.5
+	}
+	var sched Schedule
+	down := make(map[asic.PortID]bool)
+	var downList []asic.PortID // deterministic order for PortUp picks
+	for tick := 1; tick <= opts.Ticks; tick++ {
+		if rng.Float64() >= rate {
+			continue
+		}
+		// Weighted kind choice. Re-rolls fall through to the next
+		// eligible kind so a draw is never wasted non-deterministically.
+		switch roll := rng.Intn(10); {
+		case roll < 3 && len(opts.FlapPorts) > 0:
+			p := opts.FlapPorts[rng.Intn(len(opts.FlapPorts))]
+			if down[p] {
+				continue
+			}
+			down[p] = true
+			downList = append(downList, p)
+			sched = append(sched, Event{Tick: tick, Kind: PortDown, Port: p})
+		case roll < 5 && len(downList) > 0:
+			i := rng.Intn(len(downList))
+			p := downList[i]
+			downList = append(downList[:i], downList[i+1:]...)
+			delete(down, p)
+			sched = append(sched, Event{Tick: tick, Kind: PortUp, Port: p})
+		case roll < 7 && len(opts.WirePorts) > 0:
+			p := opts.WirePorts[rng.Intn(len(opts.WirePorts))]
+			kind := Corrupt
+			if rng.Intn(3) == 0 {
+				kind = Truncate
+			}
+			sched = append(sched, Event{Tick: tick, Kind: kind, Port: p, Bytes: 1 + rng.Intn(4)})
+		case roll < 8 && len(opts.RecircPorts) > 0:
+			p := opts.RecircPorts[rng.Intn(len(opts.RecircPorts))]
+			sched = append(sched, Event{Tick: tick, Kind: RecircOverload, Port: p, Ticks: 1 + rng.Intn(3)})
+		case len(opts.Tables) > 0:
+			ref := opts.Tables[rng.Intn(len(opts.Tables))]
+			ev := Event{Tick: tick, Kind: TableWriteFail, NF: ref.NF, Table: ref.Table, Failures: 1 + rng.Intn(3)}
+			if rng.Intn(4) == 0 {
+				ev.Ambiguous = true
+			}
+			sched = append(sched, ev)
+		}
+	}
+	return sched
+}

@@ -1,0 +1,99 @@
+package nsh
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fig3Corpus returns serialized headers exercising every field of the
+// Fig. 3 layout: path/index, both 12-bit ports, each flag bit, full and
+// empty context areas, and the next-proto values.
+func fig3Corpus() [][]byte {
+	var corpus [][]byte
+	add := func(h Header) {
+		corpus = append(corpus, h.Append(nil))
+	}
+	// The paper's running example: the full edge-cloud chain entered at
+	// index 5 with a tenant ID in the context.
+	h := New(10, 5)
+	h.Meta.InPort = 2
+	h.SetContext(KeyTenantID, 42)
+	h.NextProto = ProtoIPv4
+	add(h)
+	// A mid-chain packet with a decided out port and a recirculate flag.
+	h = New(20, 2)
+	h.Meta.InPort = 9
+	h.Meta.OutPort = 129
+	h.Meta.Set(FlagRecirculate)
+	h.SetContext(KeyVNI, 5001)
+	h.NextProto = ProtoEthernet
+	add(h)
+	// All flags, all context slots, maximal port values.
+	h = New(0xFFFF, 0xFF)
+	h.Meta.InPort = 1<<12 - 1
+	h.Meta.OutPort = 1<<12 - 2
+	h.Meta.Set(FlagResubmit | FlagRecirculate | FlagDrop | FlagMirror | FlagToCPU)
+	h.SetContext(KeyTenantID, 0xFFFF)
+	h.SetContext(KeyAppID, 1)
+	h.SetContext(KeyDebug, 2)
+	h.SetContext(KeyQoSClass, 3)
+	h.NextProto = ProtoIPv6
+	add(h)
+	// The zero header.
+	add(Header{})
+	return corpus
+}
+
+// FuzzNSH round-trips arbitrary bytes through the Fig. 3 header codec:
+// short buffers must fail with ErrTruncated, anything else must decode,
+// re-serialize into canonical form, and decode again to the identical
+// struct — the parse/deparse loop every recirculated packet survives.
+func FuzzNSH(f *testing.F) {
+	for _, seed := range fig3Corpus() {
+		f.Add(seed)
+		f.Add(seed[:HeaderLen-1]) // truncation boundary
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h Header
+		err := h.DecodeFromBytes(data)
+		if len(data) < HeaderLen {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("%d-byte buffer: err = %v, want ErrTruncated", len(data), err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decode of %d bytes failed: %v", len(data), err)
+		}
+		// Decoded fields must respect the wire layout's widths.
+		if h.Meta.InPort > 1<<12-1 || h.Meta.OutPort > 1<<12-1 {
+			t.Fatalf("decoded port out of 12-bit range: %+v", h.Meta)
+		}
+		if h.Meta.Flags > 0x1F {
+			t.Fatalf("decoded flags out of 5-bit range: %#x", h.Meta.Flags)
+		}
+		var wire [HeaderLen]byte
+		n, err := h.SerializeTo(wire[:])
+		if err != nil || n != HeaderLen {
+			t.Fatalf("serialize: n=%d err=%v", n, err)
+		}
+		var h2 Header
+		if err := h2.DecodeFromBytes(wire[:]); err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("round trip diverged:\n  decoded  %s\n  re-read  %s", h.String(), h2.String())
+		}
+		// Canonical form is a fixed point: serializing again is
+		// byte-identical.
+		var wire2 [HeaderLen]byte
+		if _, err := h2.SerializeTo(wire2[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire[:], wire2[:]) {
+			t.Fatal("serialization not idempotent on canonical form")
+		}
+	})
+}
