@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench fmt
+.PHONY: build test race lint bench bench-pktpath fmt
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ lint: build
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Packet hot-path benchmark: sweeps the parallel traffic engine and
+# snapshots the report (with the committed pre-refactor baseline) into
+# BENCH_pktpath.json.
+bench-pktpath: build
+	$(GO) run ./cmd/dejavu bench -workers 1,8 -packets 200000 -json > BENCH_pktpath.json
+	@$(GO) run ./cmd/dejavu bench -workers 1 -packets 100000
 
 fmt:
 	gofmt -l -w .

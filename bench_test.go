@@ -24,10 +24,13 @@ import (
 	"dejavu/internal/core"
 	"dejavu/internal/experiments"
 	"dejavu/internal/flowsim"
+	"dejavu/internal/packet"
+	"dejavu/internal/pktgen"
 	"dejavu/internal/place"
 	"dejavu/internal/recirc"
 	"dejavu/internal/route"
 	"dejavu/internal/scenario"
+	"dejavu/internal/traffic"
 )
 
 // metric pulls a numeric cell out of an experiment table.
@@ -269,6 +272,49 @@ func deployScenario(b *testing.B) *core.Deployment {
 		b.Fatal(err)
 	}
 	return d
+}
+
+// Lock-free packet hot path: single-thread InjectQuiet through the
+// synthetic forwarder pipeline (the `dejavu bench` workload). The
+// committed budget is <= 2 allocs/op (0 in steady state); CI runs this
+// with -benchmem as a smoke check and BENCH_pktpath.json records the
+// before/after numbers.
+func BenchmarkInjectHotPath(b *testing.B) {
+	sw := traffic.NewBenchSwitch(asic.Wedge100B(), traffic.ForwarderOpts{})
+	gen := pktgen.New(pktgen.Config{Seed: 1})
+	flows := gen.Flows(64)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	var scratch packet.Parsed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(&templates[i%len(templates)])
+		if _, err := sw.InjectQuiet(0, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel traffic engine over the same pipeline. On a multi-core host
+// the workers-8 run should scale; on a single-core container the Mpps
+// metric records the (honest) lack of speedup.
+func BenchmarkParallelInject(b *testing.B) {
+	prof := asic.Wedge100B()
+	for _, w := range []int{1, 8} {
+		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
+			sw := traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := traffic.Run(sw, traffic.Config{Workers: w, Packets: b.N, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Mpps, "Mpps")
+		})
+	}
 }
 
 // Feedback-queue simulator throughput (how fast the testbed substitute

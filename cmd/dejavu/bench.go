@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/packet"
+	"dejavu/internal/pktgen"
+	"dejavu/internal/traffic"
+)
+
+// benchBaseline is the pre-optimization reference point: the locked,
+// traced, per-packet-allocating Switch.Inject measured at commit
+// cfc6047 (before the lock-free snapshot refactor) on the same
+// container class CI uses. Committed so BENCH_pktpath.json always
+// carries its own before/after comparison.
+type benchBaseline struct {
+	Commit      string  `json:"commit"`
+	Description string  `json:"description"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int     `json:"bytes_per_op"`
+	AllocsPerOp int     `json:"allocs_per_op"`
+	Mpps        float64 `json:"mpps"`
+}
+
+var pktpathBaseline = benchBaseline{
+	Commit:      "cfc6047",
+	Description: "mutex-guarded traced Switch.Inject (pre lock-free refactor), 1-hop forwarder, single thread",
+	NsPerOp:     533.4,
+	BytesPerOp:  288,
+	AllocsPerOp: 5,
+	Mpps:        1.87,
+}
+
+// benchReport is the JSON document `dejavu bench -json` emits and the
+// Makefile snapshots into BENCH_pktpath.json.
+type benchReport struct {
+	Bench     string            `json:"bench"`
+	Generated string            `json:"generated"`
+	Host      benchHost         `json:"host"`
+	Workload  benchWorkload     `json:"workload"`
+	Baseline  benchBaseline     `json:"baseline_before"`
+	Traced    benchTraced       `json:"inject_traced"`
+	Quiet     benchQuiet        `json:"inject_quiet"`
+	Runs      []*traffic.Result `json:"runs"`
+}
+
+type benchHost struct {
+	Go         string `json:"go"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type benchWorkload struct {
+	Packets    int   `json:"packets"`
+	Recircs    int   `json:"recircs"`
+	PayloadLen int   `json:"payload_len"`
+	Flows      int   `json:"flows"`
+	Seed       int64 `json:"seed"`
+}
+
+type benchTraced struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Mpps    float64 `json:"mpps"`
+}
+
+type benchQuiet struct {
+	NsPerOp           float64 `json:"ns_per_op"`
+	Mpps              float64 `json:"mpps"`
+	AllocsPerOp       float64 `json:"allocs_per_op"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+	SpeedupVsTraced   float64 `json:"speedup_vs_traced"`
+}
+
+// runBench drives the parallel traffic engine over the synthetic
+// forwarder pipeline and reports packet rates — the measured side of
+// the ROADMAP "as fast as the hardware allows" goal.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	workers := fs.String("workers", "1,8", "comma-separated worker counts to sweep")
+	packets := fs.Int("packets", 200_000, "packets per run")
+	recircs := fs.Int("recircs", 0, "forced recirculations per packet (loopback passes)")
+	payload := fs.Int("payload", 0, "payload bytes per packet")
+	flows := fs.Int("flows", 64, "distinct flows per worker")
+	seed := fs.Int64("seed", 1, "flow generator seed")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+
+	var workerCounts []int
+	for _, w := range strings.Split(*workers, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(w))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bench: bad -workers entry %q", w)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+
+	prof := asic.Wedge100B()
+	opts := traffic.ForwarderOpts{Recircs: *recircs}
+
+	// Traced reference: the debugging path with a full per-step trace.
+	tracedNs, tracedMpps, err := measureTraced(prof, opts, min(*packets, 100_000), *seed, *payload)
+	if err != nil {
+		return err
+	}
+
+	// Steady-state allocations on the quiet path (should be ~0; the
+	// committed budget is 2 — see TestInjectQuietAllocBudget).
+	quietAllocs, err := measureQuietAllocs(prof, opts, *seed, *payload)
+	if err != nil {
+		return err
+	}
+
+	rep := benchReport{
+		Bench:     "pktpath",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      benchHost{Go: runtime.Version(), CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+		Workload:  benchWorkload{Packets: *packets, Recircs: *recircs, PayloadLen: *payload, Flows: *flows, Seed: *seed},
+		Baseline:  pktpathBaseline,
+		Traced:    benchTraced{NsPerOp: tracedNs, Mpps: tracedMpps},
+	}
+	for _, w := range workerCounts {
+		sw := traffic.NewBenchSwitch(prof, opts)
+		res, err := traffic.Run(sw, traffic.Config{
+			Workers: w, Packets: *packets, Seed: *seed, PayloadLen: *payload, Flows: *flows,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, &res)
+		if !*jsonOut {
+			fmt.Println(res.String())
+		}
+	}
+	q1 := rep.Runs[0]
+	rep.Quiet = benchQuiet{
+		NsPerOp:           q1.NsPerPkt,
+		Mpps:              q1.Mpps,
+		AllocsPerOp:       quietAllocs,
+		SpeedupVsBaseline: q1.Mpps / pktpathBaseline.Mpps,
+		SpeedupVsTraced:   q1.Mpps / tracedMpps,
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Printf("traced reference: %.0f ns/pkt (%.3f Mpps)\n", tracedNs, tracedMpps)
+	fmt.Printf("quiet hot path:   %.0f ns/pkt (%.3f Mpps), %.2f allocs/pkt, %.2fx vs pre-refactor baseline (%.2f Mpps @ %s)\n",
+		rep.Quiet.NsPerOp, rep.Quiet.Mpps, quietAllocs, rep.Quiet.SpeedupVsBaseline,
+		pktpathBaseline.Mpps, pktpathBaseline.Commit)
+	return nil
+}
+
+// measureTraced times the traced Inject path single-threaded.
+func measureTraced(prof asic.Profile, opts traffic.ForwarderOpts, packets int, seed int64, payloadLen int) (nsPerOp, mpps float64, err error) {
+	sw := traffic.NewBenchSwitch(prof, opts)
+	gen := pktgen.New(pktgen.Config{Seed: seed, PayloadLen: payloadLen})
+	flows := gen.Flows(64)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	var scratch packet.Parsed
+	start := time.Now()
+	for i := 0; i < packets; i++ {
+		scratch.CopyFrom(&templates[i%len(templates)])
+		if _, err := sw.Inject(0, &scratch); err != nil {
+			return 0, 0, err
+		}
+	}
+	dur := time.Since(start)
+	return float64(dur.Nanoseconds()) / float64(packets), float64(packets) / dur.Seconds() / 1e6, nil
+}
+
+// measureQuietAllocs reports steady-state heap allocations per
+// InjectQuiet call via the runtime's malloc counter.
+func measureQuietAllocs(prof asic.Profile, opts traffic.ForwarderOpts, seed int64, payloadLen int) (float64, error) {
+	sw := traffic.NewBenchSwitch(prof, opts)
+	gen := pktgen.New(pktgen.Config{Seed: seed, PayloadLen: payloadLen})
+	flows := gen.Flows(16)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	var scratch packet.Parsed
+	inject := func(n int) error {
+		for i := 0; i < n; i++ {
+			scratch.CopyFrom(&templates[i%len(templates)])
+			if _, err := sw.InjectQuiet(0, &scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := inject(10_000); err != nil { // warm pools
+		return 0, err
+	}
+	const n = 50_000
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := inject(n); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / n, nil
+}

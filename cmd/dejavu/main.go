@@ -11,6 +11,7 @@
 //	dejavu lint                  # static verification (exit 1 on errors)
 //	dejavu -config x.json lint -json
 //	dejavu chaos -seed 7         # seeded fault soak with self-healing
+//	dejavu bench -workers 1,8    # parallel traffic engine (Mpps, drops)
 package main
 
 import (
@@ -41,6 +42,7 @@ commands:
   emit       print the composed multi-pipeline P4 program
   lint       statically verify the deployment; exit nonzero on errors
   chaos      replay a seeded fault schedule and check healing invariants
+  bench      drive the parallel traffic engine and report Mpps
 `)
 	os.Exit(2)
 }
@@ -79,6 +81,8 @@ dispatch:
 		err = runLint(args)
 	case "chaos":
 		err = runChaos(args)
+	case "bench":
+		err = runBench(args)
 	default:
 		usage()
 	}

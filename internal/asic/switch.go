@@ -2,6 +2,7 @@ package asic
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,7 +29,9 @@ type Meta struct {
 	Passes int
 }
 
-// Ctx is the per-packet context handed to pipelet programs.
+// Ctx is the per-packet context handed to pipelet programs. Contexts
+// are pooled and reused between packets; programs must not retain a
+// *Ctx beyond the StageFunc call.
 type Ctx struct {
 	Pkt  *packet.Parsed
 	Meta Meta
@@ -73,18 +76,38 @@ type Trace struct {
 	CPU            []*packet.Parsed
 	Dropped        bool
 	DropReason     string
+
+	// quiet suppresses the per-step record (Steps/Out/CPU stay empty)
+	// so the hot path allocates nothing; scalar counters still
+	// accumulate.
+	quiet     bool
+	emitCount int
+	cpuCount  int
 }
 
 // Path returns the traversal as "ingress 0 -> egress 1 -> ...".
 func (t *Trace) Path() string {
-	s := ""
+	var sb strings.Builder
 	for i, st := range t.Steps {
 		if i > 0 {
-			s += " -> "
+			sb.WriteString(" -> ")
 		}
-		s += st.Pipelet.String()
+		sb.WriteString(st.Pipelet.String())
 	}
-	return s
+	return sb.String()
+}
+
+// QuietResult is the allocation-free disposition summary returned by
+// InjectQuiet — everything a traffic engine needs to aggregate
+// delivered/dropped counters without the per-step trace.
+type QuietResult struct {
+	Dropped        bool
+	DropReason     string
+	Emitted        int // packets that left through front-panel ports (incl. mirror copies)
+	ToCPU          int
+	Resubmissions  int
+	Recirculations int
+	Latency        time.Duration
 }
 
 // maxPasses bounds ingress entries per packet to catch routing loops.
@@ -107,38 +130,113 @@ type FaultHook interface {
 	OnRecirculate(port PortID, pkt *packet.Parsed) bool
 }
 
-// Switch is a behavioural instance of a Profile: per-port state,
-// per-pipelet programs, and an execution engine implementing the
-// resubmission/recirculation rules.
-type Switch struct {
-	prof Profile
-
-	mu       sync.RWMutex
-	loopback map[PortID]LoopbackMode
-	portDown map[PortID]bool
+// snapshot is the switch's read-mostly configuration, published as one
+// immutable value: packets load it once at injection time and never
+// touch a lock afterwards (an RCU scheme — readers see a consistent
+// config for the whole packet lifetime, writers copy-and-swap).
+type snapshot struct {
+	loopback []LoopbackMode // indexed by front-panel port
+	portDown []bool         // indexed by front-panel port
 	faults   FaultHook
 	ingress  []StageFunc // indexed by pipeline
 	egress   []StageFunc
+}
 
-	portStats map[PortID]*PortStats
-	cpuQueue  []*packet.Parsed
-	cpuMu     sync.Mutex
+// clone returns a deep copy writers mutate before republishing.
+func (sn *snapshot) clone() *snapshot {
+	n := &snapshot{
+		loopback: append([]LoopbackMode(nil), sn.loopback...),
+		portDown: append([]bool(nil), sn.portDown...),
+		faults:   sn.faults,
+		ingress:  append([]StageFunc(nil), sn.ingress...),
+		egress:   append([]StageFunc(nil), sn.egress...),
+	}
+	return n
+}
+
+// loopbackOf returns the loopback mode of a front-panel port (special
+// ports are handled by the callers).
+func (sn *snapshot) loopbackOf(port PortID) LoopbackMode {
+	if int(port) >= len(sn.loopback) {
+		return LoopbackOff
+	}
+	return sn.loopback[port]
+}
+
+// portUp reports whether a front-panel port is administratively up.
+func (sn *snapshot) portUp(port PortID) bool {
+	if int(port) >= len(sn.portDown) {
+		return true
+	}
+	return !sn.portDown[port]
+}
+
+// Switch is a behavioural instance of a Profile: per-port state,
+// per-pipelet programs, and an execution engine implementing the
+// resubmission/recirculation rules. The packet path is lock-free: all
+// read-mostly configuration lives in an atomically-swapped snapshot
+// and per-port counters are preallocated atomics.
+type Switch struct {
+	prof Profile
+
+	mu   sync.Mutex // serializes configuration writers
+	snap atomic.Pointer[snapshot]
+
+	// Preallocated per-port counters: the hot path indexes these
+	// without locking. extraStats covers out-of-profile ports queried
+	// by tests or tooling (cold path only).
+	frontStats  []*PortStats // indexed by front-panel port
+	recircStats []*PortStats // indexed by pipeline
+	cpuStats    *PortStats
+	extraMu     sync.RWMutex
+	extraStats  map[PortID]*PortStats
+
+	cpuQueue []*packet.Parsed
+	cpuMu    sync.Mutex
 
 	drops atomic.Uint64
 }
+
+// ctxPool recycles per-packet contexts across injections.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
+// tracePool recycles the quiet-mode traces InjectQuiet uses
+// internally (traced Inject hands its Trace to the caller, so those
+// are not pooled).
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
 
 // New creates a switch with all ports in normal mode and empty
 // pipelet programs (packets pass through unmodified).
 func New(prof Profile) *Switch {
 	s := &Switch{
-		prof:      prof,
-		loopback:  make(map[PortID]LoopbackMode),
-		portDown:  make(map[PortID]bool),
-		ingress:   make([]StageFunc, prof.Pipelines),
-		egress:    make([]StageFunc, prof.Pipelines),
-		portStats: make(map[PortID]*PortStats),
+		prof:        prof,
+		frontStats:  make([]*PortStats, prof.TotalPorts()),
+		recircStats: make([]*PortStats, prof.Pipelines),
+		cpuStats:    &PortStats{},
 	}
+	for i := range s.frontStats {
+		s.frontStats[i] = &PortStats{}
+	}
+	for i := range s.recircStats {
+		s.recircStats[i] = &PortStats{}
+	}
+	s.snap.Store(&snapshot{
+		loopback: make([]LoopbackMode, prof.TotalPorts()),
+		portDown: make([]bool, prof.TotalPorts()),
+		ingress:  make([]StageFunc, prof.Pipelines),
+		egress:   make([]StageFunc, prof.Pipelines),
+	})
 	return s
+}
+
+// update applies one configuration mutation copy-on-write and
+// publishes the new snapshot.
+func (s *Switch) update(f func(*snapshot)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.snap.Load().clone()
+	f(n)
+	s.snap.Store(n)
 }
 
 // Profile returns the switch's static description.
@@ -147,15 +245,7 @@ func (s *Switch) Profile() Profile { return s.prof }
 // SetFaultHook installs (or, with nil, removes) the switch's fault
 // interception layer.
 func (s *Switch) SetFaultHook(h FaultHook) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.faults = h
-}
-
-func (s *Switch) faultHook() FaultHook {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.faults
+	s.update(func(sn *snapshot) { sn.faults = h })
 }
 
 // SetPortAdminState marks a front-panel port up or down. A down port
@@ -166,13 +256,7 @@ func (s *Switch) SetPortAdminState(port PortID, up bool) error {
 	if !s.prof.ValidPort(port) || IsRecircPort(port) || port == PortCPU {
 		return fmt.Errorf("asic: port %d is not a front-panel port", port)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if up {
-		delete(s.portDown, port)
-	} else {
-		s.portDown[port] = true
-	}
+	s.update(func(sn *snapshot) { sn.portDown[port] = !up })
 	return nil
 }
 
@@ -182,9 +266,7 @@ func (s *Switch) PortIsUp(port PortID) bool {
 	if IsRecircPort(port) || port == PortCPU {
 		return true
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return !s.portDown[port]
+	return s.snap.Load().portUp(port)
 }
 
 // SetLoopback configures a front-panel port's loopback mode. A port in
@@ -196,13 +278,7 @@ func (s *Switch) SetLoopback(port PortID, mode LoopbackMode) error {
 	if IsRecircPort(port) || port == PortCPU {
 		return fmt.Errorf("asic: port %d mode is fixed", port)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if mode == LoopbackOff {
-		delete(s.loopback, port)
-	} else {
-		s.loopback[port] = mode
-	}
+	s.update(func(sn *snapshot) { sn.loopback[port] = mode })
 	return nil
 }
 
@@ -212,18 +288,17 @@ func (s *Switch) LoopbackModeOf(port PortID) LoopbackMode {
 	if IsRecircPort(port) {
 		return LoopbackOnChip
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.loopback[port]
+	return s.snap.Load().loopbackOf(port)
 }
 
 // LoopbackPorts returns the front-panel ports currently in loopback.
 func (s *Switch) LoopbackPorts() []PortID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]PortID, 0, len(s.loopback))
-	for p := range s.loopback {
-		out = append(out, p)
+	sn := s.snap.Load()
+	var out []PortID
+	for p, m := range sn.loopback {
+		if m != LoopbackOff {
+			out = append(out, PortID(p))
+		}
 	}
 	return out
 }
@@ -233,9 +308,7 @@ func (s *Switch) InstallIngress(pipeline int, fn StageFunc) error {
 	if pipeline < 0 || pipeline >= s.prof.Pipelines {
 		return fmt.Errorf("asic: no such pipeline %d", pipeline)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.ingress[pipeline] = fn
+	s.update(func(sn *snapshot) { sn.ingress[pipeline] = fn })
 	return nil
 }
 
@@ -244,20 +317,39 @@ func (s *Switch) InstallEgress(pipeline int, fn StageFunc) error {
 	if pipeline < 0 || pipeline >= s.prof.Pipelines {
 		return fmt.Errorf("asic: no such pipeline %d", pipeline)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.egress[pipeline] = fn
+	s.update(func(sn *snapshot) { sn.egress[pipeline] = fn })
 	return nil
 }
 
-// stats returns (creating if needed) the stats of a port.
+// stats returns the stats of a port: an index into the preallocated
+// per-port counters for every port the profile knows, an RLock-guarded
+// overflow map for anything else.
 func (s *Switch) stats(port PortID) *PortStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.portStats[port]
-	if st == nil {
+	if int(port) < len(s.frontStats) {
+		return s.frontStats[port]
+	}
+	if IsRecircPort(port) {
+		if i := int(port - recircPortBase); i < len(s.recircStats) {
+			return s.recircStats[i]
+		}
+	}
+	if port == PortCPU {
+		return s.cpuStats
+	}
+	s.extraMu.RLock()
+	st := s.extraStats[port]
+	s.extraMu.RUnlock()
+	if st != nil {
+		return st
+	}
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	if st = s.extraStats[port]; st == nil {
+		if s.extraStats == nil {
+			s.extraStats = make(map[PortID]*PortStats)
+		}
 		st = &PortStats{}
-		s.portStats[port] = st
+		s.extraStats[port] = st
 	}
 	return st
 }
@@ -277,44 +369,80 @@ func (s *Switch) DrainCPU() []*packet.Parsed {
 	return out
 }
 
-// Inject offers a packet to a front-panel port and runs it through the
-// switch to completion, returning the trace. It fails when the port is
-// in loopback mode (such ports take no external traffic) or does not
-// exist.
-func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
+// admit runs the port-level admission checks shared by Inject and
+// InjectQuiet and counts the packet into the ingress port stats.
+func (s *Switch) admit(sn *snapshot, in PortID, pkt *packet.Parsed) error {
 	if !s.prof.ValidPort(in) || IsRecircPort(in) || in == PortCPU {
-		return nil, fmt.Errorf("asic: cannot inject on port %d", in)
+		return fmt.Errorf("asic: cannot inject on port %d", in)
 	}
-	if s.LoopbackModeOf(in) != LoopbackOff {
-		return nil, fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)
+	if sn.loopbackOf(in) != LoopbackOff {
+		return fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)
 	}
-	if !s.PortIsUp(in) {
-		return nil, fmt.Errorf("asic: port %d is down", in)
+	if !sn.portUp(in) {
+		return fmt.Errorf("asic: port %d is down", in)
 	}
-	if h := s.faultHook(); h != nil {
-		if err := h.OnInject(in, pkt); err != nil {
+	if sn.faults != nil {
+		if err := sn.faults.OnInject(in, pkt); err != nil {
 			s.drops.Add(1)
-			return nil, fmt.Errorf("asic: inject fault on port %d: %w", in, err)
+			return fmt.Errorf("asic: inject fault on port %d: %w", in, err)
 		}
 	}
 	st := s.stats(in)
 	st.RxPackets.Add(1)
 	st.RxBytes.Add(uint64(pkt.WireLen()))
+	return nil
+}
 
+// Inject offers a packet to a front-panel port and runs it through the
+// switch to completion, returning the trace. It fails when the port is
+// in loopback mode (such ports take no external traffic) or does not
+// exist.
+func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
+	sn := s.snap.Load()
+	if err := s.admit(sn, in, pkt); err != nil {
+		return nil, err
+	}
 	tr := &Trace{}
-	ctx := &Ctx{
-		Pkt:  pkt,
-		Meta: Meta{InPort: in, OutPort: PortUnset},
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	err := s.run(sn, ctx, tr)
+	ctxPool.Put(ctx)
+	return tr, err
+}
+
+// InjectQuiet is the no-trace fast path: it runs the packet exactly
+// like Inject but records no per-step history and allocates nothing in
+// steady state, returning only the scalar disposition. Use it for
+// high-rate traffic engines; use Inject when the traversal matters.
+func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error) {
+	sn := s.snap.Load()
+	if err := s.admit(sn, in, pkt); err != nil {
+		return QuietResult{Dropped: true, DropReason: err.Error()}, err
 	}
-	if err := s.run(ctx, tr); err != nil {
-		return tr, err
+	tr := tracePool.Get().(*Trace)
+	*tr = Trace{quiet: true}
+	ctx := ctxPool.Get().(*Ctx)
+	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	err := s.run(sn, ctx, tr)
+	q := QuietResult{
+		Dropped:        tr.Dropped,
+		DropReason:     tr.DropReason,
+		Emitted:        tr.emitCount,
+		ToCPU:          tr.cpuCount,
+		Resubmissions:  tr.Resubmissions,
+		Recirculations: tr.Recirculations,
+		Latency:        tr.Latency,
 	}
-	return tr, nil
+	ctxPool.Put(ctx)
+	tracePool.Put(tr)
+	return q, err
 }
 
 // run executes the packet until it leaves the switch, is dropped, or
-// exceeds the pass budget.
-func (s *Switch) run(ctx *Ctx, tr *Trace) error {
+// exceeds the pass budget. It reads configuration exclusively from the
+// snapshot captured at injection: a packet in flight is never torn
+// between two configurations, and the loop takes zero locks.
+func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 	for {
 		ctx.Meta.Passes++
 		if ctx.Meta.Passes > maxPasses {
@@ -327,12 +455,11 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 
 		// Ingress pipelet.
 		ctx.Pipelet = PipeletID{Pipeline: pipeline, Dir: Ingress}
-		tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		if !tr.quiet {
+			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		}
 		tr.Latency += s.prof.IngressLatency
-		s.mu.RLock()
-		ing := s.ingress[pipeline]
-		s.mu.RUnlock()
-		if ing != nil {
+		if ing := sn.ingress[pipeline]; ing != nil {
 			ing(ctx)
 		}
 
@@ -352,7 +479,9 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 			ctx.Meta.Resubmit = false
 			tr.Resubmissions++
 			tr.Latency += s.prof.ResubmitLatency
-			tr.Steps[len(tr.Steps)-1].Note = "resubmit"
+			if !tr.quiet {
+				tr.Steps[len(tr.Steps)-1].Note = "resubmit"
+			}
 			continue
 		}
 
@@ -381,18 +510,17 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 			// Mirrored copy leaves immediately from the TM; a lost
 			// mirror does not affect the original packet.
 			cp := ctx.Pkt.Clone()
-			s.emit(ctx.Meta.MirrorPort, cp, tr)
+			s.emit(sn, ctx.Meta.MirrorPort, cp, tr)
 			ctx.Meta.Mirror = false
 		}
 
 		egPipeline := s.prof.PipelineOf(out)
 		ctx.Pipelet = PipeletID{Pipeline: egPipeline, Dir: Egress}
-		tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		if !tr.quiet {
+			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+		}
 		tr.Latency += s.prof.EgressLatency
-		s.mu.RLock()
-		eg := s.egress[egPipeline]
-		s.mu.RUnlock()
-		if eg != nil {
+		if eg := sn.egress[egPipeline]; eg != nil {
 			eg(ctx)
 		}
 		if ctx.Meta.Drop {
@@ -408,22 +536,27 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 
 		// Constraint (b): recirculation happens because the egress port
 		// is in loopback mode, not by a per-packet decision at egress.
-		mode := s.LoopbackModeOf(out)
+		var mode LoopbackMode
+		if IsRecircPort(out) {
+			mode = LoopbackOnChip
+		} else {
+			mode = sn.loopbackOf(out)
+		}
 		if mode == LoopbackOff {
-			if ok, reason := s.emit(out, ctx.Pkt, tr); !ok {
+			if ok, reason := s.emit(sn, out, ctx.Pkt, tr); !ok {
 				tr.Dropped = true
 				tr.DropReason = reason
 				s.drops.Add(1)
 			}
 			return nil
 		}
-		if !s.PortIsUp(out) {
+		if !IsRecircPort(out) && !sn.portUp(out) {
 			tr.Dropped = true
 			tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out)
 			s.drops.Add(1)
 			return nil
 		}
-		if h := s.faultHook(); h != nil && !h.OnRecirculate(out, ctx.Pkt) {
+		if sn.faults != nil && !sn.faults.OnRecirculate(out, ctx.Pkt) {
 			tr.Dropped = true
 			tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out)
 			s.drops.Add(1)
@@ -438,12 +571,15 @@ func (s *Switch) run(ctx *Ctx, tr *Trace) error {
 		case LoopbackOffChip:
 			tr.Latency += s.prof.RecircOffChip
 		}
-		tr.Steps[len(tr.Steps)-1].Note = "recirculate"
+		if !tr.quiet {
+			tr.Steps[len(tr.Steps)-1].Note = "recirculate"
+		}
 		st := s.stats(out)
+		wl := uint64(ctx.Pkt.WireLen())
 		st.TxPackets.Add(1)
-		st.TxBytes.Add(uint64(ctx.Pkt.WireLen()))
+		st.TxBytes.Add(wl)
 		st.RxPackets.Add(1)
-		st.RxBytes.Add(uint64(ctx.Pkt.WireLen()))
+		st.RxBytes.Add(wl)
 		ctx.Meta.InPort = out
 		ctx.Meta.OutPort = PortUnset
 		ctx.Meta.Recirc = false
@@ -455,22 +591,28 @@ func (s *Switch) toCPU(ctx *Ctx, tr *Trace) {
 	s.cpuMu.Lock()
 	s.cpuQueue = append(s.cpuQueue, ctx.Pkt.Clone())
 	s.cpuMu.Unlock()
-	tr.CPU = append(tr.CPU, ctx.Pkt.Clone())
+	tr.cpuCount++
+	if !tr.quiet {
+		tr.CPU = append(tr.CPU, ctx.Pkt.Clone())
+	}
 }
 
 // emit records a packet leaving through a front-panel port. It reports
 // failure (and the reason) when the port is administratively down or
 // an injected fault loses the packet on the wire.
-func (s *Switch) emit(port PortID, pkt *packet.Parsed, tr *Trace) (bool, string) {
-	if !s.PortIsUp(port) {
+func (s *Switch) emit(sn *snapshot, port PortID, pkt *packet.Parsed, tr *Trace) (bool, string) {
+	if !IsRecircPort(port) && port != PortCPU && !sn.portUp(port) {
 		return false, fmt.Sprintf("egress port %d down", port)
 	}
-	if h := s.faultHook(); h != nil && !h.OnEmit(port, pkt) {
+	if sn.faults != nil && !sn.faults.OnEmit(port, pkt) {
 		return false, fmt.Sprintf("packet lost on wire at port %d", port)
 	}
 	st := s.stats(port)
 	st.TxPackets.Add(1)
 	st.TxBytes.Add(uint64(pkt.WireLen()))
-	tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
+	tr.emitCount++
+	if !tr.quiet {
+		tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
+	}
 	return true, ""
 }

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/packet"
+	"dejavu/internal/pktgen"
+	"dejavu/internal/traffic"
+)
+
+// pktPathPackets is the per-run injection count for the pktpath
+// table — small enough to keep `go test ./internal/experiments` quick,
+// large enough for a stable rate on one core.
+const pktPathPackets = 50_000
+
+// PktPath measures the behavioural model's own packet rate: the
+// traced Inject path versus the lock-free InjectQuiet hot path,
+// single-threaded and across a worker pool. This is the software
+// counterpart of the paper's line-rate argument — the table shows how
+// far a software packet path is from the ASIC's 3.2 Tbps, and tracks
+// the model's perf trajectory (ROADMAP: "as fast as the hardware
+// allows").
+func PktPath() (Table, error) {
+	prof := asic.Wedge100B()
+
+	// Traced baseline: the debugging path with full per-step history.
+	swTraced := traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{})
+	gen := pktgen.New(pktgen.Config{Seed: 1})
+	flows := gen.Flows(64)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	var scratch packet.Parsed
+	start := time.Now()
+	for i := 0; i < pktPathPackets; i++ {
+		scratch.CopyFrom(&templates[i%len(templates)])
+		if _, err := swTraced.Inject(0, &scratch); err != nil {
+			return Table{}, fmt.Errorf("traced inject: %w", err)
+		}
+	}
+	tracedDur := time.Since(start)
+	tracedNs := float64(tracedDur.Nanoseconds()) / pktPathPackets
+	tracedMpps := pktPathPackets / tracedDur.Seconds() / 1e6
+
+	quiet1, err := traffic.Run(traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{}),
+		traffic.Config{Workers: 1, Packets: pktPathPackets, Seed: 1})
+	if err != nil {
+		return Table{}, err
+	}
+	quiet8, err := traffic.Run(traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{}),
+		traffic.Config{Workers: 8, Packets: pktPathPackets, Seed: 1})
+	if err != nil {
+		return Table{}, err
+	}
+	recirc3, err := traffic.Run(traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{Recircs: 3}),
+		traffic.Config{Workers: 1, Packets: pktPathPackets / 2, Seed: 1})
+	if err != nil {
+		return Table{}, err
+	}
+
+	row := func(path string, workers int, ns, mpps float64, dropped uint64) []string {
+		return []string{path, fmt.Sprintf("%d", workers), fmt.Sprintf("%.0f", ns), fmt.Sprintf("%.3f", mpps), fmt.Sprintf("%d", dropped)}
+	}
+	t := Table{
+		ID:     "pktpath",
+		Title:  "Packet hot path: traced vs lock-free quiet mode (model throughput)",
+		Header: []string{"path", "workers", "ns/pkt", "Mpps", "dropped"},
+		Rows: [][]string{
+			row("Inject (traced)", 1, tracedNs, tracedMpps, 0),
+			row("InjectQuiet", 1, quiet1.NsPerPkt, quiet1.Mpps, quiet1.Dropped),
+			row("InjectQuiet", 8, quiet8.NsPerPkt, quiet8.Mpps, quiet8.Dropped),
+			row("InjectQuiet k=3 recirc", 1, recirc3.NsPerPkt, recirc3.Mpps, recirc3.Dropped),
+		},
+		Notes: []string{
+			fmt.Sprintf("quiet vs traced single-thread speedup: %.2fx", tracedNs/quiet1.NsPerPkt),
+			fmt.Sprintf("8-worker vs 1-worker scaling: %.2fx on GOMAXPROCS=%d (scaling needs cores; the packet path itself is lock-free)",
+				quiet8.Mpps/quiet1.Mpps, runtime.GOMAXPROCS(0)),
+			"numbers measure this behavioural model, not the ASIC: the paper's switch does this at line rate regardless of chain length",
+		},
+	}
+	return t, nil
+}

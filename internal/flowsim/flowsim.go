@@ -65,9 +65,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// validate rejects nonsensical configurations.
+// validate rejects nonsensical configurations. A zero offered rate is
+// rejected explicitly: an idle run measures nothing, and silently
+// returning all-zero rates has historically hidden mis-filled configs
+// (the error text used to claim "rates must be positive" while zero
+// slipped through).
 func (c Config) validate() error {
-	if c.OfferedGbps < 0 || c.LoopbackGbps <= 0 {
+	if c.OfferedGbps <= 0 || c.LoopbackGbps <= 0 {
 		return fmt.Errorf("flowsim: rates must be positive (offered=%v loopback=%v)", c.OfferedGbps, c.LoopbackGbps)
 	}
 	if c.Recirculations < 1 {
@@ -85,6 +89,51 @@ type segment struct {
 	bytes float64
 }
 
+// fifo is a queue with a head index, shared by the fluid and the
+// packet-level simulators. Both used to pop with `queue = queue[1:]`
+// after repeated append, which pins the backing array's dead head:
+// a long saturated run re-allocated an ever-growing array and
+// dragged every drained element along on each growth copy. The head
+// index makes pop O(1) without moving the slice start, and push
+// recycles the dead prefix once it dominates the array, so memory
+// stays bounded by the number of live elements regardless of run
+// length.
+type fifo[T any] struct {
+	elems []T
+	head  int
+}
+
+func (q *fifo[T]) empty() bool { return q.head >= len(q.elems) }
+
+// len returns the number of live elements.
+func (q *fifo[T]) len() int { return len(q.elems) - q.head }
+
+// front returns the oldest live element.
+func (q *fifo[T]) front() *T { return &q.elems[q.head] }
+
+// push appends an element, compacting first when the dead prefix is
+// the majority of a non-trivial backing array.
+func (q *fifo[T]) push(v T) {
+	if q.head > 64 && q.head*2 >= len(q.elems) {
+		n := copy(q.elems, q.elems[q.head:])
+		q.elems = q.elems[:n]
+		q.head = 0
+	}
+	q.elems = append(q.elems, v)
+}
+
+// pop removes and returns the front element; when the queue empties it
+// rewinds to reuse the backing array from the start.
+func (q *fifo[T]) pop() T {
+	v := q.elems[q.head]
+	q.head++
+	if q.head == len(q.elems) {
+		q.elems = q.elems[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Run simulates the feedback queue and returns measured rates.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -97,11 +146,13 @@ func Run(cfg Config) (Result, error) {
 	extPerTick := cfg.OfferedGbps * gbpsToBytesPerTick
 	capPerTick := cfg.LoopbackGbps * gbpsToBytesPerTick
 
-	var queue []segment
+	var queue fifo[segment]
 	queueBytes := 0.0
 	// recircArrivals[i] holds bytes completing pass i this tick,
 	// arriving as pass i+1 next tick.
 	recircNext := make([]float64, k+1)
+	// arrivals is reused every tick so the loop does not allocate.
+	arrivals := make([]segment, 0, k+1)
 
 	ticks := int(math.Round(cfg.DurationSeconds / cfg.TickSeconds))
 	warmupTicks := int(float64(ticks) * cfg.WarmupFraction)
@@ -121,7 +172,7 @@ func Run(cfg Config) (Result, error) {
 		// wire, so when the buffer cannot hold them all, each stream
 		// loses in proportion to its rate (the fluid limit of shared
 		// FIFO tail drop).
-		arrivals := make([]segment, 0, k+1)
+		arrivals = arrivals[:0]
 		totalArrivals := 0.0
 		for pass := 2; pass <= k; pass++ {
 			if recircNext[pass] > 0 {
@@ -147,14 +198,14 @@ func Run(cfg Config) (Result, error) {
 			if take <= 0 {
 				continue
 			}
-			queue = append(queue, segment{pass: a.pass, bytes: take})
+			queue.push(segment{pass: a.pass, bytes: take})
 			queueBytes += take
 		}
 
 		// Service: drain up to capPerTick bytes FIFO.
 		budget := capPerTick
-		for budget > 0 && len(queue) > 0 {
-			seg := &queue[0]
+		for budget > 0 && !queue.empty() {
+			seg := queue.front()
 			take := seg.bytes
 			if take > budget {
 				take = budget
@@ -172,7 +223,7 @@ func Run(cfg Config) (Result, error) {
 				exitBytes += take
 			}
 			if seg.bytes <= 1e-12 {
-				queue = queue[1:]
+				_ = queue.pop()
 			}
 		}
 	}

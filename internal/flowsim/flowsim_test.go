@@ -2,6 +2,7 @@ package flowsim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"dejavu/internal/recirc"
@@ -10,6 +11,7 @@ import (
 func TestRunValidation(t *testing.T) {
 	bad := []Config{
 		{OfferedGbps: -1, LoopbackGbps: 100, Recirculations: 1},
+		{OfferedGbps: 0, LoopbackGbps: 100, Recirculations: 1}, // zero offered rate: explicit error, not a silent idle run
 		{OfferedGbps: 100, LoopbackGbps: 0, Recirculations: 1},
 		{OfferedGbps: 100, LoopbackGbps: 100, Recirculations: 0},
 		{OfferedGbps: 100, LoopbackGbps: 100, Recirculations: 1, WarmupFraction: 1.5},
@@ -141,5 +143,47 @@ func BenchmarkRunK3(b *testing.B) {
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestZeroOfferedRateRejectedWithClearError(t *testing.T) {
+	// Regression: validate used to accept OfferedGbps == 0 while its
+	// error text claimed "rates must be positive".
+	_, err := Run(Config{OfferedGbps: 0, LoopbackGbps: 100, Recirculations: 1})
+	if err == nil {
+		t.Fatal("OfferedGbps=0 accepted")
+	}
+	if !strings.Contains(err.Error(), "rates must be positive") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+	if _, err := Run(Config{OfferedGbps: 0.001, LoopbackGbps: 100, Recirculations: 1}); err != nil {
+		t.Errorf("tiny positive rate rejected: %v", err)
+	}
+}
+
+func TestSaturatedRunMemoryBounded(t *testing.T) {
+	// Regression for the queue leak: popping with `queue = queue[1:]`
+	// after repeated append pinned the backing array head, so a
+	// saturated run's allocations grew with its duration. With the
+	// head-index FIFO (and the hoisted arrivals buffer) allocations
+	// are dominated by fixed setup cost: a 10x longer run must not
+	// allocate anywhere near 10x as much.
+	saturated := func(dur float64) Config {
+		return Config{
+			OfferedGbps: 200, LoopbackGbps: 100, Recirculations: 4,
+			DurationSeconds: dur, BufferBytes: 50_000,
+		}
+	}
+	measure := func(cfg Config) float64 {
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(saturated(0.005))
+	long := measure(saturated(0.05))
+	if long > short*3+64 {
+		t.Errorf("allocations grow with duration: short=%v long=%v", short, long)
 	}
 }

@@ -89,7 +89,7 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 		pArrival = 1
 	}
 
-	queue := make([]simPacket, 0, cfg.QueuePackets)
+	queue := fifo[simPacket]{elems: make([]simPacket, 0, cfg.QueuePackets)}
 	injected := 0
 	warmupEnd := int(float64(cfg.Packets) * cfg.WarmupFraction)
 	var measuredIn, measuredOut, measuredDrop int
@@ -100,7 +100,7 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 	// bounded queue cannot take both, the loser is chosen uniformly —
 	// the discrete analogue of the proportional loss the §4 analysis
 	// assumes.
-	for injected < cfg.Packets || len(queue) > 0 {
+	for injected < cfg.Packets || !queue.empty() {
 		candidates := candidates[:0]
 
 		if injected < cfg.Packets && rng.Float64() < pArrival {
@@ -113,9 +113,8 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 		}
 
 		// Service one packet.
-		if len(queue) > 0 {
-			pkt := queue[0]
-			queue = queue[1:]
+		if !queue.empty() {
+			pkt := queue.pop()
 			if pkt.pass >= cfg.Recirculations {
 				if pkt.counted {
 					measuredOut++
@@ -131,8 +130,8 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 			candidates[0], candidates[1] = candidates[1], candidates[0]
 		}
 		for _, c := range candidates {
-			if len(queue) < cfg.QueuePackets {
-				queue = append(queue, c)
+			if queue.len() < cfg.QueuePackets {
+				queue.push(c)
 			} else if c.counted {
 				measuredDrop++
 			}

@@ -1,0 +1,60 @@
+package packet
+
+import "sync"
+
+// Pools for the two allocation hot spots on the packet path: the
+// Parsed header vector (one per in-flight packet) and the serialize
+// scratch buffer (one per deparse). Traffic engines that push millions
+// of packets through the behavioural switch recycle both instead of
+// leaning on the garbage collector.
+
+var parsedPool = sync.Pool{New: func() any { return new(Parsed) }}
+
+// GetParsed returns a cleared Parsed from the pool.
+func GetParsed() *Parsed {
+	p := parsedPool.Get().(*Parsed)
+	p.Reset()
+	return p
+}
+
+// PutParsed recycles p. The caller must not use p afterwards; any
+// Payload or Options slices it aliased remain owned by the caller.
+func PutParsed(p *Parsed) {
+	if p == nil {
+		return
+	}
+	p.Reset()
+	parsedPool.Put(p)
+}
+
+// CopyFrom overwrites p with a shallow copy of src: header fields and
+// validity bits are copied by value, while Payload and Options slices
+// alias src. That is exactly what a template-stamping traffic
+// generator wants — NFs rewrite header fields but never the payload
+// bytes — and it allocates nothing. Use Clone for an independent deep
+// copy.
+func (p *Parsed) CopyFrom(src *Parsed) { *p = *src }
+
+// serializeBufCap is the initial capacity of pooled serialize buffers:
+// enough for every header the parser understands plus a typical
+// payload without regrowing.
+const serializeBufCap = 2048
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, serializeBufCap)
+	return &b
+}}
+
+// GetBuf returns an empty serialize buffer with pooled capacity.
+func GetBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
+
+// PutBuf recycles a buffer obtained from GetBuf (or any slice the
+// caller no longer needs). Oversized buffers are dropped so one jumbo
+// packet does not pin memory in the pool forever.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > 4*serializeBufCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

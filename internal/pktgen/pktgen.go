@@ -29,8 +29,9 @@ type Config struct {
 
 // Generator produces packets and flows.
 type Generator struct {
-	cfg Config
-	rng *rand.Rand
+	cfg     Config
+	rng     *rand.Rand
+	payload []byte // shared payload buffer for PacketInto
 }
 
 // New creates a generator.
@@ -73,6 +74,29 @@ func (g *Generator) NextFlow() Flow {
 		SrcPort: uint16(1024 + g.rng.Intn(64000)),
 		DstPort: dstPort,
 	}}
+}
+
+// PacketInto materializes one packet of a flow into dst without
+// allocating: header fields are stamped in place and the payload
+// aliases a buffer owned by the generator (all packets built through
+// the same generator share it — traffic engines that only rewrite
+// headers never notice, callers that mutate payloads should use
+// Packet). Not safe for concurrent use on one Generator.
+func (g *Generator) PacketInto(f Flow, dst *packet.Parsed) {
+	if g.payload == nil {
+		g.payload = make([]byte, g.cfg.PayloadLen)
+	}
+	dst.Reset()
+	dst.Eth = packet.Ethernet{Dst: g.cfg.DstMAC, Src: g.cfg.SrcMAC, EtherType: packet.EtherTypeIPv4}
+	dst.IPv4 = packet.IPv4{TTL: 64, Protocol: f.Tuple.Proto, Src: f.Tuple.Src, Dst: f.Tuple.Dst}
+	dst.Payload = g.payload
+	if f.Tuple.Proto == packet.ProtoUDP {
+		dst.UDP = packet.UDP{SrcPort: f.Tuple.SrcPort, DstPort: f.Tuple.DstPort}
+		dst.SetValid(packet.HdrEth | packet.HdrIPv4 | packet.HdrUDP)
+		return
+	}
+	dst.TCP = packet.TCP{SrcPort: f.Tuple.SrcPort, DstPort: f.Tuple.DstPort, Flags: packet.TCPAck, Window: 65535}
+	dst.SetValid(packet.HdrEth | packet.HdrIPv4 | packet.HdrTCP)
 }
 
 // Packet materializes one packet of a flow.

@@ -224,11 +224,13 @@ func HasEthDst(want packet.MAC) Check {
 // Reparses asserts the packet serializes and re-parses cleanly.
 func Reparses() Check {
 	return func(p *packet.Parsed) error {
-		wire, err := p.Serialize(nil)
+		wire, err := p.Serialize(packet.GetBuf())
 		if err != nil {
 			return fmt.Errorf("serialize: %w", err)
 		}
-		var q packet.Parsed
+		defer packet.PutBuf(wire)
+		q := packet.GetParsed()
+		defer packet.PutParsed(q)
 		if err := q.Parse(wire); err != nil {
 			return fmt.Errorf("reparse: %w", err)
 		}

@@ -1,0 +1,133 @@
+package traffic
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/packet"
+	"dejavu/internal/pktgen"
+)
+
+func TestRunDeliversEverything(t *testing.T) {
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
+	res, err := Run(sw, Config{Workers: 2, Packets: 10_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 10_000 {
+		t.Fatalf("Injected = %d, want 10000", res.Injected)
+	}
+	if res.Delivered != res.Injected {
+		t.Errorf("Delivered = %d of %d (dropped=%d errors=%d cpu=%d)",
+			res.Delivered, res.Injected, res.Dropped, res.Errors, res.ToCPU)
+	}
+	if res.Mpps <= 0 || res.NsPerPkt <= 0 {
+		t.Errorf("rates not computed: %+v", res)
+	}
+	if res.DropRate() != 0 {
+		t.Errorf("DropRate = %v, want 0", res.DropRate())
+	}
+}
+
+func TestRunCountsRecirculations(t *testing.T) {
+	const k = 3
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{Recircs: k})
+	res, err := Run(sw, Config{Workers: 1, Packets: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 500 {
+		t.Fatalf("Delivered = %d, want 500", res.Delivered)
+	}
+	if got, want := res.Recirculated, uint64(500*k); got != want {
+		t.Errorf("Recirculated = %d, want %d", got, want)
+	}
+}
+
+func TestRunSplitsUnevenPackets(t *testing.T) {
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
+	res, err := Run(sw, Config{Workers: 3, Packets: 1_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 1_000 {
+		t.Errorf("Injected = %d, want 1000 despite uneven split", res.Injected)
+	}
+}
+
+func TestRunMultiPortSpreadsPipelines(t *testing.T) {
+	prof := asic.Wedge100B()
+	sw := NewBenchSwitch(prof, ForwarderOpts{})
+	// Ports 0 and 16 sit in different pipelines on the Wedge profile.
+	ports := []asic.PortID{0, asic.PortID(prof.PortsPerPipeline)}
+	res, err := Run(sw, Config{Workers: 2, Packets: 2_000, Ports: ports, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2_000 {
+		t.Fatalf("Delivered = %d", res.Delivered)
+	}
+	for _, p := range ports {
+		if rx := sw.Stats(p).RxPackets.Load(); rx == 0 {
+			t.Errorf("port %d saw no traffic", p)
+		}
+	}
+}
+
+func TestRunRejectsBadPort(t *testing.T) {
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
+	if _, err := Run(sw, Config{Ports: []asic.PortID{asic.PortCPU}}); err == nil {
+		t.Error("CPU injection port accepted")
+	}
+	if err := sw.SetLoopback(3, asic.LoopbackOnChip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sw, Config{Ports: []asic.PortID{3}}); err == nil {
+		t.Error("loopback injection port accepted")
+	}
+	if _, err := Run(sw, Config{Workers: -1}); err == nil {
+		t.Error("negative workers accepted")
+	}
+}
+
+func TestRunCountsDrops(t *testing.T) {
+	// A pipeline that never chooses an egress port drops everything.
+	sw := asic.New(asic.Wedge100B())
+	res, err := Run(sw, Config{Workers: 1, Packets: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 300 || res.Delivered != 0 {
+		t.Errorf("dropped=%d delivered=%d, want 300/0", res.Dropped, res.Delivered)
+	}
+	if res.DropRate() != 1 {
+		t.Errorf("DropRate = %v, want 1", res.DropRate())
+	}
+}
+
+func TestForwarderDeterministicSpread(t *testing.T) {
+	// The forwarder must spread flows across several egress ports —
+	// otherwise the "parallel" benchmark serializes on one port's
+	// counters.
+	prof := asic.Wedge100B()
+	sw := NewBenchSwitch(prof, ForwarderOpts{})
+	gen := pktgen.New(pktgen.Config{Seed: 42})
+	seen := map[asic.PortID]bool{}
+	for _, f := range gen.Flows(64) {
+		var p packet.Parsed
+		gen.PacketInto(f, &p)
+		tr, err := sw.Inject(0, &p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Dropped {
+			t.Fatalf("forwarder dropped %v: %s", f.Tuple, tr.DropReason)
+		}
+		for _, o := range tr.Out {
+			seen[o.Port] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Errorf("64 flows hit only %d egress ports", len(seen))
+	}
+}
