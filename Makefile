@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-pktpath fmt
+.PHONY: build test race lint bench bench-pktpath fmt doccheck
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,17 @@ bench-pktpath: build
 
 fmt:
 	gofmt -l -w .
+
+# Documentation gate: every internal package must carry a package-level
+# godoc comment (in a non-test file), and the markdown docs must pass
+# the link + Go-snippet checks in docs_check_test.go.
+doccheck:
+	@fail=0; \
+	for d in $$($(GO) list -f '{{.Dir}}' ./internal/...); do \
+		if ! grep -s -q -E '^// ?Package [a-z]' $$(ls $$d/*.go | grep -v _test.go); then \
+			echo "missing package comment: $$d"; fail=1; \
+		fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "package comments: all internal packages documented"
+	$(GO) test -run 'TestDocs' .

@@ -12,6 +12,7 @@ import (
 	"dejavu/internal/asic"
 	"dejavu/internal/packet"
 	"dejavu/internal/pktgen"
+	"dejavu/internal/telemetry"
 	"dejavu/internal/traffic"
 )
 
@@ -48,6 +49,7 @@ type benchReport struct {
 	Baseline  benchBaseline     `json:"baseline_before"`
 	Traced    benchTraced       `json:"inject_traced"`
 	Quiet     benchQuiet        `json:"inject_quiet"`
+	Telemetry benchTelemetry    `json:"telemetry"`
 	Runs      []*traffic.Result `json:"runs"`
 }
 
@@ -66,16 +68,29 @@ type benchWorkload struct {
 }
 
 type benchTraced struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Mpps    float64 `json:"mpps"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	Mpps           float64 `json:"mpps"`
+	Recirculations uint64  `json:"recirculations"`
 }
 
 type benchQuiet struct {
 	NsPerOp           float64 `json:"ns_per_op"`
 	Mpps              float64 `json:"mpps"`
 	AllocsPerOp       float64 `json:"allocs_per_op"`
+	Recirculations    uint64  `json:"recirculations"`
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
 	SpeedupVsTraced   float64 `json:"speedup_vs_traced"`
+}
+
+// benchTelemetry is the dvtel overhead section: the quiet hot path
+// with datapath counters detached vs attached (same workload, one
+// worker). The ISSUE budget is <=10% ns/pkt overhead and 0 allocs/pkt
+// with counters on.
+type benchTelemetry struct {
+	NsPerOpOff    float64 `json:"ns_per_op_off"`
+	NsPerOpOn     float64 `json:"ns_per_op_on"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	AllocsPerOpOn float64 `json:"allocs_per_op_on"`
 }
 
 // runBench drives the parallel traffic engine over the synthetic
@@ -105,16 +120,47 @@ func runBench(args []string) error {
 	opts := traffic.ForwarderOpts{Recircs: *recircs}
 
 	// Traced reference: the debugging path with a full per-step trace.
-	tracedNs, tracedMpps, err := measureTraced(prof, opts, min(*packets, 100_000), *seed, *payload)
+	tracedNs, tracedMpps, tracedRecircs, err := measureTraced(prof, opts, min(*packets, 100_000), *seed, *payload)
 	if err != nil {
 		return err
 	}
 
 	// Steady-state allocations on the quiet path (should be ~0; the
-	// committed budget is 2 — see TestInjectQuietAllocBudget).
-	quietAllocs, err := measureQuietAllocs(prof, opts, *seed, *payload)
+	// committed budget is 2 — see TestInjectQuietAllocBudget), with
+	// telemetry off and on.
+	quietAllocs, err := measureQuietAllocs(prof, opts, *seed, *payload, nil)
 	if err != nil {
 		return err
+	}
+	telAllocs, err := measureQuietAllocs(prof, opts, *seed, *payload, telemetry.NewDatapath(prof.Pipelines))
+	if err != nil {
+		return err
+	}
+
+	// Telemetry overhead: the same single-worker run with counters off
+	// vs on. Interleave three repetitions of each and keep the fastest
+	// so a scheduler hiccup in one run doesn't masquerade as overhead.
+	var offNs, onNs float64
+	for rep := 0; rep < 3; rep++ {
+		telOff, err := traffic.Run(traffic.NewBenchSwitch(prof, opts), traffic.Config{
+			Workers: 1, Packets: *packets, Seed: *seed, PayloadLen: *payload, Flows: *flows,
+		})
+		if err != nil {
+			return err
+		}
+		telOn, err := traffic.Run(traffic.NewBenchSwitch(prof, opts), traffic.Config{
+			Workers: 1, Packets: *packets, Seed: *seed, PayloadLen: *payload, Flows: *flows,
+			Telemetry: telemetry.NewDatapath(prof.Pipelines),
+		})
+		if err != nil {
+			return err
+		}
+		if rep == 0 || telOff.NsPerPkt < offNs {
+			offNs = telOff.NsPerPkt
+		}
+		if rep == 0 || telOn.NsPerPkt < onNs {
+			onNs = telOn.NsPerPkt
+		}
 	}
 
 	rep := benchReport{
@@ -123,7 +169,13 @@ func runBench(args []string) error {
 		Host:      benchHost{Go: runtime.Version(), CPUs: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
 		Workload:  benchWorkload{Packets: *packets, Recircs: *recircs, PayloadLen: *payload, Flows: *flows, Seed: *seed},
 		Baseline:  pktpathBaseline,
-		Traced:    benchTraced{NsPerOp: tracedNs, Mpps: tracedMpps},
+		Traced:    benchTraced{NsPerOp: tracedNs, Mpps: tracedMpps, Recirculations: tracedRecircs},
+		Telemetry: benchTelemetry{
+			NsPerOpOff:    offNs,
+			NsPerOpOn:     onNs,
+			OverheadPct:   (onNs - offNs) / offNs * 100,
+			AllocsPerOpOn: telAllocs,
+		},
 	}
 	for _, w := range workerCounts {
 		sw := traffic.NewBenchSwitch(prof, opts)
@@ -143,6 +195,7 @@ func runBench(args []string) error {
 		NsPerOp:           q1.NsPerPkt,
 		Mpps:              q1.Mpps,
 		AllocsPerOp:       quietAllocs,
+		Recirculations:    q1.Recirculated,
 		SpeedupVsBaseline: q1.Mpps / pktpathBaseline.Mpps,
 		SpeedupVsTraced:   q1.Mpps / tracedMpps,
 	}
@@ -159,11 +212,14 @@ func runBench(args []string) error {
 	fmt.Printf("quiet hot path:   %.0f ns/pkt (%.3f Mpps), %.2f allocs/pkt, %.2fx vs pre-refactor baseline (%.2f Mpps @ %s)\n",
 		rep.Quiet.NsPerOp, rep.Quiet.Mpps, quietAllocs, rep.Quiet.SpeedupVsBaseline,
 		pktpathBaseline.Mpps, pktpathBaseline.Commit)
+	fmt.Printf("telemetry:        %.0f ns/pkt off -> %.0f ns/pkt on (%.1f%% overhead), %.2f allocs/pkt with counters on\n",
+		rep.Telemetry.NsPerOpOff, rep.Telemetry.NsPerOpOn, rep.Telemetry.OverheadPct, telAllocs)
 	return nil
 }
 
-// measureTraced times the traced Inject path single-threaded.
-func measureTraced(prof asic.Profile, opts traffic.ForwarderOpts, packets int, seed int64, payloadLen int) (nsPerOp, mpps float64, err error) {
+// measureTraced times the traced Inject path single-threaded and
+// tallies the recirculations it performed.
+func measureTraced(prof asic.Profile, opts traffic.ForwarderOpts, packets int, seed int64, payloadLen int) (nsPerOp, mpps float64, recircs uint64, err error) {
 	sw := traffic.NewBenchSwitch(prof, opts)
 	gen := pktgen.New(pktgen.Config{Seed: seed, PayloadLen: payloadLen})
 	flows := gen.Flows(64)
@@ -175,18 +231,24 @@ func measureTraced(prof asic.Profile, opts traffic.ForwarderOpts, packets int, s
 	start := time.Now()
 	for i := 0; i < packets; i++ {
 		scratch.CopyFrom(&templates[i%len(templates)])
-		if _, err := sw.Inject(0, &scratch); err != nil {
-			return 0, 0, err
+		tr, err := sw.Inject(0, &scratch)
+		if err != nil {
+			return 0, 0, 0, err
 		}
+		recircs += uint64(tr.Recirculations)
 	}
 	dur := time.Since(start)
-	return float64(dur.Nanoseconds()) / float64(packets), float64(packets) / dur.Seconds() / 1e6, nil
+	return float64(dur.Nanoseconds()) / float64(packets), float64(packets) / dur.Seconds() / 1e6, recircs, nil
 }
 
 // measureQuietAllocs reports steady-state heap allocations per
-// InjectQuiet call via the runtime's malloc counter.
-func measureQuietAllocs(prof asic.Profile, opts traffic.ForwarderOpts, seed int64, payloadLen int) (float64, error) {
+// InjectQuiet call via the runtime's malloc counter, optionally with a
+// telemetry counter set attached.
+func measureQuietAllocs(prof asic.Profile, opts traffic.ForwarderOpts, seed int64, payloadLen int, tel *telemetry.Datapath) (float64, error) {
 	sw := traffic.NewBenchSwitch(prof, opts)
+	if tel != nil {
+		sw.SetTelemetry(tel)
+	}
 	gen := pktgen.New(pktgen.Config{Seed: seed, PayloadLen: payloadLen})
 	flows := gen.Flows(16)
 	templates := make([]packet.Parsed, len(flows))

@@ -12,9 +12,16 @@
 //	dejavu -config x.json lint -json
 //	dejavu chaos -seed 7         # seeded fault soak with self-healing
 //	dejavu bench -workers 1,8    # parallel traffic engine (Mpps, drops)
+//	dejavu serve -metrics :9090  # Prometheus /metrics + pprof over HTTP
+//	dejavu top                   # one-shot telemetry snapshot
+//	dejavu top -addr :9090       # scrape a running serve instance
+//
+// See docs/OBSERVABILITY.md for the metric catalogue and docs/CLI.md
+// for the JSON schemas bench, chaos and lint emit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +50,8 @@ commands:
   lint       statically verify the deployment; exit nonzero on errors
   chaos      replay a seeded fault schedule and check healing invariants
   bench      drive the parallel traffic engine and report Mpps
+  serve      serve Prometheus /metrics and pprof for the deployment
+  top        print a one-shot telemetry snapshot (local or -addr scrape)
 `)
 	os.Exit(2)
 }
@@ -83,6 +92,10 @@ dispatch:
 		err = runChaos(args)
 	case "bench":
 		err = runBench(args)
+	case "serve":
+		err = runServe(args)
+	case "top":
+		err = runTop(args)
 	default:
 		usage()
 	}
@@ -288,6 +301,7 @@ func runChaos(args []string) error {
 	seed := fs.Int64("seed", 1, "fault schedule seed")
 	ticks := fs.Int("ticks", 40, "timeline length in ticks")
 	verbose := fs.Bool("v", false, "print the full transcript before the summary")
+	jsonOut := fs.Bool("json", false, "emit the full result as JSON (includes the transcript with -v)")
 	fs.Parse(args)
 
 	var res *core.ChaosResult
@@ -320,13 +334,24 @@ func runChaos(args []string) error {
 			return err
 		}
 	}
-	if *verbose {
-		for _, line := range res.Log {
-			fmt.Println(line)
+	if *jsonOut {
+		if !*verbose {
+			res.Log = nil // the transcript is opt-in; it dwarfs the result
 		}
-		fmt.Println()
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		if *verbose {
+			for _, line := range res.Log {
+				fmt.Println(line)
+			}
+			fmt.Println()
+		}
+		fmt.Print(res.Summary())
 	}
-	fmt.Print(res.Summary())
 	if !res.OK() {
 		return fmt.Errorf("chaos: %d invariant violation(s)", len(res.Violations))
 	}

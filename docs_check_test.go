@@ -1,0 +1,95 @@
+package dejavu_test
+
+// Documentation checks, run by the CI docs job (and `make doccheck`):
+// every relative markdown link must point at a file that exists, and
+// every fenced Go snippet must be valid Go that gofmt can format —
+// docs that drift from the tree fail the build instead of rotting.
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown documents under check: the root-level
+// docs plus everything in docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+	extra, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, extra...)
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("doc file missing: %v", err)
+		}
+	}
+	return files
+}
+
+// mdLink matches inline markdown links [text](target). Images and
+// reference-style links are out of scope — the docs don't use them.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks: every relative link in the docs must resolve
+// to an existing file (relative to the linking document).
+func TestDocsRelativeLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"): // intra-document anchor
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s does not exist)", file, m[1], resolved)
+			}
+		}
+	}
+}
+
+// fencedGo matches ```go ... ``` blocks.
+var fencedGo = regexp.MustCompile("(?s)```go\n(.*?)```")
+
+// TestDocsGoSnippets: every fenced Go snippet must be syntactically
+// valid — a full file as-is, or a statement fragment once wrapped in a
+// function body — and formattable by gofmt.
+func TestDocsGoSnippets(t *testing.T) {
+	checked := 0
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range fencedGo.FindAllStringSubmatch(string(data), -1) {
+			snippet := m[1]
+			src := snippet
+			if !strings.HasPrefix(strings.TrimSpace(snippet), "package ") {
+				src = "package p\n\nfunc _() {\n" + snippet + "\n}\n"
+			}
+			if _, err := format.Source([]byte(src)); err != nil {
+				t.Errorf("%s: go snippet %d does not parse: %v\n%s", file, i+1, err, snippet)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no fenced go snippets found — the extraction regex is broken")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dejavu/internal/packet"
+	"dejavu/internal/telemetry"
 )
 
 // Meta is the platform metadata a pipelet program reads and writes —
@@ -38,6 +39,18 @@ type Ctx struct {
 
 	// Pipelet identifies where the program is running.
 	Pipelet PipeletID
+
+	// shard picks this context's telemetry counter shard. Assigned once
+	// when the pool allocates the context and preserved across resets,
+	// so concurrent injectors spread over shards at zero per-packet
+	// cost.
+	shard uint8
+
+	// tel accumulates this packet's per-pipeline telemetry events in
+	// plain memory; countDone flushes it to the shard in one batch so
+	// the hot path pays one atomic add per visited pipeline instead of
+	// one per traversal. Zeroed by the wholesale Ctx reset per packet.
+	tel telemetry.DatapathDelta
 }
 
 // StageFunc is a behavioural pipelet program: the composed NF logic
@@ -76,6 +89,9 @@ type Trace struct {
 	CPU            []*packet.Parsed
 	Dropped        bool
 	DropReason     string
+	// DropCode is the typed counterpart of DropReason, used for
+	// allocation-free drop accounting.
+	DropCode telemetry.DropReason
 
 	// quiet suppresses the per-step record (Steps/Out/CPU stay empty)
 	// so the hot path allocates nothing; scalar counters still
@@ -103,6 +119,7 @@ func (t *Trace) Path() string {
 type QuietResult struct {
 	Dropped        bool
 	DropReason     string
+	DropCode       telemetry.DropReason
 	Emitted        int // packets that left through front-panel ports (incl. mirror copies)
 	ToCPU          int
 	Resubmissions  int
@@ -138,7 +155,8 @@ type snapshot struct {
 	loopback []LoopbackMode // indexed by front-panel port
 	portDown []bool         // indexed by front-panel port
 	faults   FaultHook
-	ingress  []StageFunc // indexed by pipeline
+	tel      *telemetry.Datapath // nil when telemetry is off
+	ingress  []StageFunc         // indexed by pipeline
 	egress   []StageFunc
 }
 
@@ -148,6 +166,7 @@ func (sn *snapshot) clone() *snapshot {
 		loopback: append([]LoopbackMode(nil), sn.loopback...),
 		portDown: append([]bool(nil), sn.portDown...),
 		faults:   sn.faults,
+		tel:      sn.tel,
 		ingress:  append([]StageFunc(nil), sn.ingress...),
 		egress:   append([]StageFunc(nil), sn.egress...),
 	}
@@ -197,8 +216,17 @@ type Switch struct {
 	drops atomic.Uint64
 }
 
-// ctxPool recycles per-packet contexts across injections.
-var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+// ctxPool recycles per-packet contexts across injections. Each new
+// context draws the next telemetry shard from ctxShardSeq, so however
+// many injector goroutines run, their counters land on different
+// shards.
+var ctxShardSeq atomic.Uint32
+
+var ctxPool = sync.Pool{New: func() any {
+	c := new(Ctx)
+	c.shard = uint8(ctxShardSeq.Add(1))
+	return c
+}}
 
 // tracePool recycles the quiet-mode traces InjectQuiet uses
 // internally (traced Inject hands its Trace to the caller, so those
@@ -247,6 +275,24 @@ func (s *Switch) Profile() Profile { return s.prof }
 func (s *Switch) SetFaultHook(h FaultHook) {
 	s.update(func(sn *snapshot) { sn.faults = h })
 }
+
+// SetTelemetry attaches (or, with nil, detaches) a datapath counter
+// set. Like every switch configuration it is published through the
+// snapshot swap: in-flight packets finish against the old value, new
+// packets count into the new one, and the hot path pays only a nil
+// check when telemetry is off.
+func (s *Switch) SetTelemetry(d *telemetry.Datapath) {
+	if d != nil {
+		// A fast-path packet takes exactly one ingress, TM and egress
+		// traversal; snapshots use this constant to fold the one-atomic
+		// fast-path counter into the latency histogram.
+		d.SetFastPathLatency(uint64(s.prof.IngressLatency + s.prof.TMLatency + s.prof.EgressLatency))
+	}
+	s.update(func(sn *snapshot) { sn.tel = d })
+}
+
+// Telemetry returns the attached datapath counter set, or nil.
+func (s *Switch) Telemetry() *telemetry.Datapath { return s.snap.Load().tel }
 
 // SetPortAdminState marks a front-panel port up or down. A down port
 // refuses injected traffic, loses packets emitted through it, and
@@ -400,12 +446,16 @@ func (s *Switch) admit(sn *snapshot, in PortID, pkt *packet.Parsed) error {
 func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
 	sn := s.snap.Load()
 	if err := s.admit(sn, in, pkt); err != nil {
+		s.countRefused(sn, in)
 		return nil, err
 	}
 	tr := &Trace{}
 	ctx := ctxPool.Get().(*Ctx)
+	shard := ctx.shard
 	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	ctx.shard = shard
 	err := s.run(sn, ctx, tr)
+	s.countDone(sn, ctx, tr)
 	ctxPool.Put(ctx)
 	return tr, err
 }
@@ -417,16 +467,21 @@ func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
 func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error) {
 	sn := s.snap.Load()
 	if err := s.admit(sn, in, pkt); err != nil {
-		return QuietResult{Dropped: true, DropReason: err.Error()}, err
+		s.countRefused(sn, in)
+		return QuietResult{Dropped: true, DropReason: err.Error(), DropCode: telemetry.DropRefused}, err
 	}
 	tr := tracePool.Get().(*Trace)
 	*tr = Trace{quiet: true}
 	ctx := ctxPool.Get().(*Ctx)
+	shard := ctx.shard
 	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	ctx.shard = shard
 	err := s.run(sn, ctx, tr)
+	s.countDone(sn, ctx, tr)
 	q := QuietResult{
 		Dropped:        tr.Dropped,
 		DropReason:     tr.DropReason,
+		DropCode:       tr.DropCode,
 		Emitted:        tr.emitCount,
 		ToCPU:          tr.cpuCount,
 		Resubmissions:  tr.Resubmissions,
@@ -438,16 +493,56 @@ func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error)
 	return q, err
 }
 
+// countRefused charges an admission failure to the telemetry shard of
+// the refusing port. Refusals never reach a pipeline, so they are not
+// part of the per-pipelet counters.
+func (s *Switch) countRefused(sn *snapshot, in PortID) {
+	if sn.tel != nil {
+		sn.tel.Shard(uintptr(in) << 6).Refused()
+	}
+}
+
+// countDone records the packet's final disposition after run returns.
+// The common packet — delivered through one ingress and one egress
+// pass, one wire copy, nothing unusual — is a single atomic add
+// (FastDone); everything else flushes the batched per-pipeline deltas
+// and takes the full disposition/histogram update.
+func (s *Switch) countDone(sn *snapshot, ctx *Ctx, tr *Trace) {
+	if sn.tel == nil {
+		return
+	}
+	sh := sn.tel.Shard(uintptr(ctx.shard) << 6)
+	if tr.DropCode == telemetry.DropNone && tr.cpuCount == 0 && tr.emitCount == 1 &&
+		tr.Recirculations == 0 && tr.Resubmissions == 0 && ctx.Meta.Passes == 1 {
+		// Meta.Passes==1 means InPort was never rewritten by a
+		// recirculation, so it still names the ingress pipeline.
+		if sh.FastDone(s.prof.PipelineOf(ctx.Meta.InPort), ctx.Pipelet.Pipeline) {
+			return
+		}
+	}
+	sh.Flush(&ctx.tel)
+	sh.PacketDone(tr.DropCode, tr.cpuCount, tr.Recirculations, tr.emitCount, int64(tr.Latency))
+}
+
 // run executes the packet until it leaves the switch, is dropped, or
 // exceeds the pass budget. It reads configuration exclusively from the
 // snapshot captured at injection: a packet in flight is never torn
 // between two configurations, and the loop takes zero locks.
 func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
+	// Per-traversal events accumulate in the context's plain-memory
+	// delta (countDone flushes them in one batch); pipelines beyond the
+	// delta's fixed bound — no real profile has them — fall back to
+	// direct shard adds.
+	var sh *telemetry.DatapathShard
+	if sn.tel != nil {
+		sh = sn.tel.Shard(uintptr(ctx.shard) << 6)
+	}
 	for {
 		ctx.Meta.Passes++
 		if ctx.Meta.Passes > maxPasses {
 			tr.Dropped = true
 			tr.DropReason = "pass budget exceeded (routing loop?)"
+			tr.DropCode = telemetry.DropPassBudget
 			s.drops.Add(1)
 			return fmt.Errorf("asic: %s", tr.DropReason)
 		}
@@ -458,6 +553,13 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if !tr.quiet {
 			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
 		}
+		if sh != nil {
+			if pipeline < telemetry.MaxPipelines {
+				ctx.tel.Ingress[pipeline]++
+			} else {
+				sh.IngressPass(pipeline)
+			}
+		}
 		tr.Latency += s.prof.IngressLatency
 		if ing := sn.ingress[pipeline]; ing != nil {
 			ing(ctx)
@@ -466,6 +568,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if ctx.Meta.Drop {
 			tr.Dropped = true
 			tr.DropReason = "dropped in ingress"
+			tr.DropCode = telemetry.DropIngress
 			s.drops.Add(1)
 			return nil
 		}
@@ -478,6 +581,13 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			// parser; constraint (d): it stays in the pipeline.
 			ctx.Meta.Resubmit = false
 			tr.Resubmissions++
+			if sh != nil {
+				if pipeline < telemetry.MaxPipelines {
+					ctx.tel.Resubmits[pipeline]++
+				} else {
+					sh.Resubmission(pipeline)
+				}
+			}
 			tr.Latency += s.prof.ResubmitLatency
 			if !tr.quiet {
 				tr.Steps[len(tr.Steps)-1].Note = "resubmit"
@@ -491,12 +601,14 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if out == PortUnset {
 			tr.Dropped = true
 			tr.DropReason = "no egress port chosen"
+			tr.DropCode = telemetry.DropNoEgress
 			s.drops.Add(1)
 			return nil
 		}
 		if !s.prof.ValidPort(out) {
 			tr.Dropped = true
 			tr.DropReason = fmt.Sprintf("invalid egress port %d", out)
+			tr.DropCode = telemetry.DropInvalidPort
 			s.drops.Add(1)
 			return nil
 		}
@@ -519,6 +631,13 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if !tr.quiet {
 			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
 		}
+		if sh != nil {
+			if egPipeline < telemetry.MaxPipelines {
+				ctx.tel.Egress[egPipeline]++
+			} else {
+				sh.EgressPass(egPipeline)
+			}
+		}
 		tr.Latency += s.prof.EgressLatency
 		if eg := sn.egress[egPipeline]; eg != nil {
 			eg(ctx)
@@ -526,6 +645,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if ctx.Meta.Drop {
 			tr.Dropped = true
 			tr.DropReason = "dropped in egress"
+			tr.DropCode = telemetry.DropEgress
 			s.drops.Add(1)
 			return nil
 		}
@@ -543,9 +663,10 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			mode = sn.loopbackOf(out)
 		}
 		if mode == LoopbackOff {
-			if ok, reason := s.emit(sn, out, ctx.Pkt, tr); !ok {
+			if ok, reason, code := s.emit(sn, out, ctx.Pkt, tr); !ok {
 				tr.Dropped = true
 				tr.DropReason = reason
+				tr.DropCode = code
 				s.drops.Add(1)
 			}
 			return nil
@@ -553,18 +674,27 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if !IsRecircPort(out) && !sn.portUp(out) {
 			tr.Dropped = true
 			tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out)
+			tr.DropCode = telemetry.DropRecircDead
 			s.drops.Add(1)
 			return nil
 		}
 		if sn.faults != nil && !sn.faults.OnRecirculate(out, ctx.Pkt) {
 			tr.Dropped = true
 			tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out)
+			tr.DropCode = telemetry.DropRecircOverload
 			s.drops.Add(1)
 			return nil
 		}
 		// Constraint (d): the packet re-enters the ingress pipe of the
 		// loopback port's own pipeline.
 		tr.Recirculations++
+		if sh != nil {
+			if egPipeline < telemetry.MaxPipelines {
+				ctx.tel.Recircs[egPipeline]++
+			} else {
+				sh.Recirculation(egPipeline)
+			}
+		}
 		switch mode {
 		case LoopbackOnChip:
 			tr.Latency += s.prof.RecircOnChip
@@ -598,14 +728,15 @@ func (s *Switch) toCPU(ctx *Ctx, tr *Trace) {
 }
 
 // emit records a packet leaving through a front-panel port. It reports
-// failure (and the reason) when the port is administratively down or
-// an injected fault loses the packet on the wire.
-func (s *Switch) emit(sn *snapshot, port PortID, pkt *packet.Parsed, tr *Trace) (bool, string) {
+// failure (the reason and its typed code) when the port is
+// administratively down or an injected fault loses the packet on the
+// wire.
+func (s *Switch) emit(sn *snapshot, port PortID, pkt *packet.Parsed, tr *Trace) (bool, string, telemetry.DropReason) {
 	if !IsRecircPort(port) && port != PortCPU && !sn.portUp(port) {
-		return false, fmt.Sprintf("egress port %d down", port)
+		return false, fmt.Sprintf("egress port %d down", port), telemetry.DropPortDown
 	}
 	if sn.faults != nil && !sn.faults.OnEmit(port, pkt) {
-		return false, fmt.Sprintf("packet lost on wire at port %d", port)
+		return false, fmt.Sprintf("packet lost on wire at port %d", port), telemetry.DropWire
 	}
 	st := s.stats(port)
 	st.TxPackets.Add(1)
@@ -614,5 +745,5 @@ func (s *Switch) emit(sn *snapshot, port PortID, pkt *packet.Parsed, tr *Trace) 
 	if !tr.quiet {
 		tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
 	}
-	return true, ""
+	return true, "", telemetry.DropNone
 }

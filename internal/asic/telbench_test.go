@@ -1,0 +1,44 @@
+package asic_test
+
+// Benchmarks for the telemetry overhead budget: the quiet hot path
+// with datapath counters detached vs attached. `dejavu bench` reports
+// the same comparison (and EXPERIMENTS.md records it); these exist so
+// `go test -bench QuietTel` can reproduce the number directly.
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/packet"
+	"dejavu/internal/pktgen"
+	"dejavu/internal/telemetry"
+	"dejavu/internal/traffic"
+)
+
+func benchQuiet(b *testing.B, tel *telemetry.Datapath) {
+	sw := traffic.NewBenchSwitch(asic.Wedge100B(), traffic.ForwarderOpts{})
+	if tel != nil {
+		sw.SetTelemetry(tel)
+	}
+	gen := pktgen.New(pktgen.Config{Seed: 1})
+	flows := gen.Flows(16)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	var scratch packet.Parsed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(&templates[i%len(templates)])
+		if _, err := sw.InjectQuiet(0, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuietTelOff(b *testing.B) { benchQuiet(b, nil) }
+
+func BenchmarkQuietTelOn(b *testing.B) {
+	benchQuiet(b, telemetry.NewDatapath(asic.Wedge100B().Pipelines))
+}

@@ -1,0 +1,221 @@
+package asic
+
+import (
+	"testing"
+
+	"dejavu/internal/telemetry"
+)
+
+// TestTelemetryCountsBasicPath checks the dvtel counters against a
+// known traversal: one ingress pass, one egress pass, no recircs,
+// delivered out a front-panel port.
+func TestTelemetryCountsBasicPath(t *testing.T) {
+	s := New(Wedge100B())
+	if err := s.InstallIngress(0, forwardTo(1)); err != nil {
+		t.Fatal(err)
+	}
+	dp := telemetry.NewDatapath(s.prof.Pipelines)
+	s.SetTelemetry(dp)
+	if s.Telemetry() != dp {
+		t.Fatal("Telemetry() does not return the attached counter set")
+	}
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := s.InjectQuiet(0, testPacket()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := dp.Snapshot()
+	if snap.Delivered != n || snap.Completed() != n {
+		t.Errorf("Delivered = %d, Completed = %d, want %d", snap.Delivered, snap.Completed(), n)
+	}
+	if snap.IngressPasses[0] != n || snap.EgressPasses[0] != n {
+		t.Errorf("passes: ingress=%d egress=%d, want %d each", snap.IngressPasses[0], snap.EgressPasses[0], n)
+	}
+	if snap.Emitted != n {
+		t.Errorf("Emitted = %d, want %d", snap.Emitted, n)
+	}
+	if snap.Recirculation.Count != n || snap.Recirculation.Counts[0] != n {
+		t.Errorf("recirc histogram: %+v, want %d zero-recirc packets", snap.Recirculation, n)
+	}
+	if snap.Latency.Count != n || snap.Latency.Sum == 0 {
+		t.Errorf("latency histogram empty: %+v", snap.Latency)
+	}
+}
+
+// TestTelemetryCountsRecirculation pins the per-pipeline recirculation
+// and multi-pass accounting: two loops through the pipeline-0 loopback
+// port mean three ingress and three egress traversals per packet.
+func TestTelemetryCountsRecirculation(t *testing.T) {
+	s := New(Wedge100B())
+	s.InstallIngress(0, func(c *Ctx) {
+		if c.Meta.Passes <= 2 {
+			c.Meta.OutPort = RecircPort(0)
+			return
+		}
+		c.Meta.OutPort = 1
+	})
+	dp := telemetry.NewDatapath(s.prof.Pipelines)
+	s.SetTelemetry(dp)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := s.InjectQuiet(0, testPacket()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := dp.Snapshot()
+	if snap.IngressPasses[0] != 3*n || snap.EgressPasses[0] != 3*n {
+		t.Errorf("passes: ingress=%d egress=%d, want %d each", snap.IngressPasses[0], snap.EgressPasses[0], 3*n)
+	}
+	if snap.Recircs[0] != 2*n {
+		t.Errorf("Recircs[0] = %d, want %d", snap.Recircs[0], 2*n)
+	}
+	// Each packet recirculated twice: the histogram's <=2 bucket holds
+	// everything.
+	if snap.Recirculation.Quantile(0.99) != 2 {
+		t.Errorf("recirc p99 = %d, want 2", snap.Recirculation.Quantile(0.99))
+	}
+}
+
+// TestTelemetryDropCodes checks the typed drop accounting end to end:
+// the QuietResult carries the code and the counters bin it by reason.
+func TestTelemetryDropCodes(t *testing.T) {
+	s := New(Wedge100B())
+	s.InstallIngress(0, func(c *Ctx) { c.Meta.Drop = true })
+	dp := telemetry.NewDatapath(s.prof.Pipelines)
+	s.SetTelemetry(dp)
+
+	q, err := s.InjectQuiet(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DropCode != telemetry.DropIngress {
+		t.Errorf("DropCode = %v, want DropIngress", q.DropCode)
+	}
+	snap := dp.Snapshot()
+	if snap.Dropped != 1 || snap.Drops[telemetry.DropIngress] != 1 {
+		t.Errorf("drop accounting: dropped=%d drops=%v", snap.Dropped, snap.Drops)
+	}
+	if snap.Delivered != 0 || snap.Emitted != 0 {
+		t.Errorf("dropped packet counted as delivered: %+v", snap)
+	}
+
+	// The traced path must agree on the code.
+	tr, err := s.Inject(0, testPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DropCode != telemetry.DropIngress {
+		t.Errorf("traced DropCode = %v", tr.DropCode)
+	}
+}
+
+func TestTelemetryRefusedAndToCPU(t *testing.T) {
+	s := New(Wedge100B())
+	s.InstallIngress(0, func(c *Ctx) { c.Meta.ToCPU = true })
+	dp := telemetry.NewDatapath(s.prof.Pipelines)
+	s.SetTelemetry(dp)
+
+	if _, err := s.InjectQuiet(0, testPacket()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPortAdminState(0, false); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.InjectQuiet(0, testPacket())
+	if err == nil {
+		t.Fatal("down port accepted traffic")
+	}
+	if q.DropCode != telemetry.DropRefused {
+		t.Errorf("refused DropCode = %v", q.DropCode)
+	}
+	snap := dp.Snapshot()
+	if snap.ToCPU != 1 || snap.Refused != 1 {
+		t.Errorf("ToCPU=%d Refused=%d, want 1/1", snap.ToCPU, snap.Refused)
+	}
+	// Refusals never enter a pipeline: exactly one ingress pass total.
+	if snap.IngressPasses[0] != 1 {
+		t.Errorf("IngressPasses[0] = %d, want 1", snap.IngressPasses[0])
+	}
+}
+
+// TestTelemetryDetach: SetTelemetry(nil) must stop counting without
+// disturbing traffic, and counters accumulated so far must survive.
+func TestTelemetryDetach(t *testing.T) {
+	s := New(Wedge100B())
+	if err := s.InstallIngress(0, forwardTo(1)); err != nil {
+		t.Fatal(err)
+	}
+	dp := telemetry.NewDatapath(s.prof.Pipelines)
+	s.SetTelemetry(dp)
+	if _, err := s.InjectQuiet(0, testPacket()); err != nil {
+		t.Fatal(err)
+	}
+	s.SetTelemetry(nil)
+	if s.Telemetry() != nil {
+		t.Error("Telemetry() non-nil after detach")
+	}
+	if _, err := s.InjectQuiet(0, testPacket()); err != nil {
+		t.Fatal(err)
+	}
+	if snap := dp.Snapshot(); snap.Delivered != 1 {
+		t.Errorf("Delivered = %d after detach, want 1", snap.Delivered)
+	}
+}
+
+// TestInjectQuietTelemetryAllocBudget is the ISSUE's hot-path
+// acceptance gate: with datapath counters attached, steady-state
+// InjectQuiet must stay within the same allocation budget as the bare
+// path (0 in practice, 2 to tolerate pool refills after a GC). CI runs
+// this in the bench job.
+func TestInjectQuietTelemetryAllocBudget(t *testing.T) {
+	s := New(Wedge100B())
+	if err := s.InstallIngress(0, forwardTo(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetTelemetry(telemetry.NewDatapath(s.prof.Pipelines))
+	pkt := testPacket()
+	for i := 0; i < 1000; i++ {
+		if _, err := s.InjectQuiet(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(5000, func() {
+		if _, err := s.InjectQuiet(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("telemetry-enabled InjectQuiet allocates %.2f/op, budget is 2", allocs)
+	}
+}
+
+// TestInjectQuietTelemetryRecircAllocBudget extends the budget to the
+// recirculating path with counters and both histograms active.
+func TestInjectQuietTelemetryRecircAllocBudget(t *testing.T) {
+	s := New(Wedge100B())
+	s.InstallIngress(0, func(c *Ctx) {
+		if c.Meta.Passes <= 3 {
+			c.Meta.OutPort = RecircPort(0)
+			return
+		}
+		c.Meta.OutPort = 1
+	})
+	s.SetTelemetry(telemetry.NewDatapath(s.prof.Pipelines))
+	pkt := testPacket()
+	for i := 0; i < 1000; i++ {
+		if _, err := s.InjectQuiet(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		if _, err := s.InjectQuiet(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("telemetry-enabled recirculating InjectQuiet allocates %.2f/op, budget is 2", allocs)
+	}
+}

@@ -14,6 +14,7 @@ package compose
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"dejavu/internal/asic"
 	"dejavu/internal/nf"
@@ -21,6 +22,7 @@ import (
 	"dejavu/internal/p4"
 	"dejavu/internal/packet"
 	"dejavu/internal/route"
+	"dejavu/internal/telemetry"
 )
 
 // packetAlias shortens signatures inside this package.
@@ -54,6 +56,10 @@ type Composer struct {
 
 	// telemetry aggregates per-NF and per-path datapath counters.
 	telemetry *Telemetry
+
+	// postcards, when non-nil, enables in-band per-hop postcard
+	// telemetry in every composed pipelet program.
+	postcards atomic.Pointer[telemetry.PostcardLog]
 }
 
 // Telemetry returns the composer's datapath counters.
@@ -68,6 +74,12 @@ func New(prof asic.Profile, chains []route.Chain, placement *route.Placement, nf
 	if err != nil {
 		return nil, err
 	}
+	// Stable NF ID assignment (sorted by name) for meta.next_nf.
+	names := make([]string, 0, len(nfs))
+	for _, f := range nfs {
+		names = append(names, f.Name())
+	}
+	sort.Strings(names)
 	c := &Composer{
 		Prof:      prof,
 		Chains:    chains,
@@ -75,19 +87,25 @@ func New(prof asic.Profile, chains []route.Chain, placement *route.Placement, nf
 		NFs:       nfs,
 		Branching: br,
 		ids:       make(map[string]uint8),
-		telemetry: newTelemetry(),
+		telemetry: newTelemetry(names, chains),
 	}
-	// Stable NF ID assignment (sorted by name) for meta.next_nf.
-	names := make([]string, 0, len(nfs))
-	for _, f := range nfs {
-		names = append(names, f.Name())
-	}
-	sort.Strings(names)
 	for i, n := range names {
 		c.ids[n] = uint8(i + 1)
 	}
 	return c, nil
 }
+
+// SetPostcardLog switches in-band postcard telemetry on (or, with nil,
+// off). While a log is attached, every pipelet traversal of a tagged
+// packet stamps a hop record into the SFC context area and the egress
+// pipelet that completes the chain decodes the records into the log —
+// see internal/telemetry's postcard docs for the wire format. The log
+// pointer is atomic: it can be flipped while traffic is running,
+// exactly like the switch's own configuration.
+func (c *Composer) SetPostcardLog(l *telemetry.PostcardLog) { c.postcards.Store(l) }
+
+// PostcardLog returns the attached postcard log, or nil.
+func (c *Composer) PostcardLog() *telemetry.PostcardLog { return c.postcards.Load() }
 
 // NFID returns the meta.next_nf value of an NF.
 func (c *Composer) NFID(name string) uint8 { return c.ids[name] }
@@ -250,9 +268,22 @@ func (d *Deployment) InstallOn(sw *asic.Switch) error {
 	return nil
 }
 
+// placedNF pairs an NF hosted on a pipelet with its telemetry counter
+// index, resolved once at composition time so the per-packet loop
+// counts without a map lookup.
+type placedNF struct {
+	f      nf.NF
+	name   string
+	telIdx int
+}
+
 // pipeletFunc builds the behavioural program of one pipelet.
 func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) asic.StageFunc {
 	isIngress := pl.Dir == asic.Ingress
+	placed := make([]placedNF, 0, len(nfs))
+	for _, f := range nfs {
+		placed = append(placed, placedNF{f: f, name: f.Name(), telIdx: c.telemetry.nfIndex(f.Name())})
+	}
 	return func(ctx *asic.Ctx) {
 		hdr := ctx.Pkt
 		if fresh(hdr) {
@@ -269,19 +300,19 @@ func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) 
 			if !ok {
 				break
 			}
-			var ran nf.NF
-			for _, f := range nfs {
-				if f.Name() == name {
-					ran = f
+			ran := -1
+			for i := range placed {
+				if placed[i].name == name {
+					ran = i
 					break
 				}
 			}
-			if ran == nil {
+			if ran < 0 {
 				break // next NF lives elsewhere; branching will route it
 			}
 			wasFresh := fresh(hdr)
-			ran.Execute(hdr)
-			c.telemetry.countNF(ran.Name())
+			placed[ran].f.Execute(hdr)
+			c.telemetry.countNFIdx(placed[ran].telIdx)
 			if wasFresh && hdr.Valid(sfcBit) {
 				// The classifier just stamped a path.
 				c.telemetry.countPath(hdr.SFC.ServicePathID)
@@ -298,9 +329,43 @@ func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) 
 			}
 		}
 
+		if log := c.postcards.Load(); log != nil {
+			c.postcardHook(log, hdr, ctx, pl.Pipeline, isIngress)
+		}
 		if isIngress {
 			c.applyBranching(hdr, ctx, pl.Pipeline)
 		}
+	}
+}
+
+// postcardHook runs at the end of a pipelet traversal when postcard
+// telemetry is on: it stamps this hop into the SFC context area and, on
+// the egress pipelet that completes the chain, decodes the accumulated
+// records into the log and strips them from the header so hop keys
+// never leave on the wire.
+func (c *Composer) postcardHook(log *telemetry.PostcardLog, hdr *packetAlias, ctx *asic.Ctx, pipeline int, isIngress bool) {
+	if hdr.SFC.ServicePathID == 0 {
+		return // never classified: nothing to trace
+	}
+	dir := telemetry.HopEgress
+	if isIngress {
+		dir = telemetry.HopIngress
+	}
+	pass := ctx.Meta.Passes
+	if pass > 63 {
+		pass = 63
+	}
+	hop := telemetry.Hop{Pipeline: uint8(pipeline), Dir: dir, Pass: uint8(pass)}
+	if err := telemetry.StampHop(&hdr.SFC, hop); err != nil {
+		log.NoteTruncated()
+	}
+	// Chain exit: the Router popped the SFC header (the struct stays
+	// readable after PopSFC) or a static-exit chain ran its last NF.
+	if !isIngress && (!hdr.Valid(sfcBit) || hdr.SFC.Done()) {
+		var buf [telemetry.MaxHops]telemetry.Hop
+		hops := telemetry.DecodeHops(&hdr.SFC, buf[:0])
+		log.Record(hdr.SFC.ServicePathID, hops)
+		telemetry.ClearHops(&hdr.SFC)
 	}
 }
 

@@ -2,7 +2,12 @@ package compose
 
 import (
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"dejavu/internal/route"
+	"dejavu/internal/telemetry"
 )
 
 // Telemetry aggregates datapath counters the operator needs: how many
@@ -10,60 +15,148 @@ import (
 // Counting happens inside the behavioural pipelet programs, so the
 // numbers reflect exactly what the composed datapath did (including
 // recirculated passes, which execute NFs at most once each).
+//
+// The NF and path universes are fixed at composition time, so the
+// counters are dense preallocated atomics — the update path takes no
+// locks and allocates nothing, matching the switch's own PortStats
+// discipline. Packets classified onto a path no chain declares (a
+// classifier bug) fall back to a mutex-guarded overflow map on the
+// cold path.
 type Telemetry struct {
-	mu          sync.Mutex
-	nfExec      map[string]uint64
-	pathPackets map[uint16]uint64
+	nfNames []string       // sorted; parallel to nfExec
+	nfIdx   map[string]int // name -> index into nfExec
+	nfExec  []atomic.Uint64
+
+	pathIDs  []uint16       // sorted; parallel to pathPkts
+	pathIdx  map[uint16]int // path -> index into pathPkts
+	pathPkts []atomic.Uint64
+
+	mu         sync.Mutex
+	extraPaths map[uint16]uint64 // paths outside the declared chain set
 }
 
-func newTelemetry() *Telemetry {
-	return &Telemetry{
-		nfExec:      make(map[string]uint64),
-		pathPackets: make(map[uint16]uint64),
+func newTelemetry(nfNames []string, chains []route.Chain) *Telemetry {
+	t := &Telemetry{
+		nfNames: append([]string(nil), nfNames...),
+		nfIdx:   make(map[string]int, len(nfNames)),
+	}
+	sort.Strings(t.nfNames)
+	for i, n := range t.nfNames {
+		t.nfIdx[n] = i
+	}
+	t.nfExec = make([]atomic.Uint64, len(t.nfNames))
+
+	seen := make(map[uint16]bool, len(chains))
+	for _, ch := range chains {
+		if !seen[ch.PathID] {
+			seen[ch.PathID] = true
+			t.pathIDs = append(t.pathIDs, ch.PathID)
+		}
+	}
+	sort.Slice(t.pathIDs, func(i, j int) bool { return t.pathIDs[i] < t.pathIDs[j] })
+	t.pathIdx = make(map[uint16]int, len(t.pathIDs))
+	for i, p := range t.pathIDs {
+		t.pathIdx[p] = i
+	}
+	t.pathPkts = make([]atomic.Uint64, len(t.pathIDs))
+	return t
+}
+
+// nfIndex returns the dense counter index of an NF, or -1. Pipelet
+// programs resolve indices once at composition time and count through
+// countNFIdx on the hot path.
+func (t *Telemetry) nfIndex(name string) int {
+	if i, ok := t.nfIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// countNFIdx records one execution of the NF at a precomputed index.
+func (t *Telemetry) countNFIdx(i int) {
+	if i >= 0 {
+		t.nfExec[i].Add(1)
 	}
 }
 
-// countNF records one execution of an NF.
-func (t *Telemetry) countNF(name string) {
-	t.mu.Lock()
-	t.nfExec[name]++
-	t.mu.Unlock()
-}
-
-// countPath records one packet classified onto a path.
+// countPath records one packet classified onto a path. The index map
+// is read-only after construction, so the lookup is lock-free; only
+// undeclared paths touch the overflow mutex.
 func (t *Telemetry) countPath(path uint16) {
+	if i, ok := t.pathIdx[path]; ok {
+		t.pathPkts[i].Add(1)
+		return
+	}
 	t.mu.Lock()
-	t.pathPackets[path]++
+	if t.extraPaths == nil {
+		t.extraPaths = make(map[uint16]uint64)
+	}
+	t.extraPaths[path]++
 	t.mu.Unlock()
 }
 
 // NFExecutions returns the execution count of an NF.
 func (t *Telemetry) NFExecutions(name string) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.nfExec[name]
+	if i, ok := t.nfIdx[name]; ok {
+		return t.nfExec[i].Load()
+	}
+	return 0
 }
 
 // PathPackets returns the number of packets classified onto a path.
 func (t *Telemetry) PathPackets(path uint16) uint64 {
+	if i, ok := t.pathIdx[path]; ok {
+		return t.pathPkts[i].Load()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.pathPackets[path]
+	return t.extraPaths[path]
 }
 
 // Snapshot returns sorted copies of both counter sets.
 func (t *Telemetry) Snapshot() (nfs []NFCount, paths []PathCount) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for n, c := range t.nfExec {
-		nfs = append(nfs, NFCount{Name: n, Executions: c})
+	for i, n := range t.nfNames {
+		nfs = append(nfs, NFCount{Name: n, Executions: t.nfExec[i].Load()})
 	}
-	for p, c := range t.pathPackets {
+	for i, p := range t.pathIDs {
+		paths = append(paths, PathCount{Path: p, Packets: t.pathPkts[i].Load()})
+	}
+	t.mu.Lock()
+	for p, c := range t.extraPaths {
 		paths = append(paths, PathCount{Path: p, Packets: c})
 	}
-	sort.Slice(nfs, func(i, j int) bool { return nfs[i].Name < nfs[j].Name })
+	t.mu.Unlock()
 	sort.Slice(paths, func(i, j int) bool { return paths[i].Path < paths[j].Path })
 	return nfs, paths
+}
+
+// Gather implements telemetry.Collector: per-NF execution and
+// per-chain packet counters (see docs/OBSERVABILITY.md).
+func (t *Telemetry) Gather() []telemetry.Family {
+	nfs, paths := t.Snapshot()
+	nfFam := telemetry.Family{
+		Name: "dejavu_nf_executions_total",
+		Help: "NF executions inside composed pipelet programs.",
+		Kind: telemetry.KindCounter,
+	}
+	for _, n := range nfs {
+		nfFam.Samples = append(nfFam.Samples, telemetry.Sample{
+			Labels: `nf="` + n.Name + `"`,
+			Value:  float64(n.Executions),
+		})
+	}
+	pathFam := telemetry.Family{
+		Name: "dejavu_chain_packets_total",
+		Help: "Packets classified onto each service path.",
+		Kind: telemetry.KindCounter,
+	}
+	for _, p := range paths {
+		pathFam.Samples = append(pathFam.Samples, telemetry.Sample{
+			Labels: `path="` + strconv.Itoa(int(p.Path)) + `"`,
+			Value:  float64(p.Packets),
+		})
+	}
+	return []telemetry.Family{nfFam, pathFam}
 }
 
 // NFCount is one NF's execution count.

@@ -34,6 +34,11 @@ type File struct {
 	// StrictLint gates deployment on the static verifier: composing
 	// refuses configurations with error-severity lint findings.
 	StrictLint bool `json:"strict_lint,omitempty"`
+	// Telemetry attaches the dvtel datapath counter set to the switch
+	// (see docs/OBSERVABILITY.md).
+	Telemetry bool `json:"telemetry,omitempty"`
+	// Postcards enables in-band per-hop postcard telemetry.
+	Postcards bool `json:"postcards,omitempty"`
 
 	Chains []ChainSpec `json:"chains"`
 
@@ -240,7 +245,7 @@ func Load(path string) (*core.Config, error) {
 
 // Build materializes the NFs and the core configuration.
 func (f *File) Build() (*core.Config, error) {
-	cfg := &core.Config{Enter: f.Enter, StrictLint: f.StrictLint}
+	cfg := &core.Config{Enter: f.Enter, StrictLint: f.StrictLint, Telemetry: f.Telemetry, Postcards: f.Postcards}
 
 	switch f.Profile {
 	case "", "wedge100b":

@@ -13,6 +13,7 @@ import (
 	"dejavu/internal/packet"
 	"dejavu/internal/route"
 	"dejavu/internal/scenario"
+	"dejavu/internal/telemetry"
 )
 
 // This file is the chaos harness: it replays a seeded fault schedule
@@ -55,30 +56,37 @@ type ChaosOpts struct {
 	Refresh *ctl.TableWrite
 }
 
-// ChaosResult is the outcome of one chaos run.
+// ChaosResult is the outcome of one chaos run. The JSON shape is the
+// `dejavu chaos -json` document (docs/CLI.md).
 type ChaosResult struct {
-	Seed  int64
-	Ticks int
+	Seed  int64 `json:"seed"`
+	Ticks int   `json:"ticks"`
 	// Events is the number of fault events fired.
-	Events int
+	Events int `json:"events"`
 	// Probe accounting: every probe is delivered, dropped with a
 	// recorded reason, or punted — anything else is a violation.
-	Probes, Delivered, Dropped, Punted int
+	Probes    int `json:"probes"`
+	Delivered int `json:"delivered"`
+	Dropped   int `json:"dropped"`
+	Punted    int `json:"punted"`
 	// Repoints counts chains re-pointed to a healthy exit port.
-	Repoints int
+	Repoints int `json:"repoints"`
 	// Replacements counts capacity-driven placement re-optimizations.
-	Replacements int
+	Replacements int `json:"replacements"`
 	// WireLosses counts packets the injector destroyed on the wire.
-	WireLosses int
+	WireLosses int `json:"wire_losses"`
 	// Driver reports the control-plane retry statistics of the Refresh
 	// write stream.
-	Driver fault.DriverStats
+	Driver fault.DriverStats `json:"driver"`
 	// Findings accumulates every reconcile's degradation report.
-	Findings *lint.Report
+	Findings *lint.Report `json:"degradation"`
 	// Violations lists invariant breaches; empty means the run passed.
-	Violations []string
+	Violations []string `json:"violations"`
 	// Log is the deterministic transcript of the run.
-	Log []string
+	Log []string `json:"log,omitempty"`
+	// Telemetry is the datapath counter snapshot taken after the last
+	// tick (chaos runs always count; the probes are the traffic).
+	Telemetry telemetry.DatapathSnapshot `json:"telemetry"`
 }
 
 // OK reports whether the run held every invariant.
@@ -96,6 +104,11 @@ func (r *ChaosResult) Summary() string {
 		r.WireLosses, r.Driver.Writes, r.Driver.Retries, r.Driver.Failures)
 	fmt.Fprintf(&sb, "degradation findings: %d (%d error, %d warn)\n",
 		len(r.Findings.Findings), r.Findings.Errors(), r.Findings.Warnings())
+	t := r.Telemetry
+	if done := t.Completed(); done > 0 {
+		fmt.Fprintf(&sb, "telemetry: %d packets (%d delivered, %d dropped, %d to CPU), p99 latency %d ns, mean recircs %.2f\n",
+			done, t.Delivered, t.Dropped, t.ToCPU, t.Latency.Quantile(0.99), t.Recirculation.Mean())
+	}
 	if r.OK() {
 		sb.WriteString("invariants: all held\n")
 	} else {
@@ -113,6 +126,7 @@ func (r *ChaosResult) Summary() string {
 // deterministic: the same cfg and opts produce the identical result
 // and log.
 func RunChaos(cfg Config, opts ChaosOpts) (*ChaosResult, error) {
+	cfg.Telemetry = true // chaos runs always count; the probes are the traffic
 	d, err := Deploy(cfg)
 	if err != nil {
 		return nil, err
@@ -214,6 +228,7 @@ func RunChaos(cfg Config, opts ChaosOpts) (*ChaosResult, error) {
 	if driver != nil {
 		res.Driver = driver.Stats()
 	}
+	res.Telemetry = d.Datapath.Snapshot()
 	return res, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"dejavu/internal/place"
 	"dejavu/internal/recirc"
 	"dejavu/internal/route"
+	"dejavu/internal/telemetry"
 )
 
 // Optimizer selects a placement strategy.
@@ -61,6 +62,15 @@ type Config struct {
 	// lint gate runs inside Build and again before installation. Warn
 	// and info findings never block; they appear in Deployment.Lint.
 	StrictLint bool
+	// Telemetry attaches a dvtel datapath counter set (per-pipelet
+	// passes, drops by reason, latency/recirculation histograms) to the
+	// switch. The hot path stays allocation-free with it on.
+	Telemetry bool
+	// Postcards enables in-band per-hop postcard telemetry: pipelets
+	// stamp hop records into the SFC context area and chain exits decode
+	// them into Deployment.Postcards. Implies extra per-packet work;
+	// see docs/OBSERVABILITY.md.
+	Postcards bool
 }
 
 // ChainReport is the per-chain analysis of a deployment.
@@ -90,6 +100,12 @@ type Deployment struct {
 	// deployment; it is recorded even when StrictLint is off (a strict
 	// deployment reaching this point has no error findings).
 	Lint *lint.Report
+	// Datapath is the switch-level telemetry counter set, non-nil when
+	// Config.Telemetry is on.
+	Datapath *telemetry.Datapath
+	// Postcards is the in-band hop-trace log, non-nil when
+	// Config.Postcards is on.
+	Postcards *telemetry.PostcardLog
 
 	composed *compose.Deployment
 	loops    *loopbackPool
@@ -330,11 +346,23 @@ func Deploy(cfg Config) (*Deployment, error) {
 	if err := dep.InstallOn(sw); err != nil {
 		return nil, err
 	}
+	var dp *telemetry.Datapath
+	if cfg.Telemetry {
+		dp = telemetry.NewDatapath(cfg.Prof.Pipelines)
+		sw.SetTelemetry(dp)
+	}
+	var pcl *telemetry.PostcardLog
+	if cfg.Postcards {
+		pcl = telemetry.NewPostcardLog(0)
+		comp.SetPostcardLog(pcl)
+	}
 
 	d := &Deployment{
 		Config:       cfg,
 		Switch:       sw,
 		Controller:   ctl.New(sw, cfg.NFs),
+		Datapath:     dp,
+		Postcards:    pcl,
 		composed:     dep,
 		loops:        pool,
 		Placement:    placement,

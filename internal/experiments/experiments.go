@@ -567,7 +567,7 @@ func Chaos() (Table, error) {
 // All runs every experiment in order.
 func All() ([]Table, error) {
 	runs := []func() (Table, error){
-		Fig6, Fig7, Fig8a, Fig8b, Table1, Fig9, Emulation, SoftwareGap, MultiSwitch, LintReport, Chaos, PktPath,
+		Fig6, Fig7, Fig8a, Fig8b, Table1, Fig9, Emulation, SoftwareGap, MultiSwitch, LintReport, Chaos, PktPath, Dvtel,
 	}
 	out := make([]Table, 0, len(runs))
 	for _, r := range runs {
@@ -586,7 +586,7 @@ func ByID(id string) (Table, error) {
 		"fig6": Fig6, "fig7": Fig7, "fig8a": Fig8a, "fig8b": Fig8b,
 		"table1": Table1, "fig9": Fig9, "emul": Emulation,
 		"softgap": SoftwareGap, "multiswitch": MultiSwitch, "lint": LintReport,
-		"chaos": Chaos, "pktpath": PktPath,
+		"chaos": Chaos, "pktpath": PktPath, "dvtel": Dvtel,
 	}
 	r, ok := m[id]
 	if !ok {
@@ -597,5 +597,5 @@ func ByID(id string) (Table, error) {
 
 // IDs lists the experiment identifiers.
 func IDs() []string {
-	return []string{"fig6", "fig7", "fig8a", "fig8b", "table1", "fig9", "emul", "softgap", "multiswitch", "lint", "chaos", "pktpath"}
+	return []string{"fig6", "fig7", "fig8a", "fig8b", "table1", "fig9", "emul", "softgap", "multiswitch", "lint", "chaos", "pktpath", "dvtel"}
 }

@@ -89,10 +89,10 @@ func (f *FlakyApplier) Apply(w ctl.TableWrite) error {
 
 // DriverStats counts control-plane write activity through a Driver.
 type DriverStats struct {
-	Writes    int // logical writes attempted
-	Retries   int // extra attempts beyond the first
-	Failures  int // writes that exhausted their retry budget or hit a permanent error
-	BackedOff time.Duration
+	Writes    int           `json:"writes"`   // logical writes attempted
+	Retries   int           `json:"retries"`  // extra attempts beyond the first
+	Failures  int           `json:"failures"` // writes that exhausted their retry budget or hit a permanent error
+	BackedOff time.Duration `json:"backed_off_ns"`
 }
 
 // Driver is the resilient control-plane write path: bounded retry with

@@ -40,6 +40,19 @@ func fig3Corpus() [][]byte {
 	h.SetContext(KeyQoSClass, 3)
 	h.NextProto = ProtoIPv6
 	add(h)
+	// A postcard-carrying packet: telemetry hop records live in the
+	// reserved top-of-keyspace context keys (telemetry.KeyHop0 = 0xF0
+	// and up) next to a production pair, the exact slot-sharing the
+	// dvtel postcard mode exercises on every recirculation.
+	h = New(30, 1)
+	h.Meta.InPort = 4
+	h.Meta.Set(FlagRecirculate)
+	h.SetContext(KeyTenantID, 7)
+	h.SetContext(0xF0, 0x0040) // ingress 0, pass 1
+	h.SetContext(0xF1, 0x1040) // egress 0, pass 1
+	h.SetContext(0xF2, 0x2080) // ingress 1, pass 2
+	h.NextProto = ProtoIPv4
+	add(h)
 	// The zero header.
 	add(Header{})
 	return corpus

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters: Observe
+// is wait-free, never allocates, and is safe for any number of
+// concurrent writers. Bucket i counts observations v <= Bounds[i]; the
+// final implicit bucket counts everything larger (+Inf).
+//
+// The bucket layout is fixed at construction, matching how a switch
+// ASIC would implement histograms in registers: the datapath cannot
+// grow state per packet.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64
+}
+
+// LatencyBoundsNs is the default bucket layout for modelled per-packet
+// pipeline latency: exponential from 250 ns (a single ingress pass) to
+// 32 µs (a pass-budget-busting recirculation storm).
+var LatencyBoundsNs = []uint64{250, 500, 1000, 2000, 4000, 8000, 16000, 32000}
+
+// RecircBounds is the default bucket layout for per-packet
+// recirculation counts: 0 (the common case — chain fits one pass),
+// then powers of two up to half the ASIC's pass budget.
+var RecircBounds = []uint64{0, 1, 2, 4, 8, 16, 32}
+
+// NewHistogram builds a histogram over strictly ascending upper
+// bounds. It panics on an invalid layout: bucket layouts are static
+// program configuration, not runtime input.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Wait-free, no allocation.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	if v != 0 {
+		h.sum.Add(v)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); Cumulative converts for exposition.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"` // upper bounds; the +Inf bucket is implicit
+	Counts []uint64 `json:"counts"` // len(Bounds)+1
+	Sum    uint64   `json:"sum"`
+	Count  uint64   `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// merge adds another snapshot with the same bucket layout (shards of
+// one logical histogram).
+func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
+	for i := range o.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
+// Cumulative returns the Prometheus-style cumulative bucket counts:
+// element i is the number of observations <= Bounds[i], and the final
+// element (the +Inf bucket) equals Count.
+func (s HistogramSnapshot) Cumulative() []uint64 {
+	out := make([]uint64, len(s.Counts))
+	var acc uint64
+	for i, c := range s.Counts {
+		acc += c
+		out[i] = acc
+	}
+	return out
+}
+
+// Quantile returns an upper-bound estimate of quantile q in [0,1]: the
+// smallest bucket bound with cumulative count >= q*Count. Values in
+// the +Inf bucket report the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for i, c := range s.Counts {
+		acc += c
+		if acc >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the bucket-edge convention: bucket
+// i counts v <= Bounds[i], so a value exactly on a bound lands in that
+// bound's bucket and one past it lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []uint64{10, 20, 40}
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {9, 0}, {10, 0}, // on the bound: inside
+		{11, 1}, {20, 1}, // one past: next bucket
+		{21, 2}, {40, 2},
+		{41, 3}, {1 << 40, 3}, // +Inf bucket
+	}
+	for _, tc := range cases {
+		h := NewHistogram(bounds)
+		h.Observe(tc.v)
+		s := h.Snapshot()
+		for i, c := range s.Counts {
+			want := uint64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want value in bucket %d (counts %v)",
+					tc.v, i, c, tc.bucket, s.Counts)
+			}
+		}
+		if s.Count != 1 || s.Sum != tc.v {
+			t.Errorf("Observe(%d): Count=%d Sum=%d", tc.v, s.Count, s.Sum)
+		}
+	}
+}
+
+// TestHistogramDefaultLayouts sanity-checks the two committed layouts:
+// both must construct (panics on bad bounds) and the recirculation
+// layout must give the 0-recircs common case its own bucket.
+func TestHistogramDefaultLayouts(t *testing.T) {
+	lat := NewHistogram(LatencyBoundsNs)
+	lat.Observe(250)
+	if s := lat.Snapshot(); s.Counts[0] != 1 {
+		t.Errorf("250 ns not in first latency bucket: %v", s.Counts)
+	}
+	rec := NewHistogram(RecircBounds)
+	rec.Observe(0)
+	rec.Observe(1)
+	s := rec.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 {
+		t.Errorf("recirc layout does not separate 0 from 1: %v", s.Counts)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]uint64{nil, {}, {5, 5}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]uint64{1, 2, 4})
+	for _, v := range []uint64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	got := s.Cumulative()
+	want := []uint64{2, 3, 4, 5} // <=1, <=2, <=4, +Inf
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cumulative = %v, want %v", got, want)
+		}
+	}
+	if got[len(got)-1] != s.Count {
+		t.Errorf("final cumulative bucket %d != Count %d", got[len(got)-1], s.Count)
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // bucket <=10
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // bucket <=1000
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %d, want 10", q)
+	}
+	if q := s.Quantile(0.99); q != 1000 {
+		t.Errorf("p99 = %d, want 1000", q)
+	}
+	if m := s.Mean(); m != float64(90*5+10*500)/100 {
+		t.Errorf("Mean = %v", m)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean not zero")
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines;
+// under -race this proves the wait-free update contract, and the final
+// snapshot must account for every observation.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBoundsNs)
+	const (
+		workers = 8
+		perW    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(w*1000 + i%5000))
+			}
+		}(w)
+	}
+	// Concurrent reader: snapshots mid-flight must stay internally sane.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			var total uint64
+			for _, c := range s.Counts {
+				total += c
+			}
+			if total != s.Count {
+				t.Errorf("mid-flight snapshot torn: bucket total %d != Count %d", total, s.Count)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if s := h.Snapshot(); s.Count != workers*perW {
+		t.Errorf("Count = %d, want %d", s.Count, workers*perW)
+	}
+}

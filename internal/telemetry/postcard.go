@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dejavu/internal/nsh"
+)
+
+// In-band postcard telemetry: every pipelet a packet traverses stamps
+// a 3-byte hop record (one key/value pair) into the SFC header's
+// context area (Fig. 3), and the framework decodes the accumulated
+// records into a structured hop trace when the chain terminates —
+// INT-style per-packet path visibility using only header fields the
+// paper's design already carries.
+//
+// Wire format of one hop record (the 2-byte context value under key
+// KeyHop0+i):
+//
+//	bits 15..13  pipeline (0-7)
+//	bit  12      direction (0 ingress, 1 egress)
+//	bits 11..6   ingress pass number (1-63, saturating)
+//	bits 5..0    reserved (zero)
+//
+// The context area holds four pairs shared with production keys
+// (tenant ID, VNI, ...), so a postcard can carry at most MaxHops hops
+// and fewer when the chain uses context slots of its own. Stamps past
+// the last free slot are counted (PostcardLog.TruncatedStamps) rather
+// than recorded — exactly the compromise a 12-byte context forces on
+// real hardware.
+
+// KeyHop0 is the first of MaxHops consecutive context keys reserved
+// for postcard hop records (0xF0..0xF3). Production keys grow from 1
+// upward; hop keys grow down from the top of the 8-bit key space so
+// the two families never collide.
+const KeyHop0 uint8 = 0xF0
+
+// MaxHops is the most hop records one SFC context can carry.
+const MaxHops = nsh.NumContextPairs
+
+// Hop directions.
+const (
+	HopIngress uint8 = 0
+	HopEgress  uint8 = 1
+)
+
+// Hop is one decoded postcard hop record.
+type Hop struct {
+	Pipeline uint8
+	Dir      uint8 // HopIngress or HopEgress
+	Pass     uint8 // ingress pass number when stamped (1-63, saturating)
+}
+
+// String renders a hop like "ingress 2 (pass 3)".
+func (h Hop) String() string {
+	dir := "ingress"
+	if h.Dir == HopEgress {
+		dir = "egress"
+	}
+	return fmt.Sprintf("%s %d (pass %d)", dir, h.Pipeline, h.Pass)
+}
+
+// EncodeHop packs a hop into the 16-bit context value.
+func EncodeHop(h Hop) uint16 {
+	pass := h.Pass
+	if pass > 63 {
+		pass = 63
+	}
+	return uint16(h.Pipeline&0x7)<<13 | uint16(h.Dir&0x1)<<12 | uint16(pass)<<6
+}
+
+// DecodeHop unpacks a 16-bit context value into a hop.
+func DecodeHop(v uint16) Hop {
+	return Hop{
+		Pipeline: uint8(v >> 13 & 0x7),
+		Dir:      uint8(v >> 12 & 0x1),
+		Pass:     uint8(v >> 6 & 0x3F),
+	}
+}
+
+// ErrPostcardFull reports that no context slot was free for another
+// hop record.
+var ErrPostcardFull = fmt.Errorf("telemetry: no free context slot for hop record")
+
+// StampHop appends a hop record to the header's postcard, claiming the
+// lowest unused hop key. It fails with ErrPostcardFull when all hop
+// keys are taken or the context has no empty slot; the header is
+// unchanged on failure.
+func StampHop(h *nsh.Header, hop Hop) error {
+	for i := uint8(0); i < MaxHops; i++ {
+		key := KeyHop0 + i
+		if _, ok := h.LookupContext(key); ok {
+			continue
+		}
+		if err := h.SetContext(key, EncodeHop(hop)); err != nil {
+			return ErrPostcardFull
+		}
+		return nil
+	}
+	return ErrPostcardFull
+}
+
+// DecodeHops appends the header's hop records to dst in stamp order.
+func DecodeHops(h *nsh.Header, dst []Hop) []Hop {
+	for i := uint8(0); i < MaxHops; i++ {
+		v, ok := h.LookupContext(KeyHop0 + i)
+		if !ok {
+			break // hop keys are claimed lowest-first; the first gap ends the trace
+		}
+		dst = append(dst, DecodeHop(v))
+	}
+	return dst
+}
+
+// ClearHops removes every hop record from the header, freeing the
+// context slots (and the wire bytes) for production use.
+func ClearHops(h *nsh.Header) {
+	for i := uint8(0); i < MaxHops; i++ {
+		h.DeleteContext(KeyHop0 + i)
+	}
+}
+
+// Postcard is one decoded per-packet hop trace.
+type Postcard struct {
+	Path uint16
+	Hops [MaxHops]Hop
+	N    int
+	// Full marks a trace that used every slot: later hops may have
+	// been truncated.
+	Full bool
+}
+
+// Trace returns the recorded hops.
+func (p Postcard) Trace() []Hop { return p.Hops[:p.N] }
+
+// String renders the postcard as "path 10: ingress 0 (pass 1) -> ...".
+func (p Postcard) String() string {
+	s := fmt.Sprintf("path %d:", p.Path)
+	for i, h := range p.Trace() {
+		if i > 0 {
+			s += " ->"
+		}
+		s += " " + h.String()
+	}
+	if p.Full {
+		s += " (+truncated?)"
+	}
+	return s
+}
+
+// PostcardLog collects decoded postcards into a fixed-size ring: the
+// newest traces win, memory stays bounded no matter the packet rate,
+// and recording allocates nothing after construction.
+type PostcardLog struct {
+	mu      sync.Mutex
+	entries []Postcard
+	next    int
+	filled  bool
+
+	total     atomic.Uint64
+	truncated atomic.Uint64
+}
+
+// DefaultPostcardCapacity is the ring size NewPostcardLog uses for
+// capacity <= 0.
+const DefaultPostcardCapacity = 1024
+
+// NewPostcardLog builds a ring holding up to capacity postcards.
+func NewPostcardLog(capacity int) *PostcardLog {
+	if capacity <= 0 {
+		capacity = DefaultPostcardCapacity
+	}
+	return &PostcardLog{entries: make([]Postcard, capacity)}
+}
+
+// Record stores one decoded trace.
+func (l *PostcardLog) Record(path uint16, hops []Hop) {
+	l.total.Add(1)
+	var p Postcard
+	p.Path = path
+	p.N = copy(p.Hops[:], hops)
+	p.Full = p.N == MaxHops
+	l.mu.Lock()
+	l.entries[l.next] = p
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.filled = true
+	}
+	l.mu.Unlock()
+}
+
+// NoteTruncated counts a hop stamp that found no free context slot.
+func (l *PostcardLog) NoteTruncated() { l.truncated.Add(1) }
+
+// Total returns the number of postcards ever recorded.
+func (l *PostcardLog) Total() uint64 { return l.total.Load() }
+
+// TruncatedStamps returns the number of hop stamps lost to a full
+// context area.
+func (l *PostcardLog) TruncatedStamps() uint64 { return l.truncated.Load() }
+
+// Snapshot returns the retained postcards, oldest first.
+func (l *PostcardLog) Snapshot() []Postcard {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.filled {
+		return append([]Postcard(nil), l.entries[:l.next]...)
+	}
+	out := make([]Postcard, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Gather implements Collector.
+func (l *PostcardLog) Gather() []Family {
+	return []Family{
+		{
+			Name:    "dejavu_postcards_total",
+			Help:    "Per-packet hop traces decoded at chain exit.",
+			Kind:    KindCounter,
+			Samples: []Sample{{Value: float64(l.Total())}},
+		},
+		{
+			Name:    "dejavu_postcard_truncated_stamps_total",
+			Help:    "Hop stamps lost because no SFC context slot was free.",
+			Kind:    KindCounter,
+			Samples: []Sample{{Value: float64(l.TruncatedStamps())}},
+		},
+	}
+}

@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dejavu/internal/nsh"
+)
+
+func TestHopCodecRoundTrip(t *testing.T) {
+	for pl := uint8(0); pl < 8; pl++ {
+		for _, dir := range []uint8{HopIngress, HopEgress} {
+			for pass := uint8(0); pass <= 63; pass++ {
+				h := Hop{Pipeline: pl, Dir: dir, Pass: pass}
+				if got := DecodeHop(EncodeHop(h)); got != h {
+					t.Fatalf("round trip: %+v -> %#x -> %+v", h, EncodeHop(h), got)
+				}
+			}
+		}
+	}
+	// Passes past the 6-bit field saturate at 63 rather than wrapping.
+	sat := DecodeHop(EncodeHop(Hop{Pipeline: 1, Dir: HopEgress, Pass: 200}))
+	if sat.Pass != 63 || sat.Pipeline != 1 || sat.Dir != HopEgress {
+		t.Errorf("saturating encode: %+v", sat)
+	}
+}
+
+// FuzzHopCodec checks the wire-format invariants over the whole 16-bit
+// value space: decode never panics, re-encoding a decoded value
+// preserves every defined bit (15..6) and zeroes the reserved bits.
+func FuzzHopCodec(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(0xFFFF))
+	f.Add(EncodeHop(Hop{Pipeline: 3, Dir: HopEgress, Pass: 17}))
+	f.Fuzz(func(t *testing.T, v uint16) {
+		h := DecodeHop(v)
+		if h.Pipeline > 7 || h.Dir > 1 || h.Pass > 63 {
+			t.Fatalf("decoded fields out of range: %+v", h)
+		}
+		if got := EncodeHop(h); got != v&0xFFC0 {
+			t.Fatalf("Encode(Decode(%#x)) = %#x, want %#x", v, got, v&0xFFC0)
+		}
+	})
+}
+
+func TestStampAndDecodeHops(t *testing.T) {
+	hdr := nsh.New(10, 5)
+	hops := []Hop{
+		{Pipeline: 0, Dir: HopIngress, Pass: 1},
+		{Pipeline: 0, Dir: HopEgress, Pass: 1},
+		{Pipeline: 1, Dir: HopIngress, Pass: 2},
+		{Pipeline: 1, Dir: HopEgress, Pass: 2},
+	}
+	for i, h := range hops {
+		if err := StampHop(&hdr, h); err != nil {
+			t.Fatalf("stamp %d: %v", i, err)
+		}
+	}
+	got := DecodeHops(&hdr, nil)
+	if len(got) != len(hops) {
+		t.Fatalf("decoded %d hops, want %d", len(got), len(hops))
+	}
+	for i := range hops {
+		if got[i] != hops[i] {
+			t.Errorf("hop %d: got %+v want %+v", i, got[i], hops[i])
+		}
+	}
+	// All four context slots are taken: the next stamp must fail with
+	// ErrPostcardFull and leave the header unchanged.
+	before := hdr
+	if err := StampHop(&hdr, Hop{Pipeline: 2}); !errors.Is(err, ErrPostcardFull) {
+		t.Fatalf("5th stamp: err = %v, want ErrPostcardFull", err)
+	}
+	if hdr != before {
+		t.Error("failed stamp modified the header")
+	}
+
+	ClearHops(&hdr)
+	if left := DecodeHops(&hdr, nil); len(left) != 0 {
+		t.Errorf("hops survived ClearHops: %v", left)
+	}
+}
+
+// TestStampHopSharesContextWithProductionKeys exercises the Fig. 3
+// compromise: hop records and production metadata compete for the same
+// four context slots, so a chain that carries a tenant ID can record
+// only MaxHops-1 hops — and clearing the postcard must not disturb the
+// production pair.
+func TestStampHopSharesContextWithProductionKeys(t *testing.T) {
+	hdr := nsh.New(20, 3)
+	if err := hdr.SetContext(nsh.KeyTenantID, 42); err != nil {
+		t.Fatal(err)
+	}
+	stamped := 0
+	for i := 0; i < MaxHops; i++ {
+		if err := StampHop(&hdr, Hop{Pipeline: uint8(i), Pass: 1}); err != nil {
+			if !errors.Is(err, ErrPostcardFull) {
+				t.Fatalf("stamp %d: %v", i, err)
+			}
+			break
+		}
+		stamped++
+	}
+	if stamped != MaxHops-1 {
+		t.Fatalf("stamped %d hops with one production key, want %d", stamped, MaxHops-1)
+	}
+	if got := DecodeHops(&hdr, nil); len(got) != stamped {
+		t.Errorf("decoded %d hops, want %d", len(got), stamped)
+	}
+	ClearHops(&hdr)
+	if v, ok := hdr.LookupContext(nsh.KeyTenantID); !ok || v != 42 {
+		t.Errorf("production context pair lost: %d, %v", v, ok)
+	}
+}
+
+func TestDecodeHopsStopsAtFirstGap(t *testing.T) {
+	// Hop keys are claimed lowest-first, so a gap means the later key is
+	// stale (e.g. survived a header rewrite) and must not be decoded.
+	var hdr nsh.Header
+	if err := hdr.SetContext(KeyHop0+2, EncodeHop(Hop{Pipeline: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeHops(&hdr, nil); len(got) != 0 {
+		t.Errorf("decoded past a gap: %v", got)
+	}
+}
+
+func TestPostcardString(t *testing.T) {
+	var p Postcard
+	p.Path = 10
+	p.N = copy(p.Hops[:], []Hop{
+		{Pipeline: 0, Dir: HopIngress, Pass: 1},
+		{Pipeline: 1, Dir: HopEgress, Pass: 2},
+	})
+	want := "path 10: ingress 0 (pass 1) -> egress 1 (pass 2)"
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	p.Full = true
+	if got := p.String(); !strings.HasSuffix(got, "(+truncated?)") {
+		t.Errorf("full postcard not flagged: %q", got)
+	}
+}
+
+func TestPostcardLogRing(t *testing.T) {
+	l := NewPostcardLog(2)
+	for path := uint16(1); path <= 3; path++ {
+		l.Record(path, []Hop{{Pipeline: uint8(path)}})
+	}
+	l.NoteTruncated()
+	if l.Total() != 3 || l.TruncatedStamps() != 1 {
+		t.Errorf("Total=%d TruncatedStamps=%d", l.Total(), l.TruncatedStamps())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].Path != 2 || snap[1].Path != 3 {
+		t.Errorf("ring kept %v, want paths 2,3 oldest first", snap)
+	}
+	// The exported counter families must reflect the same totals.
+	fams := l.Gather()
+	if len(fams) != 2 || fams[0].Samples[0].Value != 3 || fams[1].Samples[0].Value != 1 {
+		t.Errorf("Gather = %+v", fams)
+	}
+}
+
+func TestPostcardLogDefaultCapacity(t *testing.T) {
+	l := NewPostcardLog(0)
+	for i := 0; i < DefaultPostcardCapacity+10; i++ {
+		l.Record(1, nil)
+	}
+	if got := len(l.Snapshot()); got != DefaultPostcardCapacity {
+		t.Errorf("retained %d postcards, want %d", got, DefaultPostcardCapacity)
+	}
+}

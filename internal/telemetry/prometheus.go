@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name,
+// samples in collector order, histograms expanded into cumulative
+// _bucket/_sum/_count series. The output is deterministic for a fixed
+// counter state, which the golden exposition test relies on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if err := writeFamily(bw, fam); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, fam Family) error {
+	if fam.Help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, strings.ReplaceAll(fam.Help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Kind)
+	for _, s := range fam.Samples {
+		if fam.Kind == KindHistogram && s.Hist != nil {
+			writeHistogram(w, fam.Name, s)
+			continue
+		}
+		writeSample(w, fam.Name, s.Labels, s.Value)
+	}
+	return nil
+}
+
+func writeSample(w *bufio.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+func writeHistogram(w *bufio.Writer, name string, s Sample) {
+	h := s.Hist
+	cum := h.Cumulative()
+	for i, b := range h.Bounds {
+		le := `le="` + strconv.FormatUint(b, 10) + `"`
+		writeSample(w, name+"_bucket", joinLabels(s.Labels, le), float64(cum[i]))
+	}
+	writeSample(w, name+"_bucket", joinLabels(s.Labels, `le="+Inf"`), float64(h.Count))
+	writeSample(w, name+"_sum", s.Labels, float64(h.Sum))
+	writeSample(w, name+"_count", s.Labels, float64(h.Count))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParsePrometheus reads a text exposition back into families — the
+// scrape half of `dejavu top -addr`, and the round-trip check for the
+// writer. Histogram series are folded back into one histogram sample
+// per label set; HELP/TYPE comments drive family boundaries.
+func ParsePrometheus(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	byName := make(map[string]*Family)
+	var order []string
+
+	family := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+	// Partially parsed histograms, keyed by family name + label set.
+	type histKey struct{ name, labels string }
+	hists := make(map[histKey]*HistogramSnapshot)
+	histOrder := make(map[string][]string)
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				family(fields[2]).Help = fields[3]
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				f := family(fields[2])
+				switch fields[3] {
+				case "counter":
+					f.Kind = KindCounter
+				case "gauge":
+					f.Kind = KindGauge
+				case "histogram":
+					f.Kind = KindHistogram
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, err
+		}
+		base, series := histSeries(name, byName)
+		if series == "" {
+			family(name).Samples = append(family(name).Samples, Sample{Labels: labels, Value: value})
+			continue
+		}
+		le, rest := splitLE(labels)
+		k := histKey{base, rest}
+		h := hists[k]
+		if h == nil {
+			h = &HistogramSnapshot{}
+			hists[k] = h
+			histOrder[base] = append(histOrder[base], rest)
+		}
+		switch series {
+		case "bucket":
+			if le == "+Inf" {
+				h.Count = uint64(value)
+			} else {
+				b, err := strconv.ParseUint(le, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("telemetry: bad le %q: %w", le, err)
+				}
+				h.Bounds = append(h.Bounds, b)
+				h.Counts = append(h.Counts, uint64(value))
+			}
+		case "sum":
+			h.Sum = uint64(value)
+		case "count":
+			h.Count = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// De-cumulate buckets and attach histogram samples.
+	for base, labelSets := range histOrder {
+		f := family(base)
+		for _, ls := range labelSets {
+			h := hists[histKey{base, ls}]
+			counts := make([]uint64, 0, len(h.Counts)+1)
+			var prev uint64
+			for _, c := range h.Counts {
+				counts = append(counts, c-prev)
+				prev = c
+			}
+			counts = append(counts, h.Count-prev) // +Inf bucket
+			h.Counts = counts
+			f.Samples = append(f.Samples, Sample{Labels: ls, Hist: h})
+		}
+	}
+	sort.Strings(order)
+	out := make([]Family, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out, nil
+}
+
+// histSeries reports whether name is a _bucket/_sum/_count series of a
+// known histogram family, returning the base name and series kind.
+func histSeries(name string, known map[string]*Family) (base, series string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		b := strings.TrimSuffix(name, suf)
+		if b == name {
+			continue
+		}
+		if f, ok := known[b]; ok && f.Kind == KindHistogram {
+			return b, suf[1:]
+		}
+	}
+	return name, ""
+}
+
+// parseSampleLine splits `name{labels} value` or `name value`.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("telemetry: malformed sample %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("telemetry: malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("telemetry: bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// splitLE extracts the le="..." pair from a label set, returning the
+// bound and the remaining labels.
+func splitLE(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range strings.Split(labels, ",") {
+		if strings.HasPrefix(part, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(part, `le="`), `"`)
+			continue
+		}
+		if part != "" {
+			kept = append(kept, part)
+		}
+	}
+	return le, strings.Join(kept, ",")
+}

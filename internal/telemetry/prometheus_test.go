@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one family of every kind and a
+// fixed counter state, so the rendered exposition is fully
+// deterministic.
+func goldenRegistry() *Registry {
+	h := NewHistogram([]uint64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family {
+		hs := h.Snapshot()
+		return []Family{
+			{
+				Name: "test_requests_total",
+				Help: "Requests handled.",
+				Kind: KindCounter,
+				Samples: []Sample{
+					{Labels: Labels(Label("code", 200), Label("method", "GET")), Value: 3},
+					{Labels: Label("code", 500), Value: 1},
+				},
+			},
+			{
+				Name:    "test_up",
+				Help:    "Whether the target is up.",
+				Kind:    KindGauge,
+				Samples: []Sample{{Value: 1}},
+			},
+			{
+				Name:    "test_latency_seconds",
+				Help:    "Request latency.",
+				Kind:    KindHistogram,
+				Samples: []Sample{{Hist: &hs}},
+			},
+		}
+	}))
+	return reg
+}
+
+// goldenExposition is the exact text WritePrometheus must produce for
+// goldenRegistry: families sorted by name, histograms expanded into
+// cumulative buckets with a +Inf terminator.
+const goldenExposition = `# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1"} 1
+test_latency_seconds_bucket{le="2"} 1
+test_latency_seconds_bucket{le="4"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 13
+test_latency_seconds_count 3
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total{code="200",method="GET"} 3
+test_requests_total{code="500"} 1
+# HELP test_up Whether the target is up.
+# TYPE test_up gauge
+test_up 1
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenExposition {
+		t.Errorf("exposition diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+// TestParsePrometheusRoundTrip feeds the golden exposition through the
+// parser and re-renders it: the scrape half of `dejavu top -addr` must
+// reproduce the writer's output byte for byte.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	fams, err := ParsePrometheus(strings.NewReader(goldenExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family { return fams }))
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenExposition {
+		t.Errorf("round trip diverged:\n--- got ---\n%s--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+func TestParsePrometheusHistogram(t *testing.T) {
+	fams, err := ParsePrometheus(strings.NewReader(goldenExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist *HistogramSnapshot
+	for _, f := range fams {
+		if f.Name == "test_latency_seconds" {
+			if f.Kind != KindHistogram || len(f.Samples) != 1 {
+				t.Fatalf("histogram family malformed: %+v", f)
+			}
+			hist = f.Samples[0].Hist
+		}
+	}
+	if hist == nil {
+		t.Fatal("histogram family not parsed")
+	}
+	if hist.Count != 3 || hist.Sum != 13 {
+		t.Errorf("Count=%d Sum=%d", hist.Count, hist.Sum)
+	}
+	// Buckets come back de-cumulated: 1 in <=1, 1 in <=4, 1 in +Inf.
+	want := []uint64{1, 0, 1, 1}
+	for i := range want {
+		if hist.Counts[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", hist.Counts, want)
+		}
+	}
+	if q := hist.Quantile(0.5); q != 1 {
+		t.Errorf("parsed p50 = %d", q)
+	}
+}
+
+func TestParsePrometheusErrors(t *testing.T) {
+	for _, in := range []string{
+		"metric_without_value\n",
+		"metric{unterminated value\n}",
+		"metric not_a_number\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted malformed input", in)
+		}
+	}
+}
+
+// TestRegistryMergesFamilies: two collectors contributing samples to
+// the same family name must land in one family, and unknown names must
+// sort deterministically.
+func TestRegistryMergesFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{{Name: "b_total", Kind: KindCounter, Samples: []Sample{{Labels: `shard="0"`, Value: 1}}}}
+	}))
+	reg.Register(CollectorFunc(func() []Family {
+		return []Family{
+			{Name: "b_total", Kind: KindCounter, Samples: []Sample{{Labels: `shard="1"`, Value: 2}}},
+			{Name: "a_total", Kind: KindCounter, Samples: []Sample{{Value: 5}}},
+		}
+	}))
+	fams := reg.Gather()
+	if len(fams) != 2 || fams[0].Name != "a_total" || fams[1].Name != "b_total" {
+		t.Fatalf("Gather order: %+v", fams)
+	}
+	if len(fams[1].Samples) != 2 {
+		t.Errorf("b_total not merged: %+v", fams[1].Samples)
+	}
+}
+
+// TestDatapathExpositionParses renders a live Datapath collector and
+// parses it back — the same loop `dejavu top -addr` runs against
+// `dejavu serve`.
+func TestDatapathExpositionParses(t *testing.T) {
+	d := NewDatapath(2)
+	sh := d.Shard(0)
+	sh.IngressPass(0)
+	sh.EgressPass(1)
+	sh.Recirculation(1)
+	sh.PacketDone(DropNone, 0, 1, 1, 700)
+	sh.PacketDone(DropPassBudget, 0, 64, 0, 40_000)
+
+	reg := NewRegistry()
+	reg.Register(d)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("datapath exposition does not parse: %v\n%s", err, buf.String())
+	}
+	byName := make(map[string]Family)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for _, name := range []string{
+		"dejavu_pipelet_passes_total",
+		"dejavu_recirculations_total",
+		"dejavu_resubmissions_total",
+		"dejavu_packets_total",
+		"dejavu_drops_total",
+		"dejavu_emitted_packets_total",
+		"dejavu_packet_latency_ns",
+		"dejavu_packet_recirculations",
+	} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("family %s missing from exposition", name)
+		}
+	}
+	for _, s := range byName["dejavu_drops_total"].Samples {
+		if s.Labels == `reason="pass_budget"` && s.Value != 1 {
+			t.Errorf("pass_budget drop = %v, want 1", s.Value)
+		}
+	}
+	if h := byName["dejavu_packet_latency_ns"].Samples[0].Hist; h == nil || h.Count != 2 {
+		t.Errorf("latency histogram did not survive the round trip: %+v", h)
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the HTTP surface `dejavu serve -metrics` binds:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/pprof/   net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	/healthz        liveness probe
+//	/               plain-text index of the above
+//
+// The pprof handlers are registered explicitly rather than via the
+// package's init side effect on http.DefaultServeMux, so embedding
+// programs keep control of what they expose.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "dejavu telemetry\n\n/metrics\n/healthz\n/debug/pprof/\n")
+	})
+	return mux
+}

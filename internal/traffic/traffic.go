@@ -21,6 +21,7 @@ import (
 	"dejavu/internal/asic"
 	"dejavu/internal/packet"
 	"dejavu/internal/pktgen"
+	"dejavu/internal/telemetry"
 )
 
 // Config parameterizes one engine run.
@@ -42,6 +43,11 @@ type Config struct {
 	Seed int64
 	// PayloadLen is the payload bytes per packet.
 	PayloadLen int
+	// Telemetry, when non-nil, is attached to the switch before the
+	// workers start (and left attached), so benches and soaks can read
+	// datapath counters and histograms for exactly the traffic they
+	// offered.
+	Telemetry *telemetry.Datapath
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +131,10 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 		if sw.LoopbackModeOf(p) != asic.LoopbackOff {
 			return Result{}, fmt.Errorf("traffic: injection port %d is in loopback mode", p)
 		}
+	}
+
+	if cfg.Telemetry != nil {
+		sw.SetTelemetry(cfg.Telemetry)
 	}
 
 	per := cfg.Packets / cfg.Workers
