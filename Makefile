@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-pktpath fmt doccheck
+.PHONY: build test race lint bench bench-pktpath bench-build fmt doccheck
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,13 @@ bench:
 bench-pktpath: build
 	$(GO) run ./cmd/dejavu bench -workers 1,8 -packets 200000 -json > BENCH_pktpath.json
 	@$(GO) run ./cmd/dejavu bench -workers 1 -packets 100000
+
+# Build-pipeline benchmark: full (cold-cache) rebuild versus the
+# incremental staged rebuild under chain churn; snapshots the report
+# into BENCH_build.json.
+bench-build: build
+	$(GO) run ./cmd/dejavu benchbuild -rounds 50 -json > BENCH_build.json
+	@$(GO) run ./cmd/dejavu benchbuild -rounds 10
 
 fmt:
 	gofmt -l -w .

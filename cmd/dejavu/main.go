@@ -5,6 +5,7 @@
 //
 //	dejavu plan                  # show placement + traversal analysis
 //	dejavu plan -optimizer naive # compare against the strawman placer
+//	dejavu plan -to new.json     # incremental rebuild plan + table delta
 //	dejavu resources             # Table-1 style framework overhead
 //	dejavu run                   # deploy and push sample traffic through
 //	dejavu capacity -loopback 16 # §5 capacity analysis
@@ -12,6 +13,7 @@
 //	dejavu -config x.json lint -json
 //	dejavu chaos -seed 7         # seeded fault soak with self-healing
 //	dejavu bench -workers 1,8    # parallel traffic engine (Mpps, drops)
+//	dejavu benchbuild -rounds 50 # full vs incremental rebuild latency
 //	dejavu serve -metrics :9090  # Prometheus /metrics + pprof over HTTP
 //	dejavu top                   # one-shot telemetry snapshot
 //	dejavu top -addr :9090       # scrape a running serve instance
@@ -31,6 +33,8 @@ import (
 	"dejavu/internal/core"
 	"dejavu/internal/fault"
 	"dejavu/internal/packet"
+	"dejavu/internal/pipeline"
+	"dejavu/internal/route"
 	"dejavu/internal/scenario"
 )
 
@@ -50,6 +54,7 @@ commands:
   lint       statically verify the deployment; exit nonzero on errors
   chaos      replay a seeded fault schedule and check healing invariants
   bench      drive the parallel traffic engine and report Mpps
+  benchbuild measure full vs incremental rebuild latency under churn
   serve      serve Prometheus /metrics and pprof for the deployment
   top        print a one-shot telemetry snapshot (local or -addr scrape)
 `)
@@ -92,6 +97,8 @@ dispatch:
 		err = runChaos(args)
 	case "bench":
 		err = runBench(args)
+	case "benchbuild":
+		err = runBenchBuild(args)
 	case "serve":
 		err = runServe(args)
 	case "top":
@@ -140,13 +147,117 @@ func deploy(optimizer string, loopback int) (*core.Deployment, error) {
 	return core.Deploy(cfg)
 }
 
+// planJSON is the `dejavu plan -json` document (docs/CLI.md).
+type planJSON struct {
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Stages []struct {
+		Name       string `json:"name"`
+		CacheHit   bool   `json:"cache_hit"`
+		Hash       string `json:"hash"`
+		Detail     string `json:"detail,omitempty"`
+		DurationNS int64  `json:"duration_ns"`
+	} `json:"stages"`
+	CacheHits       int      `json:"cache_hits"`
+	CacheMisses     int      `json:"cache_misses"`
+	ChangedPrograms []string `json:"changed_programs"`
+	Delta           []struct {
+		Op    string `json:"op"`
+		Entry string `json:"entry"`
+	} `json:"delta"`
+	DeltaSize int `json:"delta_size"`
+}
+
+func newPlanJSON(from, to string, info pipeline.BuildInfo, changed []asic.PipeletID, delta []route.EntryOp) planJSON {
+	out := planJSON{From: from, To: to, CacheHits: info.CacheHits, CacheMisses: info.CacheMisses}
+	for _, s := range info.Stages {
+		out.Stages = append(out.Stages, struct {
+			Name       string `json:"name"`
+			CacheHit   bool   `json:"cache_hit"`
+			Hash       string `json:"hash"`
+			Detail     string `json:"detail,omitempty"`
+			DurationNS int64  `json:"duration_ns"`
+		}{s.Name, s.CacheHit, s.Hash, s.Detail, int64(s.Duration)})
+	}
+	out.ChangedPrograms = []string{}
+	for _, pl := range changed {
+		out.ChangedPrograms = append(out.ChangedPrograms, pl.String())
+	}
+	out.Delta = []struct {
+		Op    string `json:"op"`
+		Entry string `json:"entry"`
+	}{}
+	for _, op := range delta {
+		out.Delta = append(out.Delta, struct {
+			Op    string `json:"op"`
+			Entry string `json:"entry"`
+		}{op.Op.String(), op.Entry.String()})
+	}
+	out.DeltaSize = len(delta)
+	return out
+}
+
 func runPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	optimizer := fs.String("optimizer", "exhaustive", "manual|naive|greedy|anneal|exhaustive")
+	to := fs.String("to", "", "target config: plan the incremental rebuild from -config to this spec")
+	jsonOut := fs.Bool("json", false, "emit the build/rebuild plan as JSON")
 	fs.Parse(args)
 	d, err := deploy(*optimizer, 0)
 	if err != nil {
 		return err
+	}
+	if *to != "" {
+		tcfg, err := config.Load(*to)
+		if err != nil {
+			return err
+		}
+		res, delta, err := d.PlanReconfigure(tcfg.Chains)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			out, err := json.MarshalIndent(newPlanJSON(configPath, *to, res.Info, res.ChangedFuncs, delta), "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Printf("incremental rebuild %s -> %s\n", planSource(), *to)
+		fmt.Print(res.Info.Summary())
+		if len(res.ChangedFuncs) == 0 {
+			fmt.Println("pipelet programs: all cached, none reloaded")
+		} else {
+			fmt.Printf("pipelet programs reloaded: %d\n", len(res.ChangedFuncs))
+			for _, pl := range res.ChangedFuncs {
+				fmt.Printf("  %s\n", pl)
+			}
+		}
+		adds, dels, mods := 0, 0, 0
+		for _, op := range delta {
+			switch op.Op {
+			case route.OpAdd:
+				adds++
+			case route.OpDel:
+				dels++
+			default:
+				mods++
+			}
+		}
+		fmt.Printf("branching delta: %d ops (%d add, %d del, %d mod)\n", len(delta), adds, dels, mods)
+		for _, op := range delta {
+			fmt.Printf("  %s\n", op)
+		}
+		return nil
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(newPlanJSON(planSource(), "", d.LastBuild, nil, nil), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
 	}
 	fmt.Print(d.Summary())
 	fmt.Println("\nplacement:")
@@ -154,7 +265,17 @@ func runPlan(args []string) error {
 		at, _ := d.Placement.Of(f.Name())
 		fmt.Printf("  %-12s -> %s\n", f.Name(), at)
 	}
+	fmt.Println("\nbuild pipeline:")
+	fmt.Print(d.LastBuild.Summary())
 	return nil
+}
+
+// planSource names the plan's starting configuration for reports.
+func planSource() string {
+	if configPath != "" {
+		return configPath
+	}
+	return "reference scenario"
 }
 
 func runResources(args []string) error {

@@ -40,6 +40,14 @@ type Ctx struct {
 	// Pipelet identifies where the program is running.
 	Pipelet PipeletID
 
+	// App is the opaque application state published with the pipelet
+	// programs (asic knows nothing about its type). It is captured from
+	// the same snapshot as the programs at injection time and kept for
+	// the packet's whole lifetime, so a program and the state it reads
+	// always come from one consistent configuration — a hot swap can
+	// never tear a packet between old programs and new state.
+	App any
+
 	// shard picks this context's telemetry counter shard. Assigned once
 	// when the pool allocates the context and preserved across resets,
 	// so concurrent injectors spread over shards at zero per-packet
@@ -158,6 +166,10 @@ type snapshot struct {
 	tel      *telemetry.Datapath // nil when telemetry is off
 	ingress  []StageFunc         // indexed by pipeline
 	egress   []StageFunc
+	// app is opaque application state published together with the
+	// pipelet programs (see Ctx.App). Swapped atomically with them by
+	// Commit, so programs never observe state from another generation.
+	app any
 }
 
 // clone returns a deep copy writers mutate before republishing.
@@ -169,6 +181,7 @@ func (sn *snapshot) clone() *snapshot {
 		tel:      sn.tel,
 		ingress:  append([]StageFunc(nil), sn.ingress...),
 		egress:   append([]StageFunc(nil), sn.egress...),
+		app:      sn.app,
 	}
 	return n
 }
@@ -367,6 +380,74 @@ func (s *Switch) InstallEgress(pipeline int, fn StageFunc) error {
 	return nil
 }
 
+// Batch accumulates pipelet program writes and an application-state
+// swap so Commit can publish them as ONE snapshot: a packet injected
+// before the commit runs entirely against the old programs and state,
+// a packet injected after runs entirely against the new — there is no
+// window where a pipeline runs a new program while a sibling still
+// runs an old one. This is the transactional half of a live
+// reconfiguration; InstallIngress/InstallEgress remain for callers
+// that replace a single program and need no cross-pipeline atomicity.
+type Batch struct {
+	ingress map[int]StageFunc
+	egress  map[int]StageFunc
+	app     any
+	setApp  bool
+}
+
+// NewBatch returns an empty program batch for this switch.
+func (s *Switch) NewBatch() *Batch {
+	return &Batch{ingress: make(map[int]StageFunc), egress: make(map[int]StageFunc)}
+}
+
+// SetIngress stages an ingress pipelet program write.
+func (b *Batch) SetIngress(pipeline int, fn StageFunc) { b.ingress[pipeline] = fn }
+
+// SetEgress stages an egress pipelet program write.
+func (b *Batch) SetEgress(pipeline int, fn StageFunc) { b.egress[pipeline] = fn }
+
+// SetApp stages an application-state swap (published as Ctx.App).
+func (b *Batch) SetApp(app any) { b.app, b.setApp = app, true }
+
+// Len returns the number of staged writes (programs plus app swap).
+func (b *Batch) Len() int {
+	n := len(b.ingress) + len(b.egress)
+	if b.setApp {
+		n++
+	}
+	return n
+}
+
+// Commit validates and publishes the whole batch as one snapshot swap.
+// On error nothing is applied.
+func (s *Switch) Commit(b *Batch) error {
+	for pipe := range b.ingress {
+		if pipe < 0 || pipe >= s.prof.Pipelines {
+			return fmt.Errorf("asic: no such pipeline %d", pipe)
+		}
+	}
+	for pipe := range b.egress {
+		if pipe < 0 || pipe >= s.prof.Pipelines {
+			return fmt.Errorf("asic: no such pipeline %d", pipe)
+		}
+	}
+	s.update(func(sn *snapshot) {
+		for pipe, fn := range b.ingress {
+			sn.ingress[pipe] = fn
+		}
+		for pipe, fn := range b.egress {
+			sn.egress[pipe] = fn
+		}
+		if b.setApp {
+			sn.app = b.app
+		}
+	})
+	return nil
+}
+
+// App returns the currently published application state, or nil.
+func (s *Switch) App() any { return s.snap.Load().app }
+
 // stats returns the stats of a port: an index into the preallocated
 // per-port counters for every port the profile knows, an RLock-guarded
 // overflow map for anything else.
@@ -452,7 +533,7 @@ func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
 	tr := &Trace{}
 	ctx := ctxPool.Get().(*Ctx)
 	shard := ctx.shard
-	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}, App: sn.app}
 	ctx.shard = shard
 	err := s.run(sn, ctx, tr)
 	s.countDone(sn, ctx, tr)
@@ -474,7 +555,7 @@ func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error)
 	*tr = Trace{quiet: true}
 	ctx := ctxPool.Get().(*Ctx)
 	shard := ctx.shard
-	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}}
+	*ctx = Ctx{Pkt: pkt, Meta: Meta{InPort: in, OutPort: PortUnset}, App: sn.app}
 	ctx.shard = shard
 	err := s.run(sn, ctx, tr)
 	s.countDone(sn, ctx, tr)

@@ -57,9 +57,15 @@ type Composer struct {
 	// telemetry aggregates per-NF and per-path datapath counters.
 	telemetry *Telemetry
 
-	// postcards, when non-nil, enables in-band per-hop postcard
-	// telemetry in every composed pipelet program.
-	postcards atomic.Pointer[telemetry.PostcardLog]
+	// postcards is the shared postcard-log cell: when it holds a log,
+	// every composed pipelet program stamps in-band per-hop postcards.
+	// It is a pointer so AdoptState can share one cell across composer
+	// generations during live reconfiguration.
+	postcards *atomic.Pointer[telemetry.PostcardLog]
+
+	// fallback is the runtime used by pipelet programs running outside
+	// a switch snapshot (ctx.App unset); see runtimeOf.
+	fallback atomic.Pointer[Runtime]
 }
 
 // Telemetry returns the composer's datapath counters.
@@ -88,10 +94,12 @@ func New(prof asic.Profile, chains []route.Chain, placement *route.Placement, nf
 		Branching: br,
 		ids:       make(map[string]uint8),
 		telemetry: newTelemetry(names, chains),
+		postcards: new(atomic.Pointer[telemetry.PostcardLog]),
 	}
 	for i, n := range names {
 		c.ids[n] = uint8(i + 1)
 	}
+	c.fallback.Store(&Runtime{branching: br, postcards: c.postcards})
 	return c, nil
 }
 
@@ -146,30 +154,7 @@ func (c *Composer) orderedNFsOn(pl asic.PipeletID) []nf.NF {
 // generic parser shared by all pipelets (§3), assigning global vertex
 // IDs along the way.
 func (c *Composer) GenericParser() (*p4.ParserGraph, *p4.GlobalIDTable, error) {
-	table := p4.NewGlobalIDTable()
-	var graphs []*p4.ParserGraph
-	seen := make(map[string]bool)
-	for _, ch := range c.Chains {
-		for _, name := range ch.NFs {
-			if seen[name] {
-				continue
-			}
-			seen[name] = true
-			f := c.NFs.ByName(name)
-			if f == nil {
-				return nil, nil, fmt.Errorf("compose: NF %q has no implementation", name)
-			}
-			graphs = append(graphs, f.Parser())
-		}
-	}
-	if len(graphs) == 0 {
-		return nil, nil, fmt.Errorf("compose: no NFs to merge")
-	}
-	merged, err := p4.MergeParsers(table, graphs...)
-	if err != nil {
-		return nil, nil, err
-	}
-	return merged, table, nil
+	return MergeParser(c.Chains, c.NFs)
 }
 
 // Deployment is the composed output for a whole switch.
@@ -180,6 +165,9 @@ type Deployment struct {
 	Ingress  []asic.StageFunc // indexed by pipeline
 	Egress   []asic.StageFunc
 	Composer *Composer
+	// Runtime is the routing state the programs read per packet,
+	// published to the switch together with them (see Runtime's doc).
+	Runtime *Runtime
 }
 
 // Build composes every pipelet of the switch.
@@ -195,6 +183,7 @@ func (c *Composer) Build() (*Deployment, error) {
 		Ingress:  make([]asic.StageFunc, c.Prof.Pipelines),
 		Egress:   make([]asic.StageFunc, c.Prof.Pipelines),
 		Composer: c,
+		Runtime:  &Runtime{branching: c.Branching, postcards: c.postcards},
 	}
 	for pipe := 0; pipe < c.Prof.Pipelines; pipe++ {
 		for _, dir := range []asic.Direction{asic.Ingress, asic.Egress} {
@@ -250,22 +239,22 @@ func (d *Deployment) EmitP4() (string, error) {
 
 // InstallOn loads the deployment's behavioural programs onto a switch,
 // re-running the composer's verifier (if any) first: a deployment must
-// never reach hardware with error-severity findings.
+// never reach hardware with error-severity findings. All programs and
+// the routing runtime are published as ONE snapshot commit, so packets
+// in flight never straddle two deployment generations.
 func (d *Deployment) InstallOn(sw *asic.Switch) error {
 	if v := d.Composer.Verifier; v != nil {
 		if err := v(d); err != nil {
 			return fmt.Errorf("compose: install rejected by verifier: %w", err)
 		}
 	}
+	b := sw.NewBatch()
 	for pipe := 0; pipe < d.Composer.Prof.Pipelines; pipe++ {
-		if err := sw.InstallIngress(pipe, d.Ingress[pipe]); err != nil {
-			return err
-		}
-		if err := sw.InstallEgress(pipe, d.Egress[pipe]); err != nil {
-			return err
-		}
+		b.SetIngress(pipe, d.Ingress[pipe])
+		b.SetEgress(pipe, d.Egress[pipe])
 	}
-	return nil
+	b.SetApp(d.Runtime)
+	return sw.Commit(b)
 }
 
 // placedNF pairs an NF hosted on a pipelet with its telemetry counter
@@ -285,6 +274,7 @@ func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) 
 		placed = append(placed, placedNF{f: f, name: f.Name(), telIdx: c.telemetry.nfIndex(f.Name())})
 	}
 	return func(ctx *asic.Ctx) {
+		rt := c.runtimeOf(ctx)
 		hdr := ctx.Pkt
 		if fresh(hdr) {
 			// Seed the SFC header's platform metadata copy (Fig. 3):
@@ -296,7 +286,7 @@ func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) 
 		}
 
 		for {
-			name, ok := c.nextNF(hdr)
+			name, ok := nextNF(rt, hdr)
 			if !ok {
 				break
 			}
@@ -329,11 +319,11 @@ func (c *Composer) pipeletFunc(pl asic.PipeletID, nfs []nf.NF, mode route.Mode) 
 			}
 		}
 
-		if log := c.postcards.Load(); log != nil {
+		if log := rt.postcards.Load(); log != nil {
 			c.postcardHook(log, hdr, ctx, pl.Pipeline, isIngress)
 		}
 		if isIngress {
-			c.applyBranching(hdr, ctx, pl.Pipeline)
+			applyBranching(rt, hdr, ctx, pl.Pipeline)
 		}
 	}
 }
@@ -378,12 +368,13 @@ func fresh(hdr *packetAlias) bool {
 }
 
 // nextNF resolves which NF the packet must visit next: untagged
-// packets go to the classifier; tagged packets consult the chain.
-func (c *Composer) nextNF(hdr *packetAlias) (string, bool) {
+// packets go to the classifier; tagged packets consult the chain set
+// of the runtime the packet's snapshot published.
+func nextNF(rt *Runtime, hdr *packetAlias) (string, bool) {
 	if fresh(hdr) {
 		return ClassifierNF, true
 	}
-	return c.Branching.NextNF(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex)
+	return rt.branching.NextNF(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex)
 }
 
 // checkSFCFlags translates the SFC header's platform metadata flags to
@@ -415,8 +406,9 @@ func (c *Composer) checkSFCFlags(hdr *packetAlias, ctx *asic.Ctx) (stop bool) {
 }
 
 // applyBranching runs the §3.4 branching decision at the end of an
-// ingress pipelet.
-func (c *Composer) applyBranching(hdr *packetAlias, ctx *asic.Ctx, pipeline int) {
+// ingress pipelet, against the branching state of the packet's
+// snapshot-published runtime.
+func applyBranching(rt *Runtime, hdr *packetAlias, ctx *asic.Ctx, pipeline int) {
 	if ctx.Meta.Drop || ctx.Meta.ToCPU || ctx.Meta.Resubmit {
 		return
 	}
@@ -425,7 +417,7 @@ func (c *Composer) applyBranching(hdr *packetAlias, ctx *asic.Ctx, pipeline int)
 		ctx.Meta.ToCPU = true
 		return
 	}
-	hop := c.Branching.Decide(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex, pipeline, asic.PortID(hdr.SFC.Meta.OutPort))
+	hop := rt.branching.Decide(hdr.SFC.ServicePathID, hdr.SFC.ServiceIndex, pipeline, asic.PortID(hdr.SFC.Meta.OutPort))
 	switch hop.Kind {
 	case route.HopForward:
 		ctx.Meta.OutPort = hop.Port

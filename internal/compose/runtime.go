@@ -1,0 +1,149 @@
+package compose
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/nf"
+	"dejavu/internal/p4"
+	"dejavu/internal/route"
+	"dejavu/internal/telemetry"
+)
+
+// Runtime is the routing state a pipelet program reads per packet: the
+// branching function (§3.4) and the postcard-telemetry switch. It is
+// published to the switch as the snapshot's opaque application state
+// (asic.Batch.SetApp), so programs and routing state always swap
+// together: a packet captured under the old snapshot finishes against
+// the old branching tables, one captured after the commit sees only
+// the new — never a mix.
+//
+// Keeping this state out of the program closures is what makes the
+// closures cacheable across rebuilds: a pipelet whose NF set did not
+// change keeps its compiled program verbatim while the runtime (and
+// with it the branching decisions) moves underneath it.
+type Runtime struct {
+	branching *route.Branching
+	postcards *atomic.Pointer[telemetry.PostcardLog]
+}
+
+// Branching returns the runtime's branching function.
+func (r *Runtime) Branching() *route.Branching { return r.branching }
+
+// runtimeOf resolves the routing state for one packet: the snapshot's
+// published runtime when the program runs on a switch, the composer's
+// own (build-time) runtime otherwise — e.g. in unit tests that call a
+// StageFunc directly.
+func (c *Composer) runtimeOf(ctx *asic.Ctx) *Runtime {
+	if rt, ok := ctx.App.(*Runtime); ok && rt != nil {
+		return rt
+	}
+	return c.fallback.Load()
+}
+
+// AdoptState carries the mutable, traffic-accumulated state of a
+// previous composer generation into this one: the per-NF/per-path
+// telemetry counters (extended in place for paths the new chain set
+// introduces) and the postcard-log cell. A live reconfiguration calls
+// this so counters survive the swap and cached pipelet programs from
+// the previous generation — whose closures captured that state — stay
+// valid under the new one. The NF universe must be unchanged; only the
+// chain set and placement may differ.
+func (c *Composer) AdoptState(prev *Composer) error {
+	if prev == nil {
+		return nil
+	}
+	if len(prev.ids) != len(c.ids) {
+		return fmt.Errorf("compose: cannot adopt state across a different NF universe")
+	}
+	for name, id := range c.ids {
+		if prev.ids[name] != id {
+			return fmt.Errorf("compose: cannot adopt state: NF %q changed identity", name)
+		}
+	}
+	prev.telemetry.ensurePaths(c.Chains)
+	c.telemetry = prev.telemetry
+	c.postcards = prev.postcards
+	// Rebuild the fallback runtime: same shared postcard cell, this
+	// generation's branching.
+	c.fallback.Store(&Runtime{branching: c.Branching, postcards: c.postcards})
+	return nil
+}
+
+// FuncFor composes the behavioural program of a single pipelet — the
+// per-pipelet unit the incremental build pipeline caches. The returned
+// closure depends only on the pipelet's NF set, composition mode and
+// the composer's (stable) NF identity assignment: routing state is
+// read through the published Runtime, so the closure stays correct
+// across chain-set changes that leave the pipelet's NFs untouched.
+func (c *Composer) FuncFor(pl asic.PipeletID) asic.StageFunc {
+	return c.pipeletFunc(pl, c.orderedNFsOn(pl), c.Placement.ModeOf(pl))
+}
+
+// Assemble packages independently produced per-pipelet artifacts into
+// a Deployment, wiring the runtime the programs will read. It is the
+// composition step the incremental pipeline uses instead of Build:
+// blocks and funcs may come from this composer or from a cache of a
+// previous generation (AdoptState makes the latter safe).
+func (c *Composer) Assemble(parser *p4.ParserGraph, idt *p4.GlobalIDTable,
+	blocks map[asic.PipeletID]*p4.ControlBlock, ingress, egress []asic.StageFunc) *Deployment {
+	rt := &Runtime{branching: c.Branching, postcards: c.postcards}
+	// Refresh the build-time fallback: the pipeline may have swapped in
+	// a cached Branching generation since this composer was created.
+	c.fallback.Store(rt)
+	return &Deployment{
+		Parser:   parser,
+		IDTable:  idt,
+		Blocks:   blocks,
+		Ingress:  ingress,
+		Egress:   egress,
+		Composer: c,
+		Runtime:  rt,
+	}
+}
+
+// PipeletNFOrder returns the names of the NFs composed on a pipelet in
+// composition order (earliest chain position first, name-tiebroken) —
+// the order BlockFor and FuncFor use. The build pipeline hashes it so
+// a pipelet whose NF set or order changes misses the cache.
+func (c *Composer) PipeletNFOrder(pl asic.PipeletID) []string {
+	nfs := c.orderedNFsOn(pl)
+	out := make([]string, len(nfs))
+	for i, f := range nfs {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// MergeParser merges the parser fragments of every NF the chains use
+// into the generic parser shared by all pipelets (§3), in first-seen
+// chain order, assigning global vertex IDs along the way. It is a free
+// function so the build pipeline can produce (and cache) the parser
+// artifact without a composer.
+func MergeParser(chains []route.Chain, nfs nf.List) (*p4.ParserGraph, *p4.GlobalIDTable, error) {
+	table := p4.NewGlobalIDTable()
+	var graphs []*p4.ParserGraph
+	seen := make(map[string]bool)
+	for _, ch := range chains {
+		for _, name := range ch.NFs {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			f := nfs.ByName(name)
+			if f == nil {
+				return nil, nil, fmt.Errorf("compose: NF %q has no implementation", name)
+			}
+			graphs = append(graphs, f.Parser())
+		}
+	}
+	if len(graphs) == 0 {
+		return nil, nil, fmt.Errorf("compose: no NFs to merge")
+	}
+	merged, err := p4.MergeParsers(table, graphs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, table, nil
+}

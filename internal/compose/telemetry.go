@@ -16,23 +16,46 @@ import (
 // numbers reflect exactly what the composed datapath did (including
 // recirculated passes, which execute NFs at most once each).
 //
-// The NF and path universes are fixed at composition time, so the
-// counters are dense preallocated atomics — the update path takes no
-// locks and allocates nothing, matching the switch's own PortStats
-// discipline. Packets classified onto a path no chain declares (a
-// classifier bug) fall back to a mutex-guarded overflow map on the
-// cold path.
+// The NF universe is fixed at composition time, so those counters are
+// dense preallocated atomics — the update path takes no locks and
+// allocates nothing, matching the switch's own PortStats discipline.
+// The path universe can GROW across live reconfigurations (AddChain):
+// the per-path counters live in an atomically swapped index whose
+// entries are shared between generations, so readers stay lock-free
+// and no count is lost when paths are added while traffic runs.
+// Packets classified onto a path no chain declares (a classifier bug)
+// fall back to a mutex-guarded overflow map on the cold path.
 type Telemetry struct {
 	nfNames []string       // sorted; parallel to nfExec
 	nfIdx   map[string]int // name -> index into nfExec
 	nfExec  []atomic.Uint64
 
-	pathIDs  []uint16       // sorted; parallel to pathPkts
-	pathIdx  map[uint16]int // path -> index into pathPkts
-	pathPkts []atomic.Uint64
+	// paths is the current path-counter index. Counter cells are
+	// pointers shared across swaps: ensurePaths builds a superset index
+	// reusing the existing cells, so in-flight increments are never
+	// lost.
+	paths atomic.Pointer[pathState]
 
-	mu         sync.Mutex
+	mu         sync.Mutex        // guards extraPaths and path-state growth
 	extraPaths map[uint16]uint64 // paths outside the declared chain set
+}
+
+// pathState is one immutable generation of the per-path counter index.
+type pathState struct {
+	ids  []uint16       // sorted; parallel to pkts
+	idx  map[uint16]int // path -> index into pkts
+	pkts []*atomic.Uint64
+}
+
+func newPathState(ids []uint16) *pathState {
+	st := &pathState{ids: ids, idx: make(map[uint16]int, len(ids))}
+	sort.Slice(st.ids, func(i, j int) bool { return st.ids[i] < st.ids[j] })
+	st.pkts = make([]*atomic.Uint64, len(st.ids))
+	for i, p := range st.ids {
+		st.idx[p] = i
+		st.pkts[i] = new(atomic.Uint64)
+	}
+	return st
 }
 
 func newTelemetry(nfNames []string, chains []route.Chain) *Telemetry {
@@ -47,19 +70,50 @@ func newTelemetry(nfNames []string, chains []route.Chain) *Telemetry {
 	t.nfExec = make([]atomic.Uint64, len(t.nfNames))
 
 	seen := make(map[uint16]bool, len(chains))
+	var ids []uint16
 	for _, ch := range chains {
 		if !seen[ch.PathID] {
 			seen[ch.PathID] = true
-			t.pathIDs = append(t.pathIDs, ch.PathID)
+			ids = append(ids, ch.PathID)
 		}
 	}
-	sort.Slice(t.pathIDs, func(i, j int) bool { return t.pathIDs[i] < t.pathIDs[j] })
-	t.pathIdx = make(map[uint16]int, len(t.pathIDs))
-	for i, p := range t.pathIDs {
-		t.pathIdx[p] = i
-	}
-	t.pathPkts = make([]atomic.Uint64, len(t.pathIDs))
+	t.paths.Store(newPathState(ids))
 	return t
+}
+
+// ensurePaths grows the path universe to cover every chain in the set,
+// keeping existing counter cells (and their values). Counters of paths
+// no longer declared are retained: they are totals since deployment.
+func (t *Telemetry) ensurePaths(chains []route.Chain) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.paths.Load()
+	missing := false
+	for _, ch := range chains {
+		if _, ok := cur.idx[ch.PathID]; !ok {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return
+	}
+	ids := append([]uint16(nil), cur.ids...)
+	have := make(map[uint16]bool, len(ids))
+	for _, p := range ids {
+		have[p] = true
+	}
+	for _, ch := range chains {
+		if !have[ch.PathID] {
+			have[ch.PathID] = true
+			ids = append(ids, ch.PathID)
+		}
+	}
+	next := newPathState(ids)
+	for p, i := range cur.idx {
+		next.pkts[next.idx[p]] = cur.pkts[i] // share the live cell
+	}
+	t.paths.Store(next)
 }
 
 // nfIndex returns the dense counter index of an NF, or -1. Pipelet
@@ -79,12 +133,13 @@ func (t *Telemetry) countNFIdx(i int) {
 	}
 }
 
-// countPath records one packet classified onto a path. The index map
-// is read-only after construction, so the lookup is lock-free; only
-// undeclared paths touch the overflow mutex.
+// countPath records one packet classified onto a path. The index is an
+// atomically loaded immutable generation, so the lookup is lock-free;
+// only undeclared paths touch the overflow mutex.
 func (t *Telemetry) countPath(path uint16) {
-	if i, ok := t.pathIdx[path]; ok {
-		t.pathPkts[i].Add(1)
+	st := t.paths.Load()
+	if i, ok := st.idx[path]; ok {
+		st.pkts[i].Add(1)
 		return
 	}
 	t.mu.Lock()
@@ -105,8 +160,9 @@ func (t *Telemetry) NFExecutions(name string) uint64 {
 
 // PathPackets returns the number of packets classified onto a path.
 func (t *Telemetry) PathPackets(path uint16) uint64 {
-	if i, ok := t.pathIdx[path]; ok {
-		return t.pathPkts[i].Load()
+	st := t.paths.Load()
+	if i, ok := st.idx[path]; ok {
+		return st.pkts[i].Load()
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -118,8 +174,9 @@ func (t *Telemetry) Snapshot() (nfs []NFCount, paths []PathCount) {
 	for i, n := range t.nfNames {
 		nfs = append(nfs, NFCount{Name: n, Executions: t.nfExec[i].Load()})
 	}
-	for i, p := range t.pathIDs {
-		paths = append(paths, PathCount{Path: p, Packets: t.pathPkts[i].Load()})
+	st := t.paths.Load()
+	for i, p := range st.ids {
+		paths = append(paths, PathCount{Path: p, Packets: st.pkts[i].Load()})
 	}
 	t.mu.Lock()
 	for p, c := range t.extraPaths {

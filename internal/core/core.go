@@ -17,10 +17,11 @@ import (
 	"dejavu/internal/compiler"
 	"dejavu/internal/compose"
 	"dejavu/internal/ctl"
+	"dejavu/internal/fault"
 	"dejavu/internal/lint"
 	"dejavu/internal/nf"
 	"dejavu/internal/packet"
-	"dejavu/internal/place"
+	"dejavu/internal/pipeline"
 	"dejavu/internal/recirc"
 	"dejavu/internal/route"
 	"dejavu/internal/telemetry"
@@ -107,8 +108,30 @@ type Deployment struct {
 	// Config.Postcards is on.
 	Postcards *telemetry.PostcardLog
 
+	// LastBuild is the staged-pipeline report of the most recent build
+	// (the initial deploy, then every AddChain/RemoveChain/Reconfigure):
+	// per-stage cache status, hashes and timings.
+	LastBuild pipeline.BuildInfo
+	// LastDelta is the branching-table write-set the most recent live
+	// reconfiguration applied (empty after the initial deploy).
+	LastDelta []route.EntryOp
+	// Rebuild is the dvtel counter set for build/hot-swap activity,
+	// exported by RegisterMetrics.
+	Rebuild *telemetry.Rebuild
+	// Driver is the retrying control-plane write path hot swaps push
+	// their delta through; tests may swap in one wrapping a
+	// fault.FlakyApplier.
+	Driver *fault.Driver
+
 	composed *compose.Deployment
 	loops    *loopbackPool
+	// cache holds the staged build pipeline's per-stage artifacts so
+	// reconfigurations rebuild only invalidated stages.
+	cache *pipeline.Cache
+	// program is the branching-table program currently on the switch;
+	// diffing it against a rebuild's program yields the hot-swap
+	// write-set.
+	program route.TableProgram
 	// dead tracks ports taken out by HandlePortDown so repeat failures
 	// cannot double-decrement capacity and HandlePortUp can restore the
 	// port's prior role.
@@ -189,6 +212,22 @@ func (d *Deployment) Telemetry() *compose.Telemetry {
 	return d.composed.Composer.Telemetry()
 }
 
+// buildInputs translates a deployment config into the staged build
+// pipeline's input declaration for a given chain set and placement.
+func buildInputs(cfg Config, chains []route.Chain, placement *route.Placement) pipeline.Inputs {
+	return pipeline.Inputs{
+		Prof:       cfg.Prof,
+		Chains:     chains,
+		NFs:        cfg.NFs,
+		Enter:      cfg.Enter,
+		Placement:  placement,
+		Optimizer:  string(cfg.Optimizer),
+		Pin:        cfg.Pin,
+		AnnealSeed: cfg.AnnealSeed,
+		Strict:     cfg.StrictLint,
+	}
+}
+
 // Composer resolves the placement (configured or optimized) and
 // returns the configured composer plus the placement's weighted
 // recirculation cost, without building or installing anything. It is
@@ -201,67 +240,10 @@ func Composer(cfg Config) (*compose.Composer, route.Cost, error) {
 	if cfg.Prof.Pipelines == 0 {
 		cfg.Prof = asic.Wedge100B()
 	}
-
-	// Per-NF stage demands inform placement feasibility.
-	demand := make(map[string]int)
-	for _, f := range cfg.NFs {
-		n, err := compiler.MinStages(f.Block())
-		if err != nil {
-			return nil, route.Cost{}, fmt.Errorf("core: NF %s: %w", f.Name(), err)
-		}
-		demand[f.Name()] = n
+	placement, cost, err := pipeline.ResolvePlacement(buildInputs(cfg, cfg.Chains, cfg.Placement))
+	if err != nil {
+		return nil, route.Cost{}, fmt.Errorf("core: %w", err)
 	}
-
-	placement := cfg.Placement
-	var cost route.Cost
-	if placement == nil {
-		pin := make(map[string]asic.PipeletID, len(cfg.Pin)+1)
-		for k, v := range cfg.Pin {
-			pin[k] = v
-		}
-		if cfg.NFs.ByName(compose.ClassifierNF) != nil {
-			// The classifier must face external traffic.
-			if _, ok := pin[compose.ClassifierNF]; !ok {
-				pin[compose.ClassifierNF] = asic.PipeletID{Pipeline: cfg.Enter, Dir: asic.Ingress}
-			}
-		}
-		prob := place.Problem{
-			Prof:        cfg.Prof,
-			Chains:      cfg.Chains,
-			Enter:       cfg.Enter,
-			StageDemand: demand,
-			Fixed:       pin,
-		}
-		var res *place.Result
-		var err error
-		switch cfg.Optimizer {
-		case OptNaive:
-			res, err = place.Naive(prob)
-		case OptGreedy:
-			res, err = place.Greedy(prob)
-		case OptAnneal:
-			res, err = place.Anneal(prob, place.AnnealOpts{Seed: cfg.AnnealSeed})
-		case OptExhaustive, "":
-			res, err = place.Exhaustive(prob)
-			if err != nil && strings.Contains(err.Error(), "infeasible") {
-				res, err = place.Anneal(prob, place.AnnealOpts{Seed: cfg.AnnealSeed})
-			}
-		default:
-			return nil, route.Cost{}, fmt.Errorf("core: unknown optimizer %q", cfg.Optimizer)
-		}
-		if err != nil {
-			return nil, route.Cost{}, fmt.Errorf("core: placement: %w", err)
-		}
-		placement = res.Placement
-		cost = res.Cost
-	} else {
-		var err error
-		cost, err = route.Evaluate(cfg.Chains, placement, cfg.Enter)
-		if err != nil {
-			return nil, route.Cost{}, fmt.Errorf("core: evaluating placement: %w", err)
-		}
-	}
-
 	comp, err := compose.New(cfg.Prof, cfg.Chains, placement, cfg.NFs)
 	if err != nil {
 		return nil, route.Cost{}, err
@@ -270,25 +252,22 @@ func Composer(cfg Config) (*compose.Composer, route.Cost, error) {
 }
 
 // Compose runs placement optimization and program composition without
-// touching a switch: it resolves the placement, composes the
-// per-pipelet programs plus framework tables, and returns the built
-// deployment with its weighted recirculation cost. When strict, the
-// static verifier (internal/lint) is installed as the composer's gate,
-// so a deployment with error-severity findings is refused here rather
-// than misbehaving on the ASIC.
+// touching a switch: the staged build pipeline resolves the placement,
+// composes the per-pipelet programs plus framework tables, and the
+// assembled deployment comes back with its weighted recirculation
+// cost. When strict, a deployment with error-severity lint findings is
+// refused here rather than misbehaving on the ASIC.
 func Compose(cfg Config, strict bool) (*compose.Deployment, route.Cost, error) {
-	comp, cost, err := Composer(cfg)
+	if len(cfg.Chains) == 0 {
+		return nil, route.Cost{}, fmt.Errorf("core: no chains configured")
+	}
+	in := buildInputs(cfg, cfg.Chains, cfg.Placement)
+	in.Strict = strict
+	res, err := pipeline.Build(in, nil)
 	if err != nil {
 		return nil, route.Cost{}, err
 	}
-	if strict {
-		comp.Verifier = lint.Gate()
-	}
-	dep, err := comp.Build()
-	if err != nil {
-		return nil, route.Cost{}, err
-	}
-	return dep, cost, nil
+	return res.Dep, res.Cost, nil
 }
 
 // Lint statically verifies a configuration without deploying it: the
@@ -303,28 +282,44 @@ func Lint(cfg Config) (*lint.Report, error) {
 	return lint.Analyze(comp), nil
 }
 
-// Deploy builds a deployment from a config.
+// sortedPlans renders a plan map as a list sorted by block name — the
+// order compiler.FrameworkReport expects.
+func sortedPlans(plans map[asic.PipeletID]*compiler.Plan) []*compiler.Plan {
+	out := make([]*compiler.Plan, 0, len(plans))
+	for _, plan := range plans {
+		out = append(out, plan)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block.Name < out[j].Block.Name })
+	return out
+}
+
+// chainReports pairs each chain with its traversal analysis.
+func chainReports(chains []route.Chain, travs []route.Traversal) []ChainReport {
+	out := make([]ChainReport, 0, len(chains))
+	for i, ch := range chains {
+		out = append(out, ChainReport{
+			Chain: ch, Traversal: travs[i], Recirculations: travs[i].Recirculations,
+		})
+	}
+	return out
+}
+
+// Deploy builds a deployment from a config. The build runs through the
+// staged incremental pipeline exactly once — placement, composition,
+// allocation, routing and lint each happen a single time regardless of
+// StrictLint — and the resulting artifact cache stays with the
+// deployment so live reconfigurations rebuild only invalidated stages.
 func Deploy(cfg Config) (*Deployment, error) {
 	if cfg.Prof.Pipelines == 0 {
 		cfg.Prof = asic.Wedge100B()
 	}
-	dep, cost, err := Compose(cfg, cfg.StrictLint)
+	cache := pipeline.NewCache()
+	res, err := pipeline.Build(buildInputs(cfg, cfg.Chains, cfg.Placement), cache)
 	if err != nil {
 		return nil, err
 	}
-	comp := dep.Composer
-	placement := comp.Placement
-	plans := make(map[asic.PipeletID]*compiler.Plan, len(dep.Blocks))
-	var planList []*compiler.Plan
-	for pl, block := range dep.Blocks {
-		plan, err := compiler.Allocate(block, cfg.Prof.StagesPerPipelet)
-		if err != nil {
-			return nil, fmt.Errorf("core: pipelet %s: %w", pl, err)
-		}
-		plans[pl] = plan
-		planList = append(planList, plan)
-	}
-	sort.Slice(planList, func(i, j int) bool { return planList[i].Block.Name < planList[j].Block.Name })
+	comp := res.Composer
+	placement := res.Placement
 
 	// Install on the switch.
 	sw := asic.New(cfg.Prof)
@@ -343,7 +338,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 	// ports from rotation.
 	pool := &loopbackPool{byPipe: loopsByPipe}
 	comp.Branching.SetLoopbackChooser(pool.choose)
-	if err := dep.InstallOn(sw); err != nil {
+	if err := res.Dep.InstallOn(sw); err != nil {
 		return nil, err
 	}
 	var dp *telemetry.Datapath
@@ -357,33 +352,34 @@ func Deploy(cfg Config) (*Deployment, error) {
 		comp.SetPostcardLog(pcl)
 	}
 
+	ctrl := ctl.New(sw, cfg.NFs)
 	d := &Deployment{
 		Config:       cfg,
 		Switch:       sw,
-		Controller:   ctl.New(sw, cfg.NFs),
+		Controller:   ctrl,
+		Driver:       fault.NewDriver(ctrl),
 		Datapath:     dp,
 		Postcards:    pcl,
-		composed:     dep,
+		composed:     res.Dep,
 		loops:        pool,
+		cache:        cache,
+		program:      res.Program,
 		Placement:    placement,
-		Cost:         cost,
-		Plans:        plans,
-		Resources:    compiler.FrameworkReport(cfg.Prof, planList),
-		ParserStates: dep.Parser.ParseStates(),
-		Lint:         lint.AnalyzeDeployment(dep),
+		Cost:         res.Cost,
+		Plans:        res.Plans,
+		Resources:    compiler.FrameworkReport(cfg.Prof, sortedPlans(res.Plans)),
+		ParserStates: res.Dep.Parser.ParseStates(),
+		Lint:         res.Lint,
+		LastBuild:    res.Info,
+		Rebuild:      telemetry.NewRebuild(),
+		Chains:       chainReports(cfg.Chains, res.Traversals),
 		Capacity: recirc.CapacitySplit{
 			TotalPorts:    cfg.Prof.TotalPorts(),
 			LoopbackPorts: len(cfg.LoopbackPorts),
 			PortGbps:      cfg.Prof.PortGbps,
 		},
 	}
-	for _, ch := range cfg.Chains {
-		tr, err := route.Plan(ch, placement, cfg.Enter)
-		if err != nil {
-			return nil, err
-		}
-		d.Chains = append(d.Chains, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
-	}
+	d.Rebuild.ObserveBuild(res.Info.CacheHits, res.Info.CacheMisses, int64(res.Info.Duration))
 	return d, nil
 }
 

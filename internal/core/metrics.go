@@ -24,6 +24,9 @@ func (d *Deployment) RegisterMetrics(reg *telemetry.Registry) {
 	if d.Postcards != nil {
 		reg.Register(d.Postcards)
 	}
+	if d.Rebuild != nil {
+		reg.Register(d.Rebuild)
+	}
 	reg.Register(telemetry.CollectorFunc(d.gatherPorts))
 }
 

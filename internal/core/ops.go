@@ -5,8 +5,9 @@ import (
 
 	"dejavu/internal/asic"
 	"dejavu/internal/compiler"
-	"dejavu/internal/compose"
-	"dejavu/internal/lint"
+	"dejavu/internal/ctl"
+	"dejavu/internal/fault"
+	"dejavu/internal/pipeline"
 	"dejavu/internal/route"
 )
 
@@ -131,59 +132,146 @@ func (d *Deployment) placeNewNF(placement *route.Placement, chains []route.Chain
 	return nil
 }
 
-// swap recomposes the deployment for a new chain set + placement,
-// verifies every pipelet still fits, and installs the new programs on
-// the live switch. The swap is transactional ("the data plane programs
-// have a much higher loading cost", §7): before InstallOn every error
-// simply aborts, and if anything fails after the switch was already
-// reprogrammed, the prior composed deployment is reinstalled so the
-// switch never runs new programs against stale bookkeeping.
+// derivePlacement extends the running placement to a new chain set the
+// way live updates must: existing NFs stay where they are (moving a
+// live NF would disrupt its traffic), NFs no chain uses anymore are
+// unplaced, and NFs the new set introduces are placed greedily.
+func (d *Deployment) derivePlacement(chains []route.Chain) (*route.Placement, error) {
+	placement := d.Placement.Clone()
+	still := make(map[string]bool)
+	for _, c := range chains {
+		for _, n := range c.NFs {
+			still[n] = true
+		}
+	}
+	for name := range placement.NF {
+		if !still[name] {
+			delete(placement.NF, name)
+		}
+	}
+	for _, c := range chains {
+		for _, n := range c.NFs {
+			if d.Config.NFs.ByName(n) == nil {
+				return nil, fmt.Errorf("core: chain %d references unknown NF %q", c.PathID, n)
+			}
+			if _, ok := placement.Of(n); ok {
+				continue
+			}
+			if err := d.placeNewNF(placement, chains, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return placement, nil
+}
+
+// Reconfigure transitions the running deployment to an entirely new
+// chain set in one hot swap, deriving the placement like
+// AddChain/RemoveChain would (existing NFs stay put).
+func (d *Deployment) Reconfigure(chains []route.Chain) error {
+	if len(chains) == 0 {
+		return fmt.Errorf("core: refusing to reconfigure to zero chains")
+	}
+	for _, c := range chains {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	placement, err := d.derivePlacement(chains)
+	if err != nil {
+		return err
+	}
+	return d.swap(chains, placement)
+}
+
+// PlanReconfigure dry-runs Reconfigure: it computes the staged rebuild
+// against a copy of the deployment's artifact cache and returns the
+// build result plus the branching-table delta that a real swap would
+// push, leaving the deployment and the switch untouched. This is what
+// `dejavu plan -to` prints.
+func (d *Deployment) PlanReconfigure(chains []route.Chain) (*pipeline.Result, []route.EntryOp, error) {
+	if len(chains) == 0 {
+		return nil, nil, fmt.Errorf("core: refusing to plan zero chains")
+	}
+	placement, err := d.derivePlacement(chains)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := pipeline.Build(buildInputs(d.Config, chains, placement), d.cache.Clone())
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, route.Diff(d.program, res.Program), nil
+}
+
+// swap rebuilds the deployment for a new chain set + placement through
+// the staged incremental pipeline and applies the result to the live
+// switch as a minimal delta: the branching-table entry diff plus the
+// pipelet programs whose NF sets changed, each written through the
+// retrying control-plane driver into a ctl program transaction, then
+// committed as ONE atomic snapshot swap ("the data plane programs have
+// a much higher loading cost", §7 — so unchanged programs are not
+// reloaded). Traffic keeps flowing throughout: a packet in flight
+// finishes under the snapshot it started with, and nothing mixes old
+// and new state. Before the commit every error simply aborts the
+// transaction; if anything fails after it, the prior composed
+// deployment is reinstalled wholesale so the switch never runs new
+// programs against stale bookkeeping.
 func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) error {
 	if err := placement.Validate(d.Config.Prof, chains); err != nil {
 		return err
 	}
-	comp, err := compose.New(d.Config.Prof, chains, placement, d.Config.NFs)
+	res, err := pipeline.Build(buildInputs(d.Config, chains, placement), d.cache)
 	if err != nil {
 		return err
 	}
-	if d.Config.StrictLint {
-		comp.Verifier = lint.Gate()
+	if res.RoutingRebuilt && d.loops != nil {
+		// A fresh Branching generation needs the loopback spreader; a
+		// cached one already carries it (and is live — don't re-set).
+		res.Composer.Branching.SetLoopbackChooser(d.loops.choose)
 	}
-	if d.loops != nil {
-		// Keep spreading recirculation over the loopback pool.
-		comp.Branching.SetLoopbackChooser(d.loops.choose)
+	delta := route.Diff(d.program, res.Program)
+
+	// Stage the write-set into a control-plane program transaction.
+	// Each write goes through the retrying driver; staging is
+	// idempotent, so a committed-but-unacked write retried by the
+	// driver is harmless. Until CommitProgram the switch is untouched.
+	driver := d.Driver
+	if driver == nil {
+		driver = fault.NewDriver(d.Controller)
 	}
-	dep, err := comp.Build()
-	if err != nil {
+	if err := d.Controller.BeginProgram(); err != nil {
 		return err
 	}
-	plans := make(map[asic.PipeletID]*compiler.Plan, len(dep.Blocks))
-	var planList []*compiler.Plan
-	for pl, block := range dep.Blocks {
-		plan, err := compiler.Allocate(block, d.Config.Prof.StagesPerPipelet)
-		if err != nil {
-			return fmt.Errorf("core: update rejected, pipelet %s: %w", pl, err)
-		}
-		plans[pl] = plan
-		planList = append(planList, plan)
+	abort := func(cause error) error {
+		d.Controller.AbortProgram()
+		return fmt.Errorf("core: update rejected, switch untouched: %w", cause)
 	}
-	// Derive the new bookkeeping BEFORE touching the switch where
-	// possible; anything that must run afterwards is covered by the
-	// rollback below.
-	reports := make([]ChainReport, 0, len(chains))
-	for _, ch := range chains {
-		tr, err := route.Plan(ch, placement, d.Config.Enter)
-		if err != nil {
-			return err
+	for _, op := range delta {
+		w := ctl.TableWrite{NF: ctl.FrameworkNF, Table: ctl.BranchingTable, Args: []any{op}}
+		if err := driver.Apply(w); err != nil {
+			return abort(err)
 		}
-		reports = append(reports, ChainReport{Chain: ch, Traversal: tr, Recirculations: tr.Recirculations})
+	}
+	for _, pl := range res.ChangedFuncs {
+		var fn asic.StageFunc
+		if pl.Dir == asic.Ingress {
+			fn = res.Dep.Ingress[pl.Pipeline]
+		} else {
+			fn = res.Dep.Egress[pl.Pipeline]
+		}
+		w := ctl.TableWrite{NF: ctl.FrameworkNF, Table: ctl.PipeletProgramTable, Args: []any{pl, fn}}
+		if err := driver.Apply(w); err != nil {
+			return abort(err)
+		}
 	}
 
-	// Commit point: reprogram the switch. From here on, any failure
-	// rolls the switch back to the prior composed deployment.
+	// Commit point: one atomic snapshot swap publishes the staged
+	// programs together with the new routing runtime. From here on, any
+	// failure rolls the switch back to the prior composed deployment.
 	prev := d.composed
-	if err := dep.InstallOn(d.Switch); err != nil {
-		return err
+	if err := d.Controller.CommitProgram(res.Dep.Runtime); err != nil {
+		return abort(err)
 	}
 	rollback := func(cause error) error {
 		if prev == nil {
@@ -199,19 +287,22 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 			return rollback(err)
 		}
 	}
-	cost, err := route.Evaluate(chains, placement, d.Config.Enter)
-	if err != nil {
-		return rollback(err)
-	}
 	d.Config.Chains = chains
-	d.Placement = placement
-	d.Cost = cost
-	d.Plans = plans
-	d.Resources = compiler.FrameworkReport(d.Config.Prof, planList)
-	d.ParserStates = dep.Parser.ParseStates()
-	d.composed = dep
-	d.Chains = reports
-	d.Lint = lint.AnalyzeDeployment(dep)
+	d.Placement = res.Placement
+	d.Cost = res.Cost
+	d.Plans = res.Plans
+	d.Resources = compiler.FrameworkReport(d.Config.Prof, sortedPlans(res.Plans))
+	d.ParserStates = res.Dep.Parser.ParseStates()
+	d.composed = res.Dep
+	d.Chains = chainReports(chains, res.Traversals)
+	d.Lint = res.Lint
+	d.program = res.Program
+	d.LastBuild = res.Info
+	d.LastDelta = delta
+	if d.Rebuild != nil {
+		d.Rebuild.ObserveBuild(res.Info.CacheHits, res.Info.CacheMisses, int64(res.Info.Duration))
+		d.Rebuild.ObserveSwap(len(delta), len(res.ChangedFuncs))
+	}
 	return nil
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled lets heavyweight concurrency tests scale their iteration
+// counts down when the race detector multiplies per-packet cost.
+const raceEnabled = true

@@ -31,6 +31,12 @@ type Controller struct {
 	natAllocated      int
 	reinjected        int
 	unknown           int
+	programCommits    int
+	entryWrites       int
+	programWrites     int
+
+	// prog is the open program transaction, if any (see program.go).
+	prog *pendingProgram
 }
 
 // New creates a controller for a switch running the given NFs.
@@ -145,6 +151,12 @@ type Stats struct {
 	NATAllocated      int
 	Reinjected        int
 	Unknown           int
+	// ProgramCommits counts committed program transactions.
+	ProgramCommits int
+	// EntryWrites counts branching-table entry ops committed.
+	EntryWrites int
+	// ProgramWrites counts pipelet-program swaps committed.
+	ProgramWrites int
 }
 
 // Stats returns a snapshot of controller counters.
@@ -156,6 +168,9 @@ func (c *Controller) Stats() Stats {
 		NATAllocated:      c.natAllocated,
 		Reinjected:        c.reinjected,
 		Unknown:           c.unknown,
+		ProgramCommits:    c.programCommits,
+		EntryWrites:       c.entryWrites,
+		ProgramWrites:     c.programWrites,
 	}
 }
 
@@ -177,7 +192,14 @@ type TableWrite struct {
 //	{"fw", "fw_acl", [rule nf.ACLRule]}
 //	{"classifier", "class_map", [rule nf.ClassRule]}
 //	{"vgw", "vni_table", [vni uint32, tenant uint16]}
+//
+// Writes against the "framework" pseudo-NF (branching entry diffs and
+// pipelet program swaps) are staged into the open program transaction;
+// see program.go.
 func (c *Controller) Apply(w TableWrite) error {
+	if w.NF == FrameworkNF {
+		return c.stageFramework(w)
+	}
 	f := c.nfs.ByName(w.NF)
 	if f == nil {
 		return fmt.Errorf("ctl: unknown NF %q", w.NF)

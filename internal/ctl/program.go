@@ -1,0 +1,141 @@
+package ctl
+
+import (
+	"fmt"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/route"
+)
+
+// Program transactions: the control-plane half of a live
+// reconfiguration (§7). A rebuild produces a minimal write-set — the
+// branching-table entry diff plus the pipelet programs whose NF sets
+// changed — and the controller stages those writes one by one (each
+// write goes through the retrying fault.Driver like any other
+// table write), then commits them to the switch as ONE atomic snapshot
+// swap. Until Commit, nothing touches the data plane; Abort discards
+// the staged writes, leaving the switch exactly as it was.
+//
+// Staging is idempotent per key (re-applying a write after an
+// ambiguous failure is safe), which is exactly the contract the
+// fault.FlakyApplier retry model requires.
+
+// Framework write surface, routed through Controller.Apply:
+//
+//	{"framework", "branching", [op route.EntryOp]}
+//	{"framework", "pipelet_program", [pl asic.PipeletID, fn asic.StageFunc]}
+const (
+	// FrameworkNF is the pseudo-NF owning the framework tables.
+	FrameworkNF = "framework"
+	// BranchingTable is the §3.4 branching table (entry-diff writes).
+	BranchingTable = "branching"
+	// PipeletProgramTable holds the behavioural pipelet programs.
+	PipeletProgramTable = "pipelet_program"
+)
+
+// pendingProgram accumulates staged framework writes of one open
+// transaction.
+type pendingProgram struct {
+	entries map[route.EntryKey]route.EntryOp
+	ingress map[int]asic.StageFunc
+	egress  map[int]asic.StageFunc
+}
+
+// BeginProgram opens a program transaction. Only one may be open at a
+// time.
+func (c *Controller) BeginProgram() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prog != nil {
+		return fmt.Errorf("ctl: a program transaction is already open")
+	}
+	c.prog = &pendingProgram{
+		entries: make(map[route.EntryKey]route.EntryOp),
+		ingress: make(map[int]asic.StageFunc),
+		egress:  make(map[int]asic.StageFunc),
+	}
+	return nil
+}
+
+// AbortProgram discards the open transaction (no-op when none is
+// open). The switch is untouched.
+func (c *Controller) AbortProgram() {
+	c.mu.Lock()
+	c.prog = nil
+	c.mu.Unlock()
+}
+
+// CommitProgram publishes every staged write plus the new application
+// runtime to the switch as one atomic snapshot swap and closes the
+// transaction. On error the transaction stays open (the caller decides
+// between retry and Abort) and the switch is untouched.
+func (c *Controller) CommitProgram(app any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prog == nil {
+		return fmt.Errorf("ctl: no open program transaction to commit")
+	}
+	b := c.sw.NewBatch()
+	for pipe, fn := range c.prog.ingress {
+		b.SetIngress(pipe, fn)
+	}
+	for pipe, fn := range c.prog.egress {
+		b.SetEgress(pipe, fn)
+	}
+	b.SetApp(app)
+	if err := c.sw.Commit(b); err != nil {
+		return err
+	}
+	c.programCommits++
+	c.entryWrites += len(c.prog.entries)
+	c.programWrites += len(c.prog.ingress) + len(c.prog.egress)
+	c.prog = nil
+	return nil
+}
+
+// stageFramework handles Apply writes against the framework pseudo-NF:
+// they are staged into the open program transaction rather than
+// applied immediately, because framework state must change atomically
+// with the pipelet programs.
+func (c *Controller) stageFramework(w TableWrite) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prog == nil {
+		return fmt.Errorf("ctl: framework write outside a program transaction (call BeginProgram first)")
+	}
+	bad := func() error {
+		return fmt.Errorf("ctl: bad arguments for %s/%s", w.NF, w.Table)
+	}
+	switch w.Table {
+	case BranchingTable:
+		if len(w.Args) != 1 {
+			return bad()
+		}
+		op, ok := w.Args[0].(route.EntryOp)
+		if !ok {
+			return bad()
+		}
+		c.prog.entries[op.Entry.Key] = op
+		return nil
+	case PipeletProgramTable:
+		if len(w.Args) != 2 {
+			return bad()
+		}
+		pl, ok1 := w.Args[0].(asic.PipeletID)
+		fn, ok2 := w.Args[1].(asic.StageFunc)
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		if pl.Pipeline < 0 || pl.Pipeline >= c.sw.Profile().Pipelines {
+			return fmt.Errorf("ctl: pipelet %s does not exist", pl)
+		}
+		if pl.Dir == asic.Ingress {
+			c.prog.ingress[pl.Pipeline] = fn
+		} else {
+			c.prog.egress[pl.Pipeline] = fn
+		}
+		return nil
+	default:
+		return fmt.Errorf("ctl: unknown table %s/%s", w.NF, w.Table)
+	}
+}

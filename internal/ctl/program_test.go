@@ -1,0 +1,130 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/route"
+	"dejavu/internal/scenario"
+)
+
+func branchingOp(path uint16, idx uint8) route.EntryOp {
+	return route.EntryOp{Op: route.OpAdd, Entry: route.Entry{
+		Key:    route.EntryKey{Pipeline: 0, Path: path, Index: idx},
+		Action: route.ActResubmit,
+	}}
+}
+
+func TestFrameworkWriteRequiresTransaction(t *testing.T) {
+	_, _, ctrl := deployed(t)
+	err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: BranchingTable,
+		Args: []any{branchingOp(7, 1)}})
+	if err == nil || !strings.Contains(err.Error(), "outside a program transaction") {
+		t.Fatalf("write outside txn: %v", err)
+	}
+}
+
+func TestProgramTransactionLifecycle(t *testing.T) {
+	s, sw, ctrl := deployed(t)
+
+	if err := ctrl.BeginProgram(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.BeginProgram(); err == nil {
+		t.Error("double BeginProgram accepted")
+	}
+
+	// Stage a branching write and a pipelet program swap; until commit
+	// the data plane is untouched — traffic still runs the old programs.
+	if err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: BranchingTable,
+		Args: []any{branchingOp(7, 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	var swapped bool
+	noop := asic.StageFunc(func(ctx *asic.Ctx) { swapped = true })
+	if err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: PipeletProgramTable,
+		Args: []any{asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}, noop}}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sw.Inject(scenario.PortClient, scenario.InternetBound())
+	if err != nil || tr.Dropped {
+		t.Fatalf("traffic broken with open txn: %v %+v", err, tr)
+	}
+	if swapped {
+		t.Fatal("staged pipelet program ran before commit")
+	}
+
+	// Abort: staged writes vanish, a fresh transaction opens cleanly.
+	ctrl.AbortProgram()
+	if err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: BranchingTable,
+		Args: []any{branchingOp(7, 1)}}); err == nil {
+		t.Error("apply accepted after abort")
+	}
+	st := ctrl.Stats()
+	if st.ProgramCommits != 0 || st.ProgramWrites != 0 {
+		t.Errorf("aborted txn bumped stats: %+v", st)
+	}
+
+	// Commit: the staged program becomes live in one snapshot swap and
+	// the counters record the write-set.
+	if err := ctrl.BeginProgram(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // idempotent re-staging collapses per key
+		if err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: BranchingTable,
+			Args: []any{branchingOp(7, 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctrl.Apply(TableWrite{NF: FrameworkNF, Table: PipeletProgramTable,
+		Args: []any{asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}, noop}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.CommitProgram(sw.App()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Inject(scenario.PortClient, scenario.InternetBound()); err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Error("committed pipelet program did not run")
+	}
+	st = ctrl.Stats()
+	if st.ProgramCommits != 1 {
+		t.Errorf("ProgramCommits = %d, want 1", st.ProgramCommits)
+	}
+	if st.EntryWrites != 1 {
+		t.Errorf("EntryWrites = %d, want 1 (idempotent staging)", st.EntryWrites)
+	}
+	if st.ProgramWrites != 1 {
+		t.Errorf("ProgramWrites = %d, want 1", st.ProgramWrites)
+	}
+	_ = s
+
+	if err := ctrl.CommitProgram(nil); err == nil {
+		t.Error("commit without open transaction accepted")
+	}
+}
+
+func TestProgramTransactionRejectsBadWrites(t *testing.T) {
+	_, _, ctrl := deployed(t)
+	if err := ctrl.BeginProgram(); err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.AbortProgram()
+	cases := []TableWrite{
+		{NF: FrameworkNF, Table: BranchingTable, Args: []any{"not an op"}},
+		{NF: FrameworkNF, Table: BranchingTable, Args: []any{}},
+		{NF: FrameworkNF, Table: PipeletProgramTable, Args: []any{asic.PipeletID{}}},
+		{NF: FrameworkNF, Table: "no_such_table", Args: []any{}},
+		{NF: FrameworkNF, Table: PipeletProgramTable,
+			Args: []any{asic.PipeletID{Pipeline: 99, Dir: asic.Ingress},
+				asic.StageFunc(func(ctx *asic.Ctx) {})}},
+	}
+	for i, w := range cases {
+		if err := ctrl.Apply(w); err == nil {
+			t.Errorf("bad write %d accepted", i)
+		}
+	}
+}

@@ -91,6 +91,42 @@ func Rules() []Rule {
 	}
 }
 
+// BlockRules returns the rules whose findings depend only on a single
+// pipelet's composed control block (plus the static profile): DV001
+// and DV002. The incremental build pipeline runs these per pipelet and
+// caches their findings by the block's content hash, so only rebuilt
+// pipelets are re-analyzed.
+func BlockRules() []Rule {
+	return []Rule{stageBudgetRule{}, tableDepsRule{}}
+}
+
+// GlobalRules returns the rules that read cross-pipelet state (chains,
+// placement, branching, parser): everything except BlockRules. They
+// re-run on every rebuild — they are cheap — while block findings are
+// cached.
+func GlobalRules() []Rule {
+	return []Rule{
+		contextDefUseRule{},
+		parserMergeRule{},
+		recircLegalRule{},
+		branchingRule{},
+		placementRule{},
+		chainShapeRule{},
+	}
+}
+
+// AnalyzeTarget runs a specific rule set over a prepared target and
+// returns the sorted report. Targets with a partial Blocks map are
+// fine: block-scoped rules skip missing blocks.
+func AnalyzeTarget(t *Target, rules []Rule) *Report {
+	r := NewReport()
+	for _, rule := range rules {
+		rule.Check(t, r)
+	}
+	r.Sort()
+	return r
+}
+
 // enterPipeline derives the external entry pipeline: the classifier's
 // ingress pipeline when one is placed, else pipeline 0.
 func enterPipeline(c *compose.Composer) int {
@@ -169,18 +205,25 @@ func runRules(t *Target, r *Report) {
 // Composer.Build and Deployment.InstallOn.
 func Gate() func(*compose.Deployment) error {
 	return func(d *compose.Deployment) error {
-		rep := AnalyzeDeployment(d)
-		if !rep.HasErrors() {
-			return nil
-		}
-		errs := rep.BySeverity(SevError)
-		msgs := make([]string, 0, len(errs))
-		for _, f := range errs {
-			msgs = append(msgs, fmt.Sprintf("%s %s: %s", f.Rule, f.Where, f.Message))
-		}
-		sort.Strings(msgs)
-		return fmt.Errorf("lint: %d error finding(s): %s", len(errs), joinMax(msgs, 3))
+		return AnalyzeDeployment(d).GateError()
 	}
+}
+
+// GateError renders the report's error-severity findings as the
+// one-line gate error Gate produces, or nil when the report has none.
+// The incremental build pipeline uses it to enforce strict mode on a
+// report assembled from cached and fresh findings.
+func (r *Report) GateError() error {
+	if !r.HasErrors() {
+		return nil
+	}
+	errs := r.BySeverity(SevError)
+	msgs := make([]string, 0, len(errs))
+	for _, f := range errs {
+		msgs = append(msgs, fmt.Sprintf("%s %s: %s", f.Rule, f.Where, f.Message))
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("lint: %d error finding(s): %s", len(errs), joinMax(msgs, 3))
 }
 
 // joinMax joins up to n items, eliding the rest.

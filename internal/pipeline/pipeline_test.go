@@ -1,0 +1,192 @@
+package pipeline
+
+import (
+	"testing"
+
+	"dejavu/internal/route"
+	"dejavu/internal/scenario"
+)
+
+// scenarioInputs declares a build of the §5 edge-cloud scenario with
+// its pinned Fig. 9 placement.
+func scenarioInputs(t *testing.T) Inputs {
+	t.Helper()
+	s := scenario.MustNew()
+	return Inputs{
+		Prof:      s.Prof,
+		Chains:    s.Chains,
+		NFs:       s.NFs,
+		Enter:     0,
+		Placement: s.Placement,
+	}
+}
+
+// extraChain is the churn case: a fourth path over already-deployed
+// NFs.
+func extraChain(in Inputs) route.Chain {
+	tmpl := in.Chains[0]
+	return route.Chain{
+		PathID:       99,
+		NFs:          append([]string(nil), tmpl.NFs...),
+		Weight:       0.1,
+		ExitPipeline: tmpl.ExitPipeline,
+	}
+}
+
+func TestBuildNilCache(t *testing.T) {
+	res, err := Build(scenarioInputs(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Info.CacheHits != 0 {
+		t.Errorf("nil cache reported %d hits", res.Info.CacheHits)
+	}
+	if res.Info.CacheMisses == 0 || len(res.Info.Stages) != 6 {
+		t.Errorf("stage accounting off: %+v", res.Info)
+	}
+	if !res.RoutingRebuilt {
+		t.Error("nil-cache build did not rebuild routing")
+	}
+	if res.Program.Len() == 0 {
+		t.Error("empty table program")
+	}
+}
+
+// TestRebuildSameInputsAllCached: building identical inputs against a
+// warm cache recomputes nothing and reproduces the same program.
+func TestRebuildSameInputsAllCached(t *testing.T) {
+	in := scenarioInputs(t)
+	cache := NewCache()
+	first, err := Build(in, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Build(in, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range second.Info.Stages {
+		if !st.CacheHit {
+			t.Errorf("stage %s missed on identical rebuild", st.Name)
+		}
+	}
+	if len(second.ChangedFuncs) != 0 {
+		t.Errorf("identical rebuild changed programs: %v", second.ChangedFuncs)
+	}
+	if second.RoutingRebuilt {
+		t.Error("identical rebuild rebuilt routing")
+	}
+	if first.Program.String() != second.Program.String() {
+		t.Error("identical rebuild changed the table program")
+	}
+	if ops := route.Diff(first.Program, second.Program); len(ops) != 0 {
+		t.Errorf("identical rebuild produced a %d-op delta", len(ops))
+	}
+}
+
+// TestChainChurnSkipsStages: adding a chain over the same NF set must
+// keep the parser-merge and placement stages cached and reuse every
+// behavioural program — only tables (blocks, allocation, routing,
+// lint) are recomputed.
+func TestChainChurnSkipsStages(t *testing.T) {
+	in := scenarioInputs(t)
+	cache := NewCache()
+	if _, err := Build(in, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	grown := in
+	grown.Chains = append(append([]route.Chain(nil), in.Chains...), extraChain(in))
+	res, err := Build(grown, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{StageParserMerge, StagePlacement} {
+		st := res.Info.Stage(name)
+		if st == nil || !st.CacheHit {
+			t.Errorf("stage %s not served from cache after chain add: %+v", name, st)
+		}
+	}
+	if res.Info.CacheHits < 2 {
+		t.Errorf("chain add cached only %d stages", res.Info.CacheHits)
+	}
+	if len(res.ChangedFuncs) != 0 {
+		t.Errorf("same-NF chain add rebuilt programs: %v", res.ChangedFuncs)
+	}
+	if !res.RoutingRebuilt {
+		t.Error("chain add did not rebuild routing")
+	}
+}
+
+// TestIncrementalEquivalence: a build served partly from cache must be
+// byte-identical — table program, placement, branching size, lint
+// report — to a from-scratch build of the same inputs.
+func TestIncrementalEquivalence(t *testing.T) {
+	in := scenarioInputs(t)
+	cache := NewCache()
+	if _, err := Build(in, cache); err != nil {
+		t.Fatal(err)
+	}
+	grown := in
+	grown.Chains = append(append([]route.Chain(nil), in.Chains...), extraChain(in))
+
+	incr, err := Build(grown, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(grown, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if incr.Program.String() != fresh.Program.String() {
+		t.Errorf("programs differ:\nincremental:\n%s\nfresh:\n%s",
+			incr.Program.String(), fresh.Program.String())
+	}
+	if canonPlacement(incr.Placement) != canonPlacement(fresh.Placement) {
+		t.Error("placements differ")
+	}
+	if incr.Cost != fresh.Cost {
+		t.Errorf("costs differ: %+v vs %+v", incr.Cost, fresh.Cost)
+	}
+	if ib, fb := incr.Composer.Branching.BranchingEntries(), fresh.Composer.Branching.BranchingEntries(); ib != fb {
+		t.Errorf("branching entries differ: %d vs %d", ib, fb)
+	}
+	if il, fl := len(incr.Lint.Findings), len(fresh.Lint.Findings); il != fl {
+		t.Errorf("lint reports differ: %d vs %d findings", il, fl)
+	}
+	if len(incr.Traversals) != len(fresh.Traversals) {
+		t.Fatalf("traversal counts differ")
+	}
+	for i := range incr.Traversals {
+		if incr.Traversals[i].Path() != fresh.Traversals[i].Path() {
+			t.Errorf("chain %d traversal differs", i)
+		}
+	}
+}
+
+// TestCacheCloneIsolation: a dry-run build against a clone must leave
+// the original cache producing the same decisions as before.
+func TestCacheCloneIsolation(t *testing.T) {
+	in := scenarioInputs(t)
+	cache := NewCache()
+	if _, err := Build(in, cache); err != nil {
+		t.Fatal(err)
+	}
+	grown := in
+	grown.Chains = append(append([]route.Chain(nil), in.Chains...), extraChain(in))
+	if _, err := Build(grown, cache.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	// The original cache still reflects the ungrown build: an identical
+	// rebuild is a full hit.
+	res, err := Build(in, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Info.Stages {
+		if !st.CacheHit {
+			t.Errorf("stage %s invalidated by dry-run on clone", st.Name)
+		}
+	}
+}

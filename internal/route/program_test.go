@@ -1,0 +1,122 @@
+package route
+
+import (
+	"testing"
+
+	"dejavu/internal/asic"
+)
+
+// progBranching builds a Branching over the Fig. 6 chain with the
+// given placement (static exits register themselves via HasStaticExit).
+func progBranching(t *testing.T, p *Placement, chains ...Chain) *Branching {
+	t.Helper()
+	if len(chains) == 0 {
+		chains = []Chain{fig6Chain()}
+	}
+	b, err := NewBranching(chains, p)
+	if err != nil {
+		t.Fatalf("NewBranching: %v", err)
+	}
+	return b
+}
+
+// TestProgramMirrorsDecide checks that the rendered table program makes
+// the same decision Decide makes for every (pipeline, path, index).
+func TestProgramMirrorsDecide(t *testing.T) {
+	b := progBranching(t, fig6aPlacement())
+	prog := b.Program(2)
+	if prog.Len() == 0 {
+		t.Fatal("empty program")
+	}
+	for _, e := range prog.Entries {
+		hop := b.Decide(e.Key.Path, e.Key.Index, e.Key.Pipeline, asic.PortUnset)
+		switch e.Action {
+		case ActForward:
+			if hop.Kind != HopForward || hop.Port != e.Port {
+				t.Errorf("%s: Decide gave %+v", e, hop)
+			}
+		case ActLoopback:
+			// Decide resolves the symbolic loopback through the default
+			// chooser: the target pipeline's recirculation port.
+			if hop.Kind != HopForward || hop.Port != asic.RecircPort(e.Target) {
+				t.Errorf("%s: Decide gave %+v", e, hop)
+			}
+		case ActResubmit:
+			if hop.Kind != HopResubmit {
+				t.Errorf("%s: Decide gave %+v", e, hop)
+			}
+		case ActToCPU:
+			if hop.Kind != HopToCPU {
+				t.Errorf("%s: Decide gave %+v", e, hop)
+			}
+		}
+	}
+}
+
+// TestDiffIdenticalPrograms: two identical builds yield an empty
+// write-set.
+func TestDiffIdenticalPrograms(t *testing.T) {
+	a := progBranching(t, fig6aPlacement()).Program(2)
+	b := progBranching(t, fig6aPlacement()).Program(2)
+	if a.String() != b.String() {
+		t.Fatal("identical builds rendered differently")
+	}
+	if ops := Diff(a, b); len(ops) != 0 {
+		t.Fatalf("diff of identical programs = %d ops: %v", len(ops), ops)
+	}
+}
+
+// TestDiffApplyRoundTrip: for programs that differ (placement change,
+// chain add), old.Apply(Diff(old,new)) must be byte-identical to new,
+// and the diff must be minimal (only changed keys appear).
+func TestDiffApplyRoundTrip(t *testing.T) {
+	old := progBranching(t, fig6aPlacement()).Program(2)
+
+	// Placement change: same chain, Fig. 6(b) layout — every key
+	// survives, so the diff is all mods.
+	moved := progBranching(t, fig6bPlacement()).Program(2)
+	ops := Diff(old, moved)
+	if len(ops) == 0 {
+		t.Fatal("placement change produced an empty diff")
+	}
+	for _, op := range ops {
+		if op.Op != OpMod {
+			t.Errorf("placement change produced %s (want mod only)", op)
+		}
+	}
+	if got := old.Apply(ops); got.String() != moved.String() {
+		t.Errorf("apply(diff) != new:\n%s\nvs\n%s", got.String(), moved.String())
+	}
+
+	// Chain add: a second path over the same NFs — the diff must be
+	// pure adds, and none of them may touch the surviving path.
+	extra := fig6Chain()
+	extra.PathID = 9
+	grown := progBranching(t, fig6aPlacement(), fig6Chain(), extra).Program(2)
+	ops = Diff(old, grown)
+	if len(ops) == 0 {
+		t.Fatal("chain add produced an empty diff")
+	}
+	for _, op := range ops {
+		if op.Op != OpAdd {
+			t.Errorf("chain add produced %s (want add only)", op)
+		}
+		if op.Entry.Key.Path != 9 {
+			t.Errorf("chain add touched surviving path: %s", op)
+		}
+	}
+	if got := old.Apply(ops); got.String() != grown.String() {
+		t.Error("apply(add diff) != grown program")
+	}
+
+	// Chain remove is the inverse: pure dels, round-trips back.
+	ops = Diff(grown, old)
+	for _, op := range ops {
+		if op.Op != OpDel {
+			t.Errorf("chain remove produced %s (want del only)", op)
+		}
+	}
+	if got := grown.Apply(ops); got.String() != old.String() {
+		t.Error("apply(del diff) != original program")
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import "sync/atomic"
+
+// Rebuild counts a deployment's incremental build-pipeline activity:
+// builds run, per-stage artifact-cache hits and misses, build wall
+// time, and the size of the hot-swap deltas actually applied to the
+// switch (branching entry ops and pipelet program swaps). The hot path
+// never touches these — they are bumped once per rebuild — but they
+// are atomics so a metrics scrape can race a live reconfiguration.
+type Rebuild struct {
+	builds       atomic.Uint64
+	stageHits    atomic.Uint64
+	stageMisses  atomic.Uint64
+	buildNS      atomic.Uint64
+	lastBuildNS  atomic.Uint64
+	swaps        atomic.Uint64
+	deltaEntries atomic.Uint64
+	programSwaps atomic.Uint64
+}
+
+// NewRebuild creates an empty rebuild counter set.
+func NewRebuild() *Rebuild { return &Rebuild{} }
+
+// ObserveBuild records one pipeline build: its stage cache hit/miss
+// split and wall time.
+func (r *Rebuild) ObserveBuild(hits, misses int, ns int64) {
+	r.builds.Add(1)
+	r.stageHits.Add(uint64(hits))
+	r.stageMisses.Add(uint64(misses))
+	if ns > 0 {
+		r.buildNS.Add(uint64(ns))
+		r.lastBuildNS.Store(uint64(ns))
+	}
+}
+
+// ObserveSwap records one applied live reconfiguration delta.
+func (r *Rebuild) ObserveSwap(entryOps, programs int) {
+	r.swaps.Add(1)
+	r.deltaEntries.Add(uint64(entryOps))
+	r.programSwaps.Add(uint64(programs))
+}
+
+// Builds returns the number of pipeline builds observed.
+func (r *Rebuild) Builds() uint64 { return r.builds.Load() }
+
+// Swaps returns the number of applied hot-swap deltas.
+func (r *Rebuild) Swaps() uint64 { return r.swaps.Load() }
+
+// CacheHitRate returns the lifetime stage-cache hit fraction in [0,1].
+func (r *Rebuild) CacheHitRate() float64 {
+	h, m := r.stageHits.Load(), r.stageMisses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Gather implements Collector (see docs/OBSERVABILITY.md).
+func (r *Rebuild) Gather() []Family {
+	return []Family{
+		{
+			Name: "dejavu_rebuild_builds_total",
+			Help: "Incremental pipeline builds run for this deployment.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(r.builds.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_stage_cache_total",
+			Help: "Build-pipeline stage artifact cache lookups by result.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Labels: `result="hit"`, Value: float64(r.stageHits.Load())},
+				{Labels: `result="miss"`, Value: float64(r.stageMisses.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_build_ns_total",
+			Help: "Cumulative wall time spent in pipeline builds.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(r.buildNS.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_last_build_ns",
+			Help: "Wall time of the most recent pipeline build.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Value: float64(r.lastBuildNS.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_swaps_total",
+			Help: "Live reconfigurations committed to the switch.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(r.swaps.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_delta_entries_total",
+			Help: "Branching-table entry ops applied by hot swaps.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(r.deltaEntries.Load())},
+			},
+		},
+		{
+			Name: "dejavu_rebuild_program_swaps_total",
+			Help: "Pipelet behavioural programs replaced by hot swaps.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(r.programSwaps.Load())},
+			},
+		},
+	}
+}
