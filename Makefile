@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint bench bench-pktpath bench-build fmt doccheck
+.PHONY: build test race lint vet check bench bench-pktpath bench-build fmt doccheck
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,18 @@ lint: build
 	else \
 		echo "lintdemo-bad.json correctly rejected"; \
 	fi
+
+# Source-level invariant analyzers (docs/STATIC_ANALYSIS.md): run the
+# dvvet suite both standalone and through the go vet vettool protocol —
+# the two modes share the analyzers but exercise different drivers, and
+# both must report zero findings on the committed tree.
+vet:
+	$(GO) build -o bin/dvvet ./cmd/dvvet
+	./bin/dvvet ./...
+	$(GO) vet -vettool=./bin/dvvet ./...
+
+# The full local gate: everything CI runs that this container can.
+check: build vet lint test doccheck
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

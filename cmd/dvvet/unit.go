@@ -1,0 +1,207 @@
+package main
+
+// go vet's vettool protocol (unit mode): for every package in the
+// build graph the go command writes a vet.cfg describing the unit —
+// sources, the import map, compiled export data for every dependency,
+// and the .vetx fact files produced by earlier units — then invokes
+// `dvvet <objdir>/vet.cfg`. The tool must ALWAYS write the VetxOutput
+// facts file (even when empty), print diagnostics to stderr, and exit
+// non-zero only when it found something (or broke). The cfg field set
+// mirrors cmd/go/internal/work's vetConfig.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"dejavu/internal/analysis"
+)
+
+// vetConfig is the unit description go vet passes; field names are the
+// protocol.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	GoVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dvvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts from dependency units; our own facts merge on top and the
+	// union is re-exported, so any later unit sees the whole closure.
+	facts := analysis.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dep without facts is just empty
+		}
+		if err := facts.UnmarshalJSON(b); err != nil {
+			fmt.Fprintf(os.Stderr, "dvvet: corrupt facts %s: %v\n", vetx, err)
+			return 1
+		}
+	}
+
+	writeFacts := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		b, err := facts.MarshalJSON()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, b, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvvet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	unit, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeFacts()
+		}
+		fmt.Fprintf(os.Stderr, "dvvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	unit.Facts = facts
+
+	res, err := analysis.RunPackage(unit, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if rc := writeFacts(); rc != 0 {
+		return rc
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test variants fold *_test.go sources into the unit; the datapath
+	// contract governs shipped code, so findings in test files are not
+	// reported.
+	found := 0
+	for _, d := range res.Diagnostics {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+		found++
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses and typechecks the unit's sources, importing
+// every dependency from the compiled export data go vet hands us.
+func typecheckUnit(cfg *vetConfig) (*analysis.Unit, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		file, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer:  mappedImporter{imp: imp, importMap: cfg.ImportMap},
+		Error:     func(err error) { terrs = append(terrs, err) },
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, terrs[0]
+	}
+
+	modulePath := cfg.ModulePath
+	return &analysis.Unit{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		InModule: func(path string) bool {
+			if modulePath != "" {
+				return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+			}
+			return !cfg.Standard[path]
+		},
+	}, nil
+}
+
+// mappedImporter applies the unit's ImportMap (vendoring, test
+// variants) before hitting export data.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+// Import implements types.Importer.
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}

@@ -1,0 +1,219 @@
+// Package analysis is Dejavu's code-level static-analysis layer: a
+// small, dependency-free mirror of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic, cross-package facts) plus
+// the four project analyzers that mechanically enforce the datapath
+// contract the performance PRs established:
+//
+//   - hotpath:  //dv:hotpath functions (and everything they statically
+//     call inside the module) must not allocate, lock, write maps,
+//     read the wall clock, or touch channels.
+//   - snapshot: types published through atomic.Pointer[T] may only be
+//     mutated by //dv:snapshotwriter clone+swap paths.
+//   - poolsafe: every sync.Pool.Get has a Put (or transfers ownership
+//     by returning the object), and pooled objects must not escape
+//     into retained structures.
+//   - detrand:  no naked time.Now / global math/rand in fault,
+//     traffic, or chaos code — clocks and seeds flow through seams.
+//
+// The x/tools module is deliberately not imported: the toolchain is
+// the only dependency, so `go vet -vettool=bin/dvvet` and the
+// standalone driver both work in a hermetic build. See
+// docs/STATIC_ANALYSIS.md for the annotation and waiver contract.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through
+// its Pass; facts exported for the package's functions are visible to
+// later passes over dependent packages.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, located by a resolved file position so
+// findings can flow through JSON fact files without a shared
+// token.FileSet.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic the way vet tools print them.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Facts is the cross-package store: analyzers summarize per-function
+// behaviour bottom-up (dependencies before dependents) under stable
+// string keys. Values are JSON so the same store round-trips through
+// go vet's .vetx files in unit mode.
+type Facts struct {
+	m map[string]json.RawMessage
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: make(map[string]json.RawMessage)} }
+
+// Export records a fact under key, overwriting any previous value.
+func (f *Facts) Export(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f.m[key] = b
+	return nil
+}
+
+// Import loads the fact stored under key into v, reporting whether the
+// key exists.
+func (f *Facts) Import(key string, v any) bool {
+	b, ok := f.m[key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(b, v) == nil
+}
+
+// Keys returns all fact keys with the given prefix, sorted.
+func (f *Facts) Keys(prefix string) []string {
+	var out []string
+	for k := range f.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalJSON serializes the whole store (the .vetx payload).
+func (f *Facts) MarshalJSON() ([]byte, error) { return json.Marshal(f.m) }
+
+// UnmarshalJSON merges a serialized store into this one.
+func (f *Facts) UnmarshalJSON(b []byte) error {
+	if f.m == nil {
+		f.m = make(map[string]json.RawMessage)
+	}
+	var in map[string]json.RawMessage
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	for k, v := range in {
+		f.m[k] = v
+	}
+	return nil
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// InModule reports whether an import path belongs to the module
+	// under analysis (the boundary for call-graph propagation).
+	InModule func(path string) bool
+
+	// Facts is shared across packages within one run; in go vet unit
+	// mode it is loaded from the dependencies' .vetx files.
+	Facts *Facts
+
+	allows allowIndex
+	diags  []Diagnostic
+	waived int
+}
+
+// Reportf records a finding at pos unless a //dv:allow waiver covers
+// the line for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows.allowed(p.Analyzer.Name, position) {
+		p.waived++
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a finding at an already-resolved position (e.g. one
+// that travelled through a fact). Waivers were applied where the
+// effect was collected, so none are re-checked here.
+func (p *Pass) ReportAt(position token.Position, msg string) {
+	p.diags = append(p.diags, Diagnostic{Analyzer: p.Analyzer.Name, Pos: position, Message: msg})
+}
+
+// Waived reports whether a //dv:allow waiver for this analyzer covers
+// the line of pos, counting it as used when it does.
+func (p *Pass) Waived(pos token.Pos) bool {
+	if p.allows.allowed(p.Analyzer.Name, p.Fset.Position(pos)) {
+		p.waived++
+		return true
+	}
+	return false
+}
+
+// ObjKey returns the stable cross-package key of a function or method:
+// "pkg/path.Func" or "pkg/path.(Recv).Method". Keys survive the trip
+// through export data, so source-checked and gc-imported views of the
+// same function agree.
+func ObjKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name() // builtins (error.Error etc.)
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg.Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+		}
+		// Interface method sets and other receivers: fall back to the
+		// receiver type's string form.
+		return pkg.Path() + ".(" + types.TypeString(t, nil) + ")." + fn.Name()
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// ParsePosition turns a "file:line:col" string (a token.Position
+// rendered into a fact) back into a token.Position.
+func ParsePosition(s string) token.Position {
+	pos := token.Position{Filename: s}
+	// Split from the right: filenames may contain colons only in
+	// theory, but line and column never do.
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return pos
+	}
+	col, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return pos
+	}
+	j := strings.LastIndexByte(s[:i], ':')
+	if j < 0 {
+		return pos
+	}
+	line, err := strconv.Atoi(s[j+1 : i])
+	if err != nil {
+		return pos
+	}
+	return token.Position{Filename: s[:j], Line: line, Column: col}
+}

@@ -1,0 +1,245 @@
+package analysis_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"dejavu/internal/analysis"
+)
+
+// The golden tests drive the real loader over the fixture module in
+// testdata/ (its own go.mod, so the fixtures never build with the main
+// module) and compare every diagnostic against the `// want` comments
+// seeded next to each violation. Each analyzer gets a violating and a
+// conforming package; a diagnostic without a want, or a want without a
+// diagnostic, fails the test.
+
+// wantRe matches a seeded expectation: // want `regexp`
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+var (
+	fixOnce sync.Once
+	fixRes  analysis.Result
+	fixErr  error
+)
+
+// fixtures loads and analyzes the fixture module once per test binary.
+func fixtures(t *testing.T) analysis.Result {
+	t.Helper()
+	fixOnce.Do(func() {
+		prog, err := analysis.Load("testdata", "./...")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixRes, fixErr = analysis.RunPackages(prog, analysis.Analyzers())
+	})
+	if fixErr != nil {
+		t.Fatalf("loading fixtures: %v", fixErr)
+	}
+	return fixRes
+}
+
+// want is one expectation read from a fixture file.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// scanWants collects the want comments of the named fixture dirs.
+func scanWants(t *testing.T, dirs ...string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(filepath.Join("testdata", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(abs, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for line := 1; sc.Scan(); line++ {
+				m := wantRe.FindStringSubmatch(sc.Text())
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", path, line, err)
+				}
+				wants = append(wants, &want{file: path, line: line, re: re})
+			}
+			f.Close()
+		}
+	}
+	return wants
+}
+
+// checkAnalyzer matches one analyzer's diagnostics in the given
+// fixture dirs against their want comments, both directions.
+func checkAnalyzer(t *testing.T, name string, dirs ...string) {
+	t.Helper()
+	res := fixtures(t)
+	wants := scanWants(t, dirs...)
+	inDirs := func(file string) bool {
+		for _, dir := range dirs {
+			if filepath.Base(filepath.Dir(file)) == dir {
+				return true
+			}
+		}
+		return false
+	}
+	seeded := 0
+	for _, d := range res.Diagnostics {
+		if d.Analyzer != name || !inDirs(d.Pos.Filename) {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				seeded++
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: seeded violation not reported (want %q)", w.file, w.line, w.re)
+		}
+	}
+	if seeded == 0 {
+		t.Errorf("%s: no seeded violation was reported at all", name)
+	}
+}
+
+func TestHotpathGolden(t *testing.T)  { checkAnalyzer(t, "hotpath", "hotbad", "hotdep", "hotok") }
+func TestSnapshotGolden(t *testing.T) { checkAnalyzer(t, "snapshot", "snapbad", "snapok") }
+func TestPoolsafeGolden(t *testing.T) { checkAnalyzer(t, "poolsafe", "poolbad", "poolok") }
+func TestDetrandGolden(t *testing.T)  { checkAnalyzer(t, "detrand", "fault", "traffic", "engine") }
+
+// TestWaiverAccounting proves //dv:allow suppressions are counted, not
+// silently dropped: the hotok fixture carries exactly one waiver.
+func TestWaiverAccounting(t *testing.T) {
+	res := fixtures(t)
+	if res.Waived == 0 {
+		t.Fatalf("fixture run recorded no waived findings; hotok's //dv:allow should count")
+	}
+}
+
+var (
+	realOnce sync.Once
+	realRes  analysis.Result
+	realErr  error
+)
+
+// realTree loads and analyzes the repository's own module once.
+func realTree(t *testing.T) analysis.Result {
+	t.Helper()
+	realOnce.Do(func() {
+		prog, err := analysis.Load("../..", "./...")
+		if err != nil {
+			realErr = err
+			return
+		}
+		realRes, realErr = analysis.RunPackages(prog, analysis.Analyzers())
+	})
+	if realErr != nil {
+		t.Fatalf("loading module: %v", realErr)
+	}
+	return realRes
+}
+
+// TestRealTreeClean is the committed-tree gate: the shipped sources
+// must produce zero findings (waivers are fine; they carry reasons).
+func TestRealTreeClean(t *testing.T) {
+	res := realTree(t)
+	if len(res.Diagnostics) > 0 {
+		var sb strings.Builder
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(&sb, "\n  %s", d)
+		}
+		t.Errorf("committed tree has %d dvvet finding(s):%s", len(res.Diagnostics), sb.String())
+	}
+}
+
+// TestHotpathAnnotationCoversInjectQuiet pins the annotation contract
+// to the real datapath: everything InjectQuiet statically reaches
+// inside the module must be in the checked call graph — including
+// functions whose call sites carry waivers (a waiver accepts effects,
+// it does not remove the callee from the surface).
+func TestHotpathAnnotationCoversInjectQuiet(t *testing.T) {
+	res := realTree(t)
+	const root = "dejavu/internal/asic.(Switch).InjectQuiet"
+	cov := analysis.CoverageFrom(res.Facts, root)
+	covered := make(map[string]bool, len(cov))
+	for _, k := range cov {
+		covered[k] = true
+	}
+	for _, fn := range []string{
+		root,
+		"dejavu/internal/asic.(Switch).run",
+		"dejavu/internal/asic.(Switch).admit",
+		"dejavu/internal/asic.(Switch).countDone",
+		"dejavu/internal/asic.(Switch).countRefused",
+		"dejavu/internal/asic.(Switch).emit",
+		"dejavu/internal/asic.(Switch).toCPU",
+		"dejavu/internal/asic.(Switch).stats",
+	} {
+		if !covered[fn] {
+			t.Errorf("hot-path call graph from %s does not reach %s", root, fn)
+		}
+	}
+	if len(cov) < 8 {
+		t.Errorf("suspiciously small call graph from %s: %v", root, cov)
+	}
+}
+
+// TestRealTreeHotAnnotations pins the annotation set itself: the
+// functions the performance contract names must carry //dv:hotpath.
+func TestRealTreeHotAnnotations(t *testing.T) {
+	res := realTree(t)
+	hot := make(map[string]bool)
+	for _, k := range analysis.HotFuncs(res.Facts) {
+		hot[k] = true
+	}
+	for _, fn := range []string{
+		"dejavu/internal/asic.(Switch).InjectQuiet",
+		"dejavu/internal/asic.(Switch).run",
+		"dejavu/internal/packet.GetParsed",
+		"dejavu/internal/packet.PutParsed",
+		"dejavu/internal/packet.(Parsed).CopyFrom",
+		"dejavu/internal/pktgen.(Generator).PacketInto",
+		"dejavu/internal/telemetry.(DatapathShard).FastDone",
+		"dejavu/internal/telemetry.(DatapathShard).Flush",
+		"dejavu/internal/telemetry.(DatapathShard).PacketDone",
+		"dejavu/internal/telemetry.(Histogram).Observe",
+	} {
+		if !hot[fn] {
+			t.Errorf("%s is not annotated //dv:hotpath", fn)
+		}
+	}
+}

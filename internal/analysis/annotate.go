@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Source annotations, the contract between the datapath code and the
+// analyzers (see docs/STATIC_ANALYSIS.md):
+//
+//	//dv:hotpath         this function is on the packet hot path
+//	//dv:snapshotwriter  this function is a clone+swap snapshot writer
+//	//dv:allow <names>: <reason>
+//	                     waive findings from the named analyzers
+//	                     (comma-separated) on this line or the next
+//
+// Directives ride in a function's doc comment; waivers sit on (or
+// directly above) the offending line and must carry a reason.
+
+// Directive names.
+const (
+	DirHotpath        = "dv:hotpath"
+	DirSnapshotWriter = "dv:snapshotwriter"
+	dirAllowPrefix    = "dv:allow "
+)
+
+// hasDirective reports whether a function's doc comment carries the
+// given //dv: directive.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.TrimSpace(text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex maps file -> line -> analyzer names waived there.
+type allowIndex map[string]map[int][]string
+
+// buildAllowIndex scans every comment of the files for //dv:allow
+// waivers.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, dirAllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, dirAllowPrefix)
+				names := rest
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					names = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx[pos.Filename] = m
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						m[pos.Line] = append(m[pos.Line], n)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether analyzer name is waived at position: a
+// waiver comment on the same line or the line directly above covers
+// the finding.
+func (idx allowIndex) allowed(name string, pos token.Position) bool {
+	m := idx[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range m[line] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inspectStack walks every node of the files depth-first, handing the
+// visitor the node together with its ancestor stack (outermost first,
+// the node itself excluded). Returning false prunes the subtree.
+func inspectStack(files []*ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := visit(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on the
+// stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// enclosingDecl returns the top-level FuncDecl on the stack, or nil.
+func enclosingDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := range stack {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader is the stdlib stand-in for golang.org/x/tools/go/packages:
+// `go list -export -deps -json` enumerates the build graph and hands us
+// compiled export data for every non-module dependency, module packages
+// are re-typechecked from source (analyzers need syntax), and the gc
+// export-data importer stitches the two worlds together.
+
+// Package is one module package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	imports []string // module-internal imports, for topological order
+}
+
+// Program is a loaded module: its packages in dependency order plus
+// the shared FileSet.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Packages   []*Package
+}
+
+// InModule reports whether an import path belongs to the loaded module.
+func (p *Program) InModule(path string) bool {
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// loader resolves and typechecks one `go list` universe.
+type loader struct {
+	fset  *token.FileSet
+	infos map[string]*listPkg
+	typed map[string]*types.Package // memoized source-checked module packages
+	built map[string]*Package
+	gc    types.Importer
+	errs  []error
+}
+
+// Load lists patterns in dir (default "./...") and returns the module's
+// packages, typechecked from source, in dependency order. Non-module
+// dependencies are imported from compiled export data, so loading works
+// offline with nothing but the toolchain.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	l := &loader{
+		fset:  token.NewFileSet(),
+		infos: make(map[string]*listPkg),
+		typed: make(map[string]*types.Package),
+		built: make(map[string]*Package),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var roots []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		cp := p
+		l.infos[p.ImportPath] = &cp
+		roots = append(roots, &cp)
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		info := l.infos[path]
+		if info == nil || info.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(info.Export)
+	})
+
+	prog := &Program{Fset: l.fset}
+	for _, p := range roots {
+		if p.Module != nil && p.Module.Main {
+			prog.ModulePath = p.Module.Path
+			break
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range roots {
+		if p.Module == nil || !p.Module.Main || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := l.check(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(l.errs) > 0 {
+		var sb strings.Builder
+		for i, e := range l.errs {
+			if i >= 10 {
+				fmt.Fprintf(&sb, "... and %d more", len(l.errs)-10)
+				break
+			}
+			sb.WriteString(e.Error())
+			sb.WriteByte('\n')
+		}
+		return nil, fmt.Errorf("analysis: type errors:\n%s", sb.String())
+	}
+	prog.Packages = topoSort(pkgs)
+	return prog, nil
+}
+
+// check source-typechecks one module package, recursively checking its
+// module-internal imports first.
+func (l *loader) check(path string) (*Package, error) {
+	if pkg, ok := l.built[path]; ok {
+		return pkg, nil
+	}
+	info := l.infos[path]
+	if info == nil {
+		return nil, fmt.Errorf("analysis: package %q not listed", path)
+	}
+	files := make([]*ast.File, 0, len(info.GoFiles))
+	for _, f := range info.GoFiles {
+		file, err := parser.ParseFile(l.fset, filepath.Join(info.Dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+	}
+	tinfo := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { l.errs = append(l.errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, tinfo)
+	l.typed[path] = tpkg
+	pkg := &Package{Path: path, Dir: info.Dir, Files: files, Types: tpkg, Info: tinfo}
+	for _, imp := range info.Imports {
+		if resolved, ok := info.ImportMap[imp]; ok {
+			imp = resolved
+		}
+		if t := l.infos[imp]; t != nil && t.Module != nil && t.Module.Main {
+			pkg.imports = append(pkg.imports, imp)
+		}
+	}
+	l.built[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter routes imports during source typechecking: module
+// packages recurse into the source checker, everything else comes from
+// gc export data.
+type loaderImporter loader
+
+// Import implements types.Importer.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if info := l.infos[path]; info != nil && info.Module != nil && info.Module.Main {
+		if tp, ok := l.typed[path]; ok {
+			return tp, nil
+		}
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// topoSort orders module packages dependencies-first so bottom-up fact
+// propagation sees callees before callers.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var order []*Package
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.Path] != 0 {
+			return
+		}
+		state[p.Path] = 1
+		deps := append([]string(nil), p.imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if dp := byPath[d]; dp != nil {
+				visit(dp)
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(byPath[path])
+	}
+	return order
+}

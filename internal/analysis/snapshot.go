@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The snapshot analyzer enforces the RCU discipline behind the
+// lock-free packet path: a type T published through an
+// atomic.Pointer[T] field (declared in the same package as T) is a
+// "snapshot type". Its fields may be read freely off a Load()ed
+// pointer, but may only be WRITTEN by
+//
+//   - a function annotated //dv:snapshotwriter (the clone+swap path,
+//     e.g. asic.(*Switch).update),
+//   - a function literal passed directly to an annotated function
+//     (the mutation closures handed to update), or
+//   - code mutating a freshly constructed local (&T{} / T{} / new(T)
+//     in the same function — building the next generation before it
+//     is published).
+//
+// The same scope rule governs Store/Swap/CompareAndSwap on the
+// atomic.Pointer[T] cell itself: publishing a new snapshot is a
+// writer-path action.
+//
+// Limitation: the pointer field and T must live in one package; a
+// type published by a *different* package's atomic.Pointer field is
+// not tracked (no such pairing exists in this module today).
+
+// Snapshot returns the snapshot analyzer.
+func Snapshot() *Analyzer {
+	return &Analyzer{
+		Name: "snapshot",
+		Doc:  "types published via atomic.Pointer[T] may only be mutated by //dv:snapshotwriter clone+swap paths",
+		Run:  runSnapshot,
+	}
+}
+
+func runSnapshot(pass *Pass) error {
+	snapTypes := snapshotTypes(pass)
+	if len(snapTypes) == 0 {
+		return nil
+	}
+
+	writers := writerDecls(pass)
+
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkSnapshotWrite(pass, snapTypes, writers, lhs, stack)
+			}
+		case *ast.IncDecStmt:
+			checkSnapshotWrite(pass, snapTypes, writers, n.X, stack)
+		case *ast.CallExpr:
+			checkSnapshotPublish(pass, snapTypes, writers, n, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// snapshotTypes finds every named type T in this package that some
+// struct field publishes as atomic.Pointer[T] (possibly behind a *).
+func snapshotTypes(pass *Pass) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if t := atomicPointerElem(st.Field(i).Type()); t != nil {
+				if elem, ok := t.(*types.Named); ok && elem.Obj().Pkg() == pass.Pkg {
+					out[elem] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// atomicPointerElem returns T when t is atomic.Pointer[T] or
+// *atomic.Pointer[T], else nil.
+func atomicPointerElem(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return args.At(0)
+}
+
+// writerDecls collects the package's //dv:snapshotwriter functions.
+func writerDecls(pass *Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, DirSnapshotWriter) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkSnapshotWrite flags an assignment whose target is (a chain
+// rooted at) a field of a snapshot type, outside writer scope.
+func checkSnapshotWrite(pass *Pass, snapTypes map[*types.Named]bool, writers map[*types.Func]bool, lhs ast.Expr, stack []ast.Node) {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if named := namedOf(pass.TypesInfo, x.X); named != nil && snapTypes[named] {
+				if !inWriterScope(pass, writers, stack) && !freshLocal(pass, x.X, stack) {
+					pass.Reportf(lhs.Pos(),
+						"write to field %s of snapshot type %s outside a //dv:snapshotwriter function (clone, mutate, then republish)",
+						x.Sel.Name, named.Obj().Name())
+				}
+				return
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// checkSnapshotPublish flags Store/Swap/CompareAndSwap on an
+// atomic.Pointer[T] cell holding a snapshot type, outside writer
+// scope.
+func checkSnapshotPublish(pass *Pass, snapTypes map[*types.Named]bool, writers map[*types.Func]bool, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return
+	}
+	elem := atomicPointerElem(tv.Type)
+	if elem == nil {
+		return
+	}
+	named, ok := elem.(*types.Named)
+	if !ok || !snapTypes[named] {
+		return
+	}
+	if inWriterScope(pass, writers, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s on atomic.Pointer[%s] outside a //dv:snapshotwriter function (snapshot publication is a writer-path action)",
+		sel.Sel.Name, named.Obj().Name())
+}
+
+// namedOf resolves an expression's type to a named type, stripping
+// one level of pointer.
+func namedOf(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// inWriterScope walks the enclosing-function stack: an annotated
+// FuncDecl qualifies, and so does a FuncLit passed directly as an
+// argument to a call of an annotated (package-local) function — the
+// update(func(sn *snapshot){...}) idiom.
+func inWriterScope(pass *Pass, writers map[*types.Func]bool, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok && writers[fn] {
+				return true
+			}
+			return false
+		case *ast.FuncLit:
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok {
+					if callee := calleeFunc(pass.TypesInfo, call.Fun); callee != nil && writers[callee] {
+						return true
+					}
+				}
+			}
+			// A literal not handed to a writer keeps scanning outward:
+			// a closure built inside a writer is still writer code.
+		}
+	}
+	return false
+}
+
+// freshLocal reports whether the written expression is rooted at a
+// local variable initialized from a composite literal or new() in the
+// enclosing function — mutation of a next-generation value that has
+// not been published yet.
+func freshLocal(pass *Pass, root ast.Expr, stack []ast.Node) bool {
+	id, ok := ast.Unparen(root).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil || v.Pos() < fn.Pos() || v.Pos() > fn.End() {
+		return false
+	}
+	// Find the declaration assignment and require a fresh RHS.
+	fresh := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[lid] != v {
+				continue
+			}
+			if i < len(assign.Rhs) && isFreshExpr(pass.TypesInfo, assign.Rhs[i]) {
+				fresh = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr recognizes &T{}, T{} and new(T).
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if _, ok := e.X.(*ast.CompositeLit); ok {
+			return true
+		}
+	case *ast.CallExpr:
+		return builtinName(info, e.Fun) == "new"
+	}
+	return false
+}

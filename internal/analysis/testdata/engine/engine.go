@@ -1,0 +1,15 @@
+// Package engine proves detrand's scope extends to *Chaos* functions
+// inside packages that are otherwise out of scope.
+package engine
+
+import "time"
+
+// StirChaos is in scope by function name.
+func StirChaos() time.Time {
+	return time.Now() // want `naked time\.Now in deterministic code`
+}
+
+// Plain is out of scope: the same call draws no finding.
+func Plain() time.Time {
+	return time.Now()
+}

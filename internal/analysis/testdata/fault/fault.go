@@ -1,0 +1,17 @@
+// Package fault seeds determinism violations inside a scoped package
+// (any package whose import path ends in "fault" is deterministic
+// territory).
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws naked wall-clock time and global randomness.
+func Jitter() time.Duration {
+	start := time.Now()          // want `naked time\.Now in deterministic code`
+	n := rand.Intn(10)           // want `global math/rand source \(rand\.Intn\) in deterministic code`
+	time.Sleep(time.Duration(n)) // want `naked time\.Sleep in deterministic code`
+	return time.Since(start)     // want `naked time\.Since in deterministic code`
+}

@@ -1,0 +1,38 @@
+// Package hotbad seeds one of every hotpath effect class the analyzer
+// must catch: allocation, locking, map writes, channel ops, clock
+// reads, fmt, and effects inherited from unannotated callees.
+package hotbad
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fixtures/hotdep"
+)
+
+var mu sync.Mutex
+
+var table = map[string]int{}
+
+var ch = make(chan int, 1)
+
+// Spin is the annotated hot root; every effect below must surface.
+//
+//dv:hotpath
+func Spin(n int) string {
+	mu.Lock()              // want `hot path: acquires sync\.Mutex`
+	buf := make([]byte, n) // want `hot path: allocates a slice \(make\)`
+	table["k"] = n         // want `hot path: writes a map`
+	ch <- n                // want `hot path: channel send`
+	helper(n)
+	hotdep.Fill(buf)
+	_ = time.Now()              // want `hot path: reads the wall clock \(time\.Now\)`
+	return fmt.Sprintf("%d", n) // want `hot path: calls fmt\.Sprintf \(formats and allocates\)`
+}
+
+// helper is not annotated: its effects climb into Spin's report with a
+// via-chain naming this function.
+func helper(n int) []int {
+	return append([]int(nil), n) // want `hot path: append may grow the backing array \(via hotbad\.helper\)`
+}

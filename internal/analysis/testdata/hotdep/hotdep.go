@@ -1,0 +1,10 @@
+// Package hotdep proves hot-path effects propagate across package
+// boundaries through exported facts: nothing here is annotated, yet
+// the violation below is reported because a //dv:hotpath function in
+// fixtures/hotbad calls Fill.
+package hotdep
+
+// Fill is plain code pulled onto the hot path by its caller.
+func Fill(b []byte) []byte {
+	return append(b, 0) // want `hot path: append may grow the backing array \(via hotdep\.Fill\)`
+}

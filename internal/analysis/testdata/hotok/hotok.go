@@ -1,0 +1,35 @@
+// Package hotok is the conforming side of the hotpath fixture set:
+// atomics and in-place writes pass, cold branches carry waivers, and
+// dynamic calls are a checked boundary rather than a finding.
+package hotok
+
+import "sync/atomic"
+
+var count atomic.Uint64
+
+// Tick is hot and clean: atomics, slice writes, arithmetic.
+//
+//dv:hotpath
+func Tick(buf []byte, v byte) {
+	count.Add(1)
+	if len(buf) > 0 {
+		buf[0] = v
+	}
+}
+
+// Trace is hot but waives its one cold-branch effect with a reason.
+//
+//dv:hotpath
+func Trace(msgs []string, quiet bool, msg string) []string {
+	if !quiet {
+		msgs = append(msgs, msg) //dv:allow hotpath: traced mode only
+	}
+	return msgs
+}
+
+// Dyn calls through a func value: dynamic calls are not followed.
+//
+//dv:hotpath
+func Dyn(f func() []byte) {
+	_ = f()
+}

@@ -1,0 +1,37 @@
+// Package poolbad seeds pool-discipline violations: the forgotten Put
+// and the two escape shapes (retained structure, channel).
+package poolbad
+
+import "sync"
+
+type buf struct {
+	b [64]byte
+}
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+type keeper struct {
+	last *buf
+}
+
+var sink = make(chan *buf, 1)
+
+// Leak draws from the pool and never gives back.
+func Leak() {
+	b := pool.Get().(*buf) // want `sync\.Pool\.Get without a matching Put in Leak`
+	_ = b
+}
+
+// Retain parks a pooled object in a retained structure.
+func Retain(k *keeper) {
+	b := pool.Get().(*buf)
+	k.last = b // want `pooled object b escapes into a retained structure`
+	pool.Put(b)
+}
+
+// Send leaks a pooled object across a channel.
+func Send() {
+	b := pool.Get().(*buf)
+	sink <- b // want `pooled object b escapes on a channel`
+	pool.Put(b)
+}

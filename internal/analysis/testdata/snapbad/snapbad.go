@@ -1,0 +1,24 @@
+// Package snapbad seeds snapshot-discipline violations: in-place
+// mutation of a published snapshot and publication outside a writer.
+package snapbad
+
+import "sync/atomic"
+
+type state struct {
+	n int
+}
+
+type holder struct {
+	cur atomic.Pointer[state]
+}
+
+// Mutate writes a published snapshot field in place.
+func (h *holder) Mutate(v int) {
+	sn := h.cur.Load()
+	sn.n = v // want `write to field n of snapshot type state outside a //dv:snapshotwriter function`
+}
+
+// Publish stores a snapshot without being a writer.
+func (h *holder) Publish(sn *state) {
+	h.cur.Store(sn) // want `Store on atomic\.Pointer\[state\] outside a //dv:snapshotwriter function`
+}

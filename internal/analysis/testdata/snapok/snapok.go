@@ -1,0 +1,45 @@
+// Package snapok shows the three legal snapshot-write shapes: the
+// annotated clone+swap writer, the update-closure idiom, and mutation
+// of a fresh local that was never published.
+package snapok
+
+import "sync/atomic"
+
+type state struct {
+	n int
+}
+
+type holder struct {
+	cur atomic.Pointer[state]
+}
+
+// Swap is an annotated writer: clone, mutate, republish.
+//
+//dv:snapshotwriter
+func (h *holder) Swap(v int) {
+	n := *h.cur.Load()
+	n.n = v
+	h.cur.Store(&n)
+}
+
+// update runs a mutation closure between clone and republish.
+//
+//dv:snapshotwriter
+func (h *holder) update(f func(*state)) {
+	n := *h.cur.Load()
+	f(&n)
+	h.cur.Store(&n)
+}
+
+// SetN mutates through the update-closure idiom: the literal is a
+// direct argument to an annotated writer, so its writes are legal.
+func (h *holder) SetN(v int) {
+	h.update(func(sn *state) { sn.n = v })
+}
+
+// Fresh mutates a local it just built: not yet published, no finding.
+func Fresh(v int) *state {
+	sn := &state{}
+	sn.n = v
+	return sn
+}

@@ -1,0 +1,19 @@
+// Package traffic shows the conforming seams inside a scoped package:
+// a clock referenced as a value and a seeded *rand.Rand instance.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// clock is a seam default: referencing time.Now as a VALUE is the
+// pattern; calling it inline is the bug.
+var clock = time.Now
+
+// Draw uses the seam and a seeded source; methods on a *rand.Rand
+// instance are always fine.
+func Draw(seed int64) (time.Time, int) {
+	rng := rand.New(rand.NewSource(seed))
+	return clock(), rng.Intn(10)
+}

@@ -248,6 +248,8 @@ var tracePool = sync.Pool{New: func() any { return new(Trace) }}
 
 // New creates a switch with all ports in normal mode and empty
 // pipelet programs (packets pass through unmodified).
+//
+//dv:snapshotwriter
 func New(prof Profile) *Switch {
 	s := &Switch{
 		prof:        prof,
@@ -272,6 +274,8 @@ func New(prof Profile) *Switch {
 
 // update applies one configuration mutation copy-on-write and
 // publishes the new snapshot.
+//
+//dv:snapshotwriter
 func (s *Switch) update(f func(*snapshot)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -500,21 +504,21 @@ func (s *Switch) DrainCPU() []*packet.Parsed {
 // InjectQuiet and counts the packet into the ingress port stats.
 func (s *Switch) admit(sn *snapshot, in PortID, pkt *packet.Parsed) error {
 	if !s.prof.ValidPort(in) || IsRecircPort(in) || in == PortCPU {
-		return fmt.Errorf("asic: cannot inject on port %d", in)
+		return fmt.Errorf("asic: cannot inject on port %d", in) //dv:allow hotpath: cold admission-error path
 	}
 	if sn.loopbackOf(in) != LoopbackOff {
-		return fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)
+		return fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in) //dv:allow hotpath: cold admission-error path
 	}
 	if !sn.portUp(in) {
-		return fmt.Errorf("asic: port %d is down", in)
+		return fmt.Errorf("asic: port %d is down", in) //dv:allow hotpath: cold admission-error path
 	}
 	if sn.faults != nil {
 		if err := sn.faults.OnInject(in, pkt); err != nil {
 			s.drops.Add(1)
-			return fmt.Errorf("asic: inject fault on port %d: %w", in, err)
+			return fmt.Errorf("asic: inject fault on port %d: %w", in, err) //dv:allow hotpath: cold admission-error path
 		}
 	}
-	st := s.stats(in)
+	st := s.stats(in) //dv:allow hotpath: profile ports hit preallocated arrays; the locked overflow map serves only out-of-profile ports
 	st.RxPackets.Add(1)
 	st.RxBytes.Add(uint64(pkt.WireLen()))
 	return nil
@@ -545,6 +549,8 @@ func (s *Switch) Inject(in PortID, pkt *packet.Parsed) (*Trace, error) {
 // like Inject but records no per-step history and allocates nothing in
 // steady state, returning only the scalar disposition. Use it for
 // high-rate traffic engines; use Inject when the traversal matters.
+//
+//dv:hotpath
 func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error) {
 	sn := s.snap.Load()
 	if err := s.admit(sn, in, pkt); err != nil {
@@ -609,6 +615,8 @@ func (s *Switch) countDone(sn *snapshot, ctx *Ctx, tr *Trace) {
 // exceeds the pass budget. It reads configuration exclusively from the
 // snapshot captured at injection: a packet in flight is never torn
 // between two configurations, and the loop takes zero locks.
+//
+//dv:hotpath
 func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 	// Per-traversal events accumulate in the context's plain-memory
 	// delta (countDone flushes them in one batch); pipelines beyond the
@@ -625,14 +633,14 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			tr.DropReason = "pass budget exceeded (routing loop?)"
 			tr.DropCode = telemetry.DropPassBudget
 			s.drops.Add(1)
-			return fmt.Errorf("asic: %s", tr.DropReason)
+			return fmt.Errorf("asic: %s", tr.DropReason) //dv:allow hotpath: terminal routing-loop error, once per packet lifetime
 		}
 		pipeline := s.prof.PipelineOf(ctx.Meta.InPort)
 
 		// Ingress pipelet.
 		ctx.Pipelet = PipeletID{Pipeline: pipeline, Dir: Ingress}
 		if !tr.quiet {
-			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet}) //dv:allow hotpath: traced mode only; quiet traces never append
 		}
 		if sh != nil {
 			if pipeline < telemetry.MaxPipelines {
@@ -654,7 +662,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			return nil
 		}
 		if ctx.Meta.ToCPU {
-			s.toCPU(ctx, tr)
+			s.toCPU(ctx, tr) //dv:allow hotpath: CPU punt leaves the fast path; the control-plane queue is lock-guarded by design
 			return nil
 		}
 		if ctx.Meta.Resubmit {
@@ -688,13 +696,16 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		}
 		if !s.prof.ValidPort(out) {
 			tr.Dropped = true
-			tr.DropReason = fmt.Sprintf("invalid egress port %d", out)
 			tr.DropCode = telemetry.DropInvalidPort
+			tr.DropReason = tr.DropCode.String()
+			if !tr.quiet {
+				tr.DropReason = fmt.Sprintf("invalid egress port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
+			}
 			s.drops.Add(1)
 			return nil
 		}
 		if out == PortCPU {
-			s.toCPU(ctx, tr)
+			s.toCPU(ctx, tr) //dv:allow hotpath: CPU punt leaves the fast path; the control-plane queue is lock-guarded by design
 			return nil
 		}
 		tr.Latency += s.prof.TMLatency
@@ -702,7 +713,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if ctx.Meta.Mirror && ctx.Meta.MirrorPort != PortUnset {
 			// Mirrored copy leaves immediately from the TM; a lost
 			// mirror does not affect the original packet.
-			cp := ctx.Pkt.Clone()
+			cp := ctx.Pkt.Clone() //dv:allow hotpath: mirror copies allocate by design; the non-mirrored fast path never reaches this
 			s.emit(sn, ctx.Meta.MirrorPort, cp, tr)
 			ctx.Meta.Mirror = false
 		}
@@ -710,7 +721,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		egPipeline := s.prof.PipelineOf(out)
 		ctx.Pipelet = PipeletID{Pipeline: egPipeline, Dir: Egress}
 		if !tr.quiet {
-			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet})
+			tr.Steps = append(tr.Steps, Step{Pipelet: ctx.Pipelet}) //dv:allow hotpath: traced mode only; quiet traces never append
 		}
 		if sh != nil {
 			if egPipeline < telemetry.MaxPipelines {
@@ -731,7 +742,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			return nil
 		}
 		if ctx.Meta.ToCPU {
-			s.toCPU(ctx, tr)
+			s.toCPU(ctx, tr) //dv:allow hotpath: CPU punt leaves the fast path; the control-plane queue is lock-guarded by design
 			return nil
 		}
 
@@ -754,15 +765,21 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		}
 		if !IsRecircPort(out) && !sn.portUp(out) {
 			tr.Dropped = true
-			tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out)
 			tr.DropCode = telemetry.DropRecircDead
+			tr.DropReason = tr.DropCode.String()
+			if !tr.quiet {
+				tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
+			}
 			s.drops.Add(1)
 			return nil
 		}
 		if sn.faults != nil && !sn.faults.OnRecirculate(out, ctx.Pkt) {
 			tr.Dropped = true
-			tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out)
 			tr.DropCode = telemetry.DropRecircOverload
+			tr.DropReason = tr.DropCode.String()
+			if !tr.quiet {
+				tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
+			}
 			s.drops.Add(1)
 			return nil
 		}
@@ -785,7 +802,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 		if !tr.quiet {
 			tr.Steps[len(tr.Steps)-1].Note = "recirculate"
 		}
-		st := s.stats(out)
+		st := s.stats(out) //dv:allow hotpath: profile ports hit preallocated arrays; the locked overflow map serves only out-of-profile ports
 		wl := uint64(ctx.Pkt.WireLen())
 		st.TxPackets.Add(1)
 		st.TxBytes.Add(wl)
@@ -814,17 +831,23 @@ func (s *Switch) toCPU(ctx *Ctx, tr *Trace) {
 // wire.
 func (s *Switch) emit(sn *snapshot, port PortID, pkt *packet.Parsed, tr *Trace) (bool, string, telemetry.DropReason) {
 	if !IsRecircPort(port) && port != PortCPU && !sn.portUp(port) {
-		return false, fmt.Sprintf("egress port %d down", port), telemetry.DropPortDown
+		if !tr.quiet {
+			return false, fmt.Sprintf("egress port %d down", port), telemetry.DropPortDown //dv:allow hotpath: traced mode formats rich drop reasons
+		}
+		return false, telemetry.DropPortDown.String(), telemetry.DropPortDown
 	}
 	if sn.faults != nil && !sn.faults.OnEmit(port, pkt) {
-		return false, fmt.Sprintf("packet lost on wire at port %d", port), telemetry.DropWire
+		if !tr.quiet {
+			return false, fmt.Sprintf("packet lost on wire at port %d", port), telemetry.DropWire //dv:allow hotpath: traced mode formats rich drop reasons
+		}
+		return false, telemetry.DropWire.String(), telemetry.DropWire
 	}
-	st := s.stats(port)
+	st := s.stats(port) //dv:allow hotpath: profile ports hit preallocated arrays; the locked overflow map serves only out-of-profile ports
 	st.TxPackets.Add(1)
 	st.TxBytes.Add(uint64(pkt.WireLen()))
 	tr.emitCount++
 	if !tr.quiet {
-		tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt})
+		tr.Out = append(tr.Out, Emitted{Port: port, Pkt: pkt}) //dv:allow hotpath: traced mode only; quiet traces never append
 	}
 	return true, "", telemetry.DropNone
 }

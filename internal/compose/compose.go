@@ -72,6 +72,8 @@ type Composer struct {
 func (c *Composer) Telemetry() *Telemetry { return c.telemetry }
 
 // New creates a composer and precomputes the branching function.
+//
+//dv:snapshotwriter
 func New(prof asic.Profile, chains []route.Chain, placement *route.Placement, nfs nf.List) (*Composer, error) {
 	if err := placement.Validate(prof, chains); err != nil {
 		return nil, err

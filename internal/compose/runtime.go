@@ -50,6 +50,8 @@ func (c *Composer) runtimeOf(ctx *asic.Ctx) *Runtime {
 // the previous generation — whose closures captured that state — stay
 // valid under the new one. The NF universe must be unchanged; only the
 // chain set and placement may differ.
+//
+//dv:snapshotwriter
 func (c *Composer) AdoptState(prev *Composer) error {
 	if prev == nil {
 		return nil
@@ -86,6 +88,8 @@ func (c *Composer) FuncFor(pl asic.PipeletID) asic.StageFunc {
 // composition step the incremental pipeline uses instead of Build:
 // blocks and funcs may come from this composer or from a cache of a
 // previous generation (AdoptState makes the latter safe).
+//
+//dv:snapshotwriter
 func (c *Composer) Assemble(parser *p4.ParserGraph, idt *p4.GlobalIDTable,
 	blocks map[asic.PipeletID]*p4.ControlBlock, ingress, egress []asic.StageFunc) *Deployment {
 	rt := &Runtime{branching: c.Branching, postcards: c.postcards}

@@ -58,6 +58,7 @@ func newPathState(ids []uint16) *pathState {
 	return st
 }
 
+//dv:snapshotwriter
 func newTelemetry(nfNames []string, chains []route.Chain) *Telemetry {
 	t := &Telemetry{
 		nfNames: append([]string(nil), nfNames...),
@@ -84,6 +85,8 @@ func newTelemetry(nfNames []string, chains []route.Chain) *Telemetry {
 // ensurePaths grows the path universe to cover every chain in the set,
 // keeping existing counter cells (and their values). Counters of paths
 // no longer declared are retained: they are totals since deployment.
+//
+//dv:snapshotwriter
 func (t *Telemetry) ensurePaths(chains []route.Chain) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -213,6 +214,13 @@ func TestHotSwapHammer(t *testing.T) {
 				emitted.Add(int64(q.Emitted))
 			}
 		}()
+	}
+
+	// On a single-CPU box the churn loop below can finish before the
+	// scheduler ever runs a worker; wait for the first injection so the
+	// swaps genuinely contend with traffic.
+	for injected.Load() == 0 {
+		runtime.Gosched()
 	}
 
 	extra := route.Chain{

@@ -7,6 +7,7 @@ import (
 	"dejavu/internal/compiler"
 	"dejavu/internal/ctl"
 	"dejavu/internal/fault"
+	"dejavu/internal/lint"
 	"dejavu/internal/pipeline"
 	"dejavu/internal/route"
 )
@@ -201,7 +202,14 @@ func (d *Deployment) PlanReconfigure(chains []route.Chain) (*pipeline.Result, []
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, route.Diff(d.program, res.Program), nil
+	delta := route.Diff(d.program, res.Program)
+	if ws := lint.AnalyzeWriteSet(d.Config.Prof, res.Plans, delta); len(ws.Findings) > 0 {
+		// Surface write-set findings in the dry-run's lint report so
+		// `dejavu plan -to` shows exactly what swap would reject.
+		res.Lint.Findings = append(res.Lint.Findings, ws.Findings...)
+		res.Lint.Sort()
+	}
+	return res, delta, nil
 }
 
 // swap rebuilds the deployment for a new chain set + placement through
@@ -231,6 +239,15 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 		res.Composer.Branching.SetLoopbackChooser(d.loops.choose)
 	}
 	delta := route.Diff(d.program, res.Program)
+
+	// DV009: every branching-entry write must target a table the
+	// candidate build actually placed, on a stage the profile has.
+	// Rejecting here costs a map lookup per touched pipeline; letting
+	// a bad write through costs silently black-holed traffic.
+	if ws := lint.AnalyzeWriteSet(d.Config.Prof, res.Plans, delta); ws.HasErrors() {
+		return fmt.Errorf("core: update rejected, switch untouched: write-set fails DV009: %s",
+			ws.Findings[0].Message)
+	}
 
 	// Stage the write-set into a control-plane program transaction.
 	// Each write goes through the retrying driver; staging is

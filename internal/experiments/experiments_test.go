@@ -250,7 +250,13 @@ func TestPktPathShape(t *testing.T) {
 		}
 	}
 	// The lock-free quiet path must not be slower than the traced
-	// path (it does strictly less work per packet).
+	// path (it does strictly less work per packet). Skipped under the
+	// race detector: its instrumentation penalizes the quiet path's
+	// worker goroutines far more than the traced tight loop, and on a
+	// single-core host the two modes' timings overlap.
+	if raceEnabled {
+		return
+	}
 	traced := cell(t, tbl, 0, 3)
 	quiet := cell(t, tbl, 1, 3)
 	if quiet < traced {

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation distorts timing-based assertions.
+const raceEnabled = true

@@ -143,11 +143,11 @@ func (d *Driver) Apply(w ctl.TableWrite) error {
 			d.stats.Retries++
 			delay := d.backoff(attempt - 1)
 			d.stats.BackedOff += delay
-			if d.Sleep != nil {
-				d.Sleep(delay)
-			} else {
-				time.Sleep(delay)
+			sleep := d.Sleep
+			if sleep == nil {
+				sleep = time.Sleep
 			}
+			sleep(delay)
 		}
 		err := d.Applier.Apply(w)
 		if err == nil {

@@ -13,7 +13,7 @@
 //
 // Each rule emits structured findings (rule ID, severity, location,
 // message, suggested fix) into a Report. Rule IDs are stable: DV001
-// through DV008; see the rules_*.go files and the "Static
+// through DV009; see the rules_*.go files and the "Static
 // verification" section of DESIGN.md for the catalogue.
 package lint
 
@@ -38,6 +38,7 @@ const (
 	RuleBranching     = "DV006" // branching completeness and termination
 	RulePlacement     = "DV007" // placement consistency
 	RuleChainShape    = "DV008" // chain structure sanity
+	RuleWriteSet      = "DV009" // reconfiguration write-set placement
 )
 
 // Target is the composed deployment state the rules analyze. All

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compiler"
+	"dejavu/internal/ctl"
+	"dejavu/internal/route"
+)
+
+// DV009 — write-set placement. The other rules verify the composed IR
+// before it is compiled; this one verifies the live-reconfiguration
+// write-set after it is diffed. A route.Diff between the running and
+// the candidate program yields branching-entry operations keyed by
+// ingress pipeline; every one of them must land on a pipelet that the
+// candidate build actually planned, in a branching table the plan
+// actually placed, on a stage inside the profile's MAU budget.
+// Writing an entry anywhere else is not a slow path — it is a write
+// to a table the hardware never installed, which the driver would
+// accept and the switch would silently ignore.
+
+// AnalyzeWriteSet checks one reconfiguration write-set against the
+// candidate build's plans and returns the DV009 findings. ops is the
+// entry-op delta produced by route.Diff; plans maps each pipelet to
+// its stage allocation in the candidate program.
+func AnalyzeWriteSet(prof asic.Profile, plans map[asic.PipeletID]*compiler.Plan, ops []route.EntryOp) *Report {
+	r := NewReport()
+	// Findings about a pipelet apply to every op that targets it;
+	// report each broken pipelet once, not once per entry.
+	type pipeState struct {
+		ops     int
+		finding *Finding
+	}
+	seen := make(map[int]*pipeState)
+	order := make([]int, 0, len(seen))
+	for _, op := range ops {
+		pipe := op.Entry.Key.Pipeline
+		st := seen[pipe]
+		if st == nil {
+			st = &pipeState{}
+			seen[pipe] = st
+			order = append(order, pipe)
+		}
+		st.ops++
+		if st.finding != nil {
+			continue
+		}
+		st.finding = checkWriteTarget(prof, plans, pipe)
+	}
+	sort.Ints(order)
+	for _, pipe := range order {
+		st := seen[pipe]
+		if st.finding == nil {
+			continue
+		}
+		f := *st.finding
+		f.Message = fmt.Sprintf("%d write-set %s %s", st.ops, plural("entry", "entries", st.ops), f.Message)
+		r.Add(f)
+	}
+	r.Sort()
+	return r
+}
+
+// checkWriteTarget validates one target pipeline and returns a
+// finding template (message phrased to follow an entry count) or nil.
+func checkWriteTarget(prof asic.Profile, plans map[asic.PipeletID]*compiler.Plan, pipe int) *Finding {
+	where := fmt.Sprintf("ingress %d", pipe)
+	if pipe < 0 || pipe >= prof.Pipelines {
+		return &Finding{
+			Rule:     RuleWriteSet,
+			Severity: SevError,
+			Where:    where,
+			Message:  fmt.Sprintf("target pipeline %d outside the profile's %d pipelines", pipe, prof.Pipelines),
+			Fix:      "recompute the diff against a program compiled for this profile",
+		}
+	}
+	plan := plans[asic.PipeletID{Pipeline: pipe, Dir: asic.Ingress}]
+	if plan == nil {
+		return &Finding{
+			Rule:     RuleWriteSet,
+			Severity: SevError,
+			Where:    where,
+			Message:  "target a pipelet the candidate build did not plan",
+			Fix:      "compose the chain onto this pipeline before diffing entries into it",
+		}
+	}
+	stage, ok := plan.TableStage[ctl.BranchingTable]
+	if !ok {
+		return &Finding{
+			Rule:     RuleWriteSet,
+			Severity: SevError,
+			Where:    where,
+			Message:  fmt.Sprintf("target a plan that placed no %q table", ctl.BranchingTable),
+			Fix:      "include the framework branching table when compiling the pipelet",
+		}
+	}
+	if stage < 0 || stage >= prof.StagesPerPipelet {
+		return &Finding{
+			Rule:     RuleWriteSet,
+			Severity: SevError,
+			Where:    where,
+			Message: fmt.Sprintf("target a %q table placed on stage %d, outside the %d-stage pipelet",
+				ctl.BranchingTable, stage, prof.StagesPerPipelet),
+			Fix: "re-run stage allocation; the plan is inconsistent with the profile",
+		}
+	}
+	return nil
+}
+
+// plural picks the singular or plural noun for n.
+func plural(one, many string, n int) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compiler"
+	"dejavu/internal/ctl"
+	"dejavu/internal/route"
+)
+
+func wsProfile() asic.Profile {
+	return asic.Wedge100B()
+}
+
+func wsPlans(prof asic.Profile) map[asic.PipeletID]*compiler.Plan {
+	plans := make(map[asic.PipeletID]*compiler.Plan)
+	for pipe := 0; pipe < prof.Pipelines; pipe++ {
+		plans[asic.PipeletID{Pipeline: pipe, Dir: asic.Ingress}] = &compiler.Plan{
+			TableStage: map[string]int{ctl.BranchingTable: 1},
+		}
+	}
+	return plans
+}
+
+func wsOp(pipe int) route.EntryOp {
+	return route.EntryOp{Op: route.OpAdd, Entry: route.Entry{
+		Key:    route.EntryKey{Pipeline: pipe, Path: 10, Index: 1},
+		Action: route.ActForward,
+	}}
+}
+
+func TestWriteSetClean(t *testing.T) {
+	prof := wsProfile()
+	ops := []route.EntryOp{wsOp(0), wsOp(1), wsOp(0)}
+	r := AnalyzeWriteSet(prof, wsPlans(prof), ops)
+	if len(r.Findings) != 0 {
+		t.Fatalf("clean write-set produced findings: %v", r.Findings)
+	}
+}
+
+func TestWriteSetPipelineOutOfRange(t *testing.T) {
+	prof := wsProfile()
+	r := AnalyzeWriteSet(prof, wsPlans(prof), []route.EntryOp{wsOp(5), wsOp(5)})
+	fs := r.ByRule(RuleWriteSet)
+	if len(fs) != 1 || fs[0].Severity != SevError {
+		t.Fatalf("want one DV009 error, got %v", r.Findings)
+	}
+	if !strings.Contains(fs[0].Message, "2 write-set entries") ||
+		!strings.Contains(fs[0].Message, "pipeline 5") {
+		t.Fatalf("message lacks entry count or pipeline: %q", fs[0].Message)
+	}
+}
+
+func TestWriteSetMissingPlan(t *testing.T) {
+	prof := wsProfile()
+	plans := wsPlans(prof)
+	delete(plans, asic.PipeletID{Pipeline: 1, Dir: asic.Ingress})
+	r := AnalyzeWriteSet(prof, plans, []route.EntryOp{wsOp(0), wsOp(1)})
+	fs := r.ByRule(RuleWriteSet)
+	if len(fs) != 1 || fs[0].Where != "ingress 1" {
+		t.Fatalf("want one DV009 finding at ingress 1, got %v", r.Findings)
+	}
+	if !strings.Contains(fs[0].Message, "did not plan") {
+		t.Fatalf("unexpected message: %q", fs[0].Message)
+	}
+}
+
+func TestWriteSetMissingBranchingTable(t *testing.T) {
+	prof := wsProfile()
+	plans := wsPlans(prof)
+	delete(plans[asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}].TableStage, ctl.BranchingTable)
+	r := AnalyzeWriteSet(prof, plans, []route.EntryOp{wsOp(0)})
+	fs := r.ByRule(RuleWriteSet)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, `no "branching" table`) {
+		t.Fatalf("want one missing-table finding, got %v", r.Findings)
+	}
+}
+
+func TestWriteSetStageOverBudget(t *testing.T) {
+	prof := wsProfile()
+	plans := wsPlans(prof)
+	plans[asic.PipeletID{Pipeline: 0, Dir: asic.Ingress}].TableStage[ctl.BranchingTable] = prof.StagesPerPipelet
+	r := AnalyzeWriteSet(prof, plans, []route.EntryOp{wsOp(0)})
+	fs := r.ByRule(RuleWriteSet)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "outside the") {
+		t.Fatalf("want one over-budget finding, got %v", r.Findings)
+	}
+}
+
+func TestWriteSetMultiplePipelinesSorted(t *testing.T) {
+	prof := wsProfile()
+	plans := map[asic.PipeletID]*compiler.Plan{}
+	r := AnalyzeWriteSet(prof, plans, []route.EntryOp{wsOp(1), wsOp(0)})
+	fs := r.ByRule(RuleWriteSet)
+	if len(fs) != 2 {
+		t.Fatalf("want findings for both pipelines, got %v", r.Findings)
+	}
+	if fs[0].Where != "ingress 0" || fs[1].Where != "ingress 1" {
+		t.Fatalf("findings not in pipeline order: %v", fs)
+	}
+}

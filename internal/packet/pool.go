@@ -11,6 +11,8 @@ import "sync"
 var parsedPool = sync.Pool{New: func() any { return new(Parsed) }}
 
 // GetParsed returns a cleared Parsed from the pool.
+//
+//dv:hotpath
 func GetParsed() *Parsed {
 	p := parsedPool.Get().(*Parsed)
 	p.Reset()
@@ -19,6 +21,8 @@ func GetParsed() *Parsed {
 
 // PutParsed recycles p. The caller must not use p afterwards; any
 // Payload or Options slices it aliased remain owned by the caller.
+//
+//dv:hotpath
 func PutParsed(p *Parsed) {
 	if p == nil {
 		return
@@ -33,6 +37,8 @@ func PutParsed(p *Parsed) {
 // generator wants — NFs rewrite header fields but never the payload
 // bytes — and it allocates nothing. Use Clone for an independent deep
 // copy.
+//
+//dv:hotpath
 func (p *Parsed) CopyFrom(src *Parsed) { *p = *src }
 
 // serializeBufCap is the initial capacity of pooled serialize buffers:
@@ -46,11 +52,15 @@ var bufPool = sync.Pool{New: func() any {
 }}
 
 // GetBuf returns an empty serialize buffer with pooled capacity.
+//
+//dv:hotpath
 func GetBuf() []byte { return (*bufPool.Get().(*[]byte))[:0] }
 
 // PutBuf recycles a buffer obtained from GetBuf (or any slice the
 // caller no longer needs). Oversized buffers are dropped so one jumbo
 // packet does not pin memory in the pool forever.
+//
+//dv:hotpath
 func PutBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > 4*serializeBufCap {
 		return

@@ -135,19 +135,29 @@ type DatapathShard struct {
 }
 
 // IngressPass counts one ingress-pipelet traversal.
+//
+//dv:hotpath
 func (s *DatapathShard) IngressPass(pipeline int) { s.passes[pipeline].Add(1 << 32) }
 
 // EgressPass counts one egress-pipelet traversal.
+//
+//dv:hotpath
 func (s *DatapathShard) EgressPass(pipeline int) { s.passes[pipeline].Add(1) }
 
 // Recirculation counts one loopback pass through a pipeline.
+//
+//dv:hotpath
 func (s *DatapathShard) Recirculation(pipeline int) { s.recircs[pipeline].Add(1) }
 
 // Resubmission counts one ingress resubmission in a pipeline.
+//
+//dv:hotpath
 func (s *DatapathShard) Resubmission(pipeline int) { s.resubmits[pipeline].Add(1) }
 
 // Refused counts a packet rejected at the ingress port before it
 // entered a pipeline.
+//
+//dv:hotpath
 func (s *DatapathShard) Refused() { s.refused.Add(1) }
 
 // FastDone records a fast-path packet — delivered via exactly one
@@ -155,6 +165,8 @@ func (s *DatapathShard) Refused() { s.refused.Add(1) }
 // with no recirculation, resubmission or extra wire copies — in a
 // single atomic add. It reports false when the pair is out of range;
 // the caller then accounts the packet through Flush/PacketDone.
+//
+//dv:hotpath
 func (s *DatapathShard) FastDone(pi, pe int) bool {
 	if pi < 0 || pi >= s.pipelines || pe < 0 || pe >= s.pipelines {
 		return false
@@ -167,6 +179,8 @@ func (s *DatapathShard) FastDone(pi, pe int) bool {
 // shard: one atomic add per visited pipeline, none for untouched ones.
 // The delta is left as-is; callers that reuse it zero it themselves
 // (the asic's pooled contexts are wiped wholesale per packet).
+//
+//dv:hotpath
 func (s *DatapathShard) Flush(d *DatapathDelta) {
 	n := len(s.passes)
 	if n > MaxPipelines {
@@ -194,6 +208,8 @@ func (s *DatapathShard) Flush(d *DatapathDelta) {
 // The write order matters: the latency observation lands first so a
 // concurrent Snapshot (which reads dispositions before latency) never
 // sees more dropped/punted packets than completed ones.
+//
+//dv:hotpath
 func (s *DatapathShard) PacketDone(drop DropReason, toCPU, recircs, emitted int, latencyNs int64) {
 	s.latency.Observe(uint64(latencyNs))
 	if recircs > 0 {
@@ -266,6 +282,8 @@ func (d *Datapath) SetFastPathLatency(ns uint64) {
 
 // Shard maps a hint (any value that is stable per worker, e.g. the
 // address of a pooled per-packet context) onto one counter shard.
+//
+//dv:hotpath
 func (d *Datapath) Shard(hint uintptr) *DatapathShard {
 	// Pooled objects are at least 64 bytes apart; shift before masking
 	// so neighbouring pool entries spread over shards.

@@ -48,6 +48,8 @@ func NewHistogram(bounds []uint64) *Histogram {
 }
 
 // Observe records one value. Wait-free, no allocation.
+//
+//dv:hotpath
 func (h *Histogram) Observe(v uint64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

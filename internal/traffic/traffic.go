@@ -24,6 +24,11 @@ import (
 	"dejavu/internal/telemetry"
 )
 
+// clock is the engine's wall-clock seam. Runs are deterministic in
+// everything but elapsed time; tests that need a fixed duration swap
+// this for a fake.
+var clock = time.Now
+
 // Config parameterizes one engine run.
 type Config struct {
 	// Workers is the number of injection goroutines; 0 means
@@ -142,7 +147,7 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 	tallies := make([]tally, cfg.Workers)
 
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := clock()
 	for w := 0; w < cfg.Workers; w++ {
 		n := per
 		if w < extra {
@@ -179,7 +184,7 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 		}(w, n, port)
 	}
 	wg.Wait()
-	dur := time.Since(start)
+	dur := clock().Sub(start)
 
 	res := Result{Workers: cfg.Workers, Packets: cfg.Packets, Duration: dur}
 	for _, t := range tallies {
