@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet check bench bench-pktpath bench-build fmt doccheck
+.PHONY: build test race lint vet check bench bench-pktpath bench-build fabric-chaos fmt doccheck
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ bench-pktpath: build
 bench-build: build
 	$(GO) run ./cmd/dejavu benchbuild -rounds 50 -json > BENCH_build.json
 	@$(GO) run ./cmd/dejavu benchbuild -rounds 10
+
+# Fabric chaos soak: the multi-switch fault-tolerance gate (DESIGN.md
+# §12) — reconciler + soak tests under the race detector, then the CLI
+# over the canonical seeds.
+fabric-chaos: build
+	$(GO) test -race -run 'TestFabricChaos|TestReconciler' ./internal/core/ ./internal/cluster/
+	@for seed in 1 7 42; do \
+		$(GO) run ./cmd/dejavu fabricchaos -seed $$seed -ticks 40 || exit 1; \
+	done
 
 fmt:
 	gofmt -l -w .

@@ -12,6 +12,7 @@
 //	dejavu lint                  # static verification (exit 1 on errors)
 //	dejavu -config x.json lint -json
 //	dejavu chaos -seed 7         # seeded fault soak with self-healing
+//	dejavu fabricchaos -seed 7   # multi-switch fabric fault soak
 //	dejavu bench -workers 1,8    # parallel traffic engine (Mpps, drops)
 //	dejavu benchbuild -rounds 50 # full vs incremental rebuild latency
 //	dejavu serve -metrics :9090  # Prometheus /metrics + pprof over HTTP
@@ -53,6 +54,7 @@ commands:
   emit       print the composed multi-pipeline P4 program
   lint       statically verify the deployment; exit nonzero on errors
   chaos      replay a seeded fault schedule and check healing invariants
+  fabricchaos  replay fabric faults (switch/link) against a multi-switch path
   bench      drive the parallel traffic engine and report Mpps
   benchbuild measure full vs incremental rebuild latency under churn
   serve      serve Prometheus /metrics and pprof for the deployment
@@ -95,6 +97,8 @@ dispatch:
 		err = runLint(args)
 	case "chaos":
 		err = runChaos(args)
+	case "fabricchaos":
+		err = runFabricChaos(args)
 	case "bench":
 		err = runBench(args)
 	case "benchbuild":
@@ -475,6 +479,50 @@ func runChaos(args []string) error {
 	}
 	if !res.OK() {
 		return fmt.Errorf("chaos: %d invariant violation(s)", len(res.Violations))
+	}
+	return nil
+}
+
+// runFabricChaos replays a seeded fabric fault schedule — switch
+// kills, link cuts, wire corruption windows — against the edge-cloud
+// chain set segmented over a multi-switch fabric, reconciling and
+// probing across the fabric after every tick. Exit status: 0 when
+// every fabric invariant held, 1 otherwise.
+func runFabricChaos(args []string) error {
+	fs := flag.NewFlagSet("fabricchaos", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "fabric fault schedule seed")
+	ticks := fs.Int("ticks", 40, "timeline length in ticks")
+	switches := fs.Int("switches", 3, "fabric size")
+	verbose := fs.Bool("v", false, "print the full transcript before the summary")
+	jsonOut := fs.Bool("json", false, "emit the full result as JSON (includes the transcript with -v)")
+	fs.Parse(args)
+
+	res, err := core.RunFabricChaos(core.FabricChaosOpts{
+		Seed: *seed, Ticks: *ticks, Switches: *switches,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if !*verbose {
+			res.Log = nil // the transcript is opt-in; it dwarfs the result
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	} else {
+		if *verbose {
+			for _, line := range res.Log {
+				fmt.Println(line)
+			}
+			fmt.Println()
+		}
+		fmt.Print(res.Summary())
+	}
+	if !res.OK() {
+		return fmt.Errorf("fabricchaos: %d invariant violation(s)", len(res.Violations))
 	}
 	return nil
 }

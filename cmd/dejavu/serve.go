@@ -58,6 +58,7 @@ func runServe(args []string) error {
 	optimizer := fs.String("optimizer", "manual", "manual|naive|greedy|anneal|exhaustive")
 	postcards := fs.Bool("postcards", false, "enable in-band postcard telemetry")
 	demo := fs.Bool("demo", false, "continuously inject scenario sample traffic (ignored with -config)")
+	fabric := fs.Bool("fabric", false, "run a continuous fabric chaos soak and export dejavu_fabric_* metrics")
 	fs.Parse(args)
 
 	d, err := deployObserved(*optimizer, *postcards)
@@ -69,8 +70,25 @@ func runServe(args []string) error {
 	if *demo && configPath == "" {
 		go demoTraffic(d)
 	}
+	if *fabric {
+		ftel := telemetry.NewFabric()
+		reg.Register(ftel)
+		go fabricSoakLoop(ftel)
+	}
 	fmt.Printf("dejavu: serving telemetry on %s (/metrics, /healthz, /debug/pprof/)\n", *metrics)
 	return http.ListenAndServe(*metrics, telemetry.NewMux(reg))
+}
+
+// fabricSoakLoop runs seeded fabric chaos soaks back to back, feeding
+// the registered dejavu_fabric_* collector so the exported gauges
+// (switches alive, re-placements, convergence ticks) stay live.
+func fabricSoakLoop(ftel *telemetry.Fabric) {
+	for seed := int64(1); ; seed++ {
+		if _, err := core.RunFabricChaos(core.FabricChaosOpts{Seed: seed, Telemetry: ftel}); err != nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // demoTraffic replays the scenario's three sample flows forever so the

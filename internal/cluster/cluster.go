@@ -90,29 +90,36 @@ func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (
 	}
 	var segs []segmented
 	nfSwitch := make(map[string]int)
+	// used tracks stage-demand units consumed on each switch across ALL
+	// chains. A single per-chain counter reset to zero on every revisit
+	// let later chains overcommit a switch a shared NF pinned them back
+	// to — the per-switch slice survives chain boundaries and revisits.
+	used := make([]int, c.N)
 	for _, ch := range chains {
 		var parts [][]string
 		var cur []string
-		used := 0
 		sw := 0
 		for _, n := range ch.NFs {
 			if prev, ok := nfSwitch[n]; ok {
 				// NF already pinned to a switch by an earlier chain:
-				// force a segment break if we moved past it.
+				// force a segment break if we moved past it. Its demand
+				// was charged when first placed, so don't re-charge.
 				if prev != sw {
 					if len(cur) > 0 {
 						parts = append(parts, cur)
 						cur = nil
 					}
 					sw = prev
-					used = 0
 				}
+				cur = append(cur, n)
+				continue
 			}
 			d := demand(n)
-			if used+d > budget && len(cur) > 0 {
-				parts = append(parts, cur)
-				cur = nil
-				used = 0
+			for used[sw]+d > budget {
+				if len(cur) > 0 {
+					parts = append(parts, cur)
+					cur = nil
+				}
 				sw++
 				if sw >= c.N {
 					return nil, fmt.Errorf("cluster: chain %d does not fit on %d switches", ch.PathID, c.N)
@@ -120,7 +127,7 @@ func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (
 			}
 			nfSwitch[n] = sw
 			cur = append(cur, n)
-			used += d
+			used[sw] += d
 		}
 		if len(cur) > 0 {
 			parts = append(parts, cur)

@@ -106,6 +106,93 @@ func TestSharedNFPinnedAcrossChains(t *testing.T) {
 	}
 }
 
+// perSwitchDemand sums the placed stage demand (own demand + framework
+// wrapper, mirroring PlaceChains' model) per switch for a plan.
+func perSwitchDemand(plan *Plan, demand map[string]int) map[int]int {
+	sums := make(map[int]int)
+	for n, a := range plan.Assignments {
+		d := 1
+		if demand[n] > 0 {
+			d = demand[n]
+		}
+		sums[a.Switch] += d + 2
+	}
+	return sums
+}
+
+// Regression test for the budget-accounting bug: revisiting a switch a
+// shared NF was pinned to used to reset the usage counter to zero, so
+// NFs placed after the revisit could overcommit that switch's stage
+// budget. Usage must survive both chain boundaries and pin-jumps.
+func TestBudgetSurvivesPinnedRevisit(t *testing.T) {
+	// Every NF demands 8 stages (+2 framework = 10 units); a 48-stage
+	// switch holds four. Chain 1 fills switch 0 (a-d) and pins "e" to
+	// switch 1; chain 2 tops switch 1 up to 40 units; chain 3 re-enters
+	// switch 1 through the shared "e", so its "i" no longer fits there
+	// and must spill to a third switch.
+	demand := make(map[string]int)
+	for _, n := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+		demand[n] = 8
+	}
+	chains := []route.Chain{
+		{PathID: 1, NFs: []string{"a", "b", "c", "d", "e"}, Weight: 1, ExitPipeline: 0},
+		{PathID: 2, NFs: []string{"f", "g", "h"}, Weight: 1, ExitPipeline: 0},
+		{PathID: 3, NFs: []string{"e", "i"}, Weight: 1, ExitPipeline: 0},
+	}
+
+	// Two switches: "i" fits on neither (0 and 1 both hold 40/48), so
+	// the placement must fail rather than overcommit switch 1.
+	c2, _ := New(asic.Wedge100B(), 2)
+	if plan, err := c2.PlaceChains(chains, demand); err == nil {
+		t.Errorf("overcommitted placement accepted: per-switch demand %v", perSwitchDemand(plan, demand))
+	}
+
+	// Three switches: "i" spills to switch 2 and every switch stays
+	// within its 48-stage budget.
+	c3, _ := New(asic.Wedge100B(), 3)
+	plan, err := c3.PlaceChains(chains, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := asic.Wedge100B().TotalStages()
+	for sw, sum := range perSwitchDemand(plan, demand) {
+		if sum > budget {
+			t.Errorf("switch %d overcommitted: %d > %d stage units", sw, sum, budget)
+		}
+	}
+	if plan.Assignments["e"].Switch >= plan.Assignments["i"].Switch {
+		t.Errorf("chain 3 not consecutive: e on %d, i on %d",
+			plan.Assignments["e"].Switch, plan.Assignments["i"].Switch)
+	}
+}
+
+// Budget accounting must also accumulate across chains that share no
+// NFs: five 10-unit chains cannot all claim switch 0's 48 stages.
+func TestBudgetAccumulatesAcrossChains(t *testing.T) {
+	demand := make(map[string]int)
+	var chains []route.Chain
+	for i, n := range []string{"v", "w", "x", "y", "z"} {
+		demand[n] = 8
+		chains = append(chains, route.Chain{
+			PathID: uint16(i + 1), NFs: []string{n}, Weight: 1, ExitPipeline: 0,
+		})
+	}
+	c, _ := New(asic.Wedge100B(), 2)
+	plan, err := c.PlaceChains(chains, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := asic.Wedge100B().TotalStages()
+	for sw, sum := range perSwitchDemand(plan, demand) {
+		if sum > budget {
+			t.Errorf("switch %d overcommitted: %d > %d stage units", sw, sum, budget)
+		}
+	}
+	if plan.Assignments["z"].Switch != 1 {
+		t.Errorf("z on switch %d, want spill to 1", plan.Assignments["z"].Switch)
+	}
+}
+
 func TestPlaceChainsEmpty(t *testing.T) {
 	c, _ := New(asic.Wedge100B(), 1)
 	if _, err := c.PlaceChains(nil, nil); err == nil {

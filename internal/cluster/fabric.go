@@ -2,24 +2,72 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"dejavu/internal/asic"
 	"dejavu/internal/compose"
+	"dejavu/internal/fifo"
 	"dejavu/internal/nf"
 	"dejavu/internal/packet"
 	"dejavu/internal/route"
 )
+
+// Health is the operational state of a fabric element — a switch or a
+// directed wire. The zero value is alive.
+type Health uint8
+
+const (
+	// HealthAlive elements carry traffic normally.
+	HealthAlive Health = iota
+	// HealthFlapping elements deterministically drop every other
+	// packet offered to them — the fabric analogue of a link
+	// renegotiating, visible but not fatal.
+	HealthFlapping
+	// HealthDead elements drop everything: a powered-off switch or a
+	// pulled DAC cable.
+	HealthDead
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthAlive:
+		return "alive"
+	case HealthFlapping:
+		return "flapping"
+	case HealthDead:
+		return "dead"
+	}
+	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
+// WireHook intercepts a packet crossing a fabric wire — the seam the
+// fault layer uses for wire corruption windows. It may return a
+// mutated packet; returning ok=false destroys the packet on the wire.
+type WireHook func(fromSw int, fromPort asic.PortID, pkt *packet.Parsed) (*packet.Parsed, bool)
 
 // Fabric wires several behavioural switches back-to-back (§7 "multiple
 // switches can be chained back-to-back"): egress ports connect to
 // ingress ports of the neighbouring switch over DAC cables, and
 // packets carry their SFC header across, so a chain's segments execute
 // on consecutive switches with full header continuity.
+//
+// Every switch and every directed wire carries an explicit Health
+// state; packets offered to dead or flapping elements are dropped with
+// an attributable reason in FabricTrace.DropReasons, which is what the
+// chaos soak's no-silent-blackhole invariant checks against.
 type Fabric struct {
 	Prof     asic.Profile
 	Switches []*asic.Switch
-	wires    map[wireEnd]wireEnd
+
+	mu          sync.Mutex
+	wires       map[wireEnd]wireEnd
+	swHealth    []Health
+	wireHealth  map[wireEnd]Health
+	swFlapSeq   []uint64
+	wireFlapSeq map[wireEnd]uint64
+	wireHook    WireHook
 }
 
 type wireEnd struct {
@@ -27,16 +75,146 @@ type wireEnd struct {
 	port asic.PortID
 }
 
+// Wire describes one directed fabric wire and its health.
+type Wire struct {
+	FromSw   int
+	FromPort asic.PortID
+	ToSw     int
+	ToPort   asic.PortID
+	Health   Health
+}
+
 // NewFabric creates n unwired switches.
 func NewFabric(prof asic.Profile, n int) (*Fabric, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: fabric needs at least one switch")
 	}
-	f := &Fabric{Prof: prof, wires: make(map[wireEnd]wireEnd)}
+	f := &Fabric{
+		Prof:        prof,
+		wires:       make(map[wireEnd]wireEnd),
+		swHealth:    make([]Health, n),
+		wireHealth:  make(map[wireEnd]Health),
+		swFlapSeq:   make([]uint64, n),
+		wireFlapSeq: make(map[wireEnd]uint64),
+	}
 	for i := 0; i < n; i++ {
 		f.Switches = append(f.Switches, asic.New(prof))
 	}
 	return f, nil
+}
+
+// NumSwitches returns the fabric size.
+func (f *Fabric) NumSwitches() int { return len(f.Switches) }
+
+func (f *Fabric) setSwitchHealth(i int, h Health) error {
+	if i < 0 || i >= len(f.Switches) {
+		return fmt.Errorf("cluster: no such switch %d", i)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.swHealth[i] = h
+	return nil
+}
+
+// KillSwitch marks switch i dead: every packet offered to it drops.
+func (f *Fabric) KillSwitch(i int) error { return f.setSwitchHealth(i, HealthDead) }
+
+// ReviveSwitch returns switch i to normal operation. Its programs are
+// intact — death was a fabric-level condition, not a config wipe — so
+// the reconciler decides whether to fold it back in.
+func (f *Fabric) ReviveSwitch(i int) error { return f.setSwitchHealth(i, HealthAlive) }
+
+// FlapSwitch marks switch i flapping: every other packet drops.
+func (f *Fabric) FlapSwitch(i int) error { return f.setSwitchHealth(i, HealthFlapping) }
+
+// SwitchHealth reports switch i's health (alive for out-of-range, so
+// callers can probe speculatively).
+func (f *Fabric) SwitchHealth(i int) Health {
+	if i < 0 || i >= len(f.Switches) {
+		return HealthAlive
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.swHealth[i]
+}
+
+// AliveSwitches counts switches that are not dead.
+func (f *Fabric) AliveSwitches() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, h := range f.swHealth {
+		if h != HealthDead {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fabric) setWireHealth(sw int, port asic.PortID, h Health) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	from := wireEnd{sw: sw, port: port}
+	if _, ok := f.wires[from]; !ok {
+		return fmt.Errorf("cluster: no wire from switch %d port %d", sw, port)
+	}
+	f.wireHealth[from] = h
+	return nil
+}
+
+// CutLink marks the directed wire leaving (sw, port) dead: packets
+// crossing it are lost.
+func (f *Fabric) CutLink(sw int, port asic.PortID) error {
+	return f.setWireHealth(sw, port, HealthDead)
+}
+
+// RestoreLink returns the directed wire leaving (sw, port) to service.
+func (f *Fabric) RestoreLink(sw int, port asic.PortID) error {
+	return f.setWireHealth(sw, port, HealthAlive)
+}
+
+// FlapLink marks the directed wire leaving (sw, port) flapping.
+func (f *Fabric) FlapLink(sw int, port asic.PortID) error {
+	return f.setWireHealth(sw, port, HealthFlapping)
+}
+
+// LinkHealth reports the health of the directed wire leaving
+// (sw, port); unwired ports report alive.
+func (f *Fabric) LinkHealth(sw int, port asic.PortID) Health {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.wireHealth[wireEnd{sw: sw, port: port}]
+}
+
+// SetWireHook installs the wire-crossing interceptor (nil clears it).
+func (f *Fabric) SetWireHook(h WireHook) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.wireHook = h
+}
+
+// Wires lists every directed wire with its health, ordered by
+// (FromSw, FromPort) so topology walks are deterministic.
+func (f *Fabric) Wires() []Wire {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ws := make([]Wire, 0, len(f.wires))
+	for from, to := range f.wires {
+		ws = append(ws, Wire{
+			FromSw:   from.sw,
+			FromPort: from.port,
+			ToSw:     to.sw,
+			ToPort:   to.port,
+			Health:   f.wireHealth[from],
+		})
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].FromSw != ws[j].FromSw {
+			return ws[i].FromSw < ws[j].FromSw
+		}
+		return ws[i].FromPort < ws[j].FromPort
+	})
+	return ws
 }
 
 // Connect wires an egress port of switch a to an ingress port of
@@ -48,12 +226,22 @@ func (f *Fabric) Connect(a int, portA asic.PortID, b int, portB asic.PortID) err
 	if !f.Prof.ValidPort(portA) || !f.Prof.ValidPort(portB) {
 		return fmt.Errorf("cluster: invalid wire ports %d->%d", portA, portB)
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	from := wireEnd{sw: a, port: portA}
 	if _, dup := f.wires[from]; dup {
 		return fmt.Errorf("cluster: switch %d port %d already wired", a, portA)
 	}
 	f.wires[from] = wireEnd{sw: b, port: portB}
 	return nil
+}
+
+// Wired reports whether an egress wire leaves (sw, port).
+func (f *Fabric) Wired(sw int, port asic.PortID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.wires[wireEnd{sw: sw, port: port}]
+	return ok
 }
 
 // FabricTrace records a packet's journey across the fabric.
@@ -73,10 +261,62 @@ type FabricTrace struct {
 	// packets in the per-switch traces).
 	CPUSwitch []int
 	Dropped   bool
+	// DropReasons lists fabric-attributable drops (dead or flapping
+	// switch, cut or flapping wire, wire corruption). Switch-internal
+	// drops carry their reason inside the PerSwitch traces instead.
+	DropReasons []string
 }
 
 // maxFabricHops bounds wire crossings per packet.
 const maxFabricHops = 32
+
+// offerDrop decides whether switch sw's health drops a packet offered
+// to it, returning the attributable reason.
+func (f *Fabric) offerDrop(sw int) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.swHealth[sw] {
+	case HealthDead:
+		return fmt.Sprintf("switch %d dead", sw), true
+	case HealthFlapping:
+		f.swFlapSeq[sw]++
+		if f.swFlapSeq[sw]%2 == 1 {
+			return fmt.Sprintf("switch %d flapping", sw), true
+		}
+	}
+	return "", false
+}
+
+// crossWire resolves the wire leaving from, applies wire health and the
+// corruption hook, and returns the far end plus the (possibly mutated)
+// packet. wired=false means the port is a fabric edge; a non-empty
+// reason means the packet died on the wire.
+func (f *Fabric) crossWire(from wireEnd, pkt *packet.Parsed) (dst wireEnd, fwd *packet.Parsed, wired bool, reason string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dst, wired = f.wires[from]
+	if !wired {
+		return dst, nil, false, ""
+	}
+	switch f.wireHealth[from] {
+	case HealthDead:
+		return dst, nil, true, fmt.Sprintf("wire %d:%d cut", from.sw, from.port)
+	case HealthFlapping:
+		f.wireFlapSeq[from]++
+		if f.wireFlapSeq[from]%2 == 1 {
+			return dst, nil, true, fmt.Sprintf("wire %d:%d flapping", from.sw, from.port)
+		}
+	}
+	fwd = pkt
+	if f.wireHook != nil {
+		mutated, ok := f.wireHook(from.sw, from.port, pkt)
+		if !ok {
+			return dst, nil, true, fmt.Sprintf("wire %d:%d corruption destroyed packet", from.sw, from.port)
+		}
+		fwd = mutated
+	}
+	return dst, fwd, true, ""
+}
 
 // Inject offers a packet to a switch port and follows it across the
 // fabric until every copy has left, been punted, or been dropped.
@@ -90,13 +330,18 @@ func (f *Fabric) Inject(sw int, port asic.PortID, pkt *packet.Parsed) (*FabricTr
 		port asic.PortID
 		pkt  *packet.Parsed
 	}
-	queue := []pending{{sw: sw, port: port, pkt: pkt}}
-	for len(queue) > 0 {
+	var queue fifo.Queue[pending]
+	queue.Push(pending{sw: sw, port: port, pkt: pkt})
+	for !queue.Empty() {
 		if ft.Hops > maxFabricHops {
 			return ft, fmt.Errorf("cluster: packet exceeded %d fabric hops (wiring loop?)", maxFabricHops)
 		}
-		cur := queue[0]
-		queue = queue[1:]
+		cur := queue.Pop()
+		if reason, drop := f.offerDrop(cur.sw); drop {
+			ft.Dropped = true
+			ft.DropReasons = append(ft.DropReasons, reason)
+			continue
+		}
 		tr, err := f.Switches[cur.sw].Inject(cur.port, cur.pkt)
 		if err != nil {
 			return ft, err
@@ -111,15 +356,20 @@ func (f *Fabric) Inject(sw int, port asic.PortID, pkt *packet.Parsed) (*FabricTr
 			ft.CPUSwitch = append(ft.CPUSwitch, cur.sw)
 		}
 		for _, out := range tr.Out {
-			dst, wired := f.wires[wireEnd{sw: cur.sw, port: out.Port}]
+			dst, fwd, wired, reason := f.crossWire(wireEnd{sw: cur.sw, port: out.Port}, out.Pkt)
 			if !wired {
 				ft.Out = append(ft.Out, out)
 				ft.OutSwitch = append(ft.OutSwitch, cur.sw)
 				continue
 			}
+			if reason != "" {
+				ft.Dropped = true
+				ft.DropReasons = append(ft.DropReasons, reason)
+				continue
+			}
 			ft.Hops++
 			ft.Latency += f.Prof.RecircOffChip // DAC hop, Fig. 8(b)
-			queue = append(queue, pending{sw: dst.sw, port: dst.port, pkt: out.Pkt})
+			queue.Push(pending{sw: dst.sw, port: dst.port, pkt: fwd})
 		}
 	}
 	return ft, nil

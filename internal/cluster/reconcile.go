@@ -1,0 +1,522 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/compose"
+	"dejavu/internal/ctl"
+	"dejavu/internal/fault"
+	"dejavu/internal/lint"
+	"dejavu/internal/nf"
+	"dejavu/internal/route"
+)
+
+// Fabric reconciler rule IDs, in the internal/lint findings format so
+// fabric chaos reports read like the single-switch RC findings.
+const (
+	// RuleFBSwitchDown: a fabric switch is dead or flapping.
+	RuleFBSwitchDown = "FB001"
+	// RuleFBLinkDown: an inter-switch wire is cut or flapping.
+	RuleFBLinkDown = "FB002"
+	// RuleFBReplaced: chains were re-placed over the surviving
+	// topology and the affected switches reprogrammed.
+	RuleFBReplaced = "FB003"
+	// RuleFBBlackhole: a chain's NFs no longer fit on the surviving
+	// switches — the only error-severity degradation a healthy
+	// reconcile can report.
+	RuleFBBlackhole = "FB004"
+	// RuleFBRestored: a previously blackholed chain carries traffic
+	// again.
+	RuleFBRestored = "FB005"
+	// RuleFBConvergeFailed: a switch could not be reprogrammed (the
+	// transaction aborted or rolled back).
+	RuleFBConvergeFailed = "FB006"
+)
+
+// FabricDeployment is a chain set live on a multi-switch fabric,
+// managed by the Reconciler: it owns one controller and one retrying
+// driver per switch, remembers the installed path/segmentation, and
+// re-places chains over the surviving topology when elements fail.
+type FabricDeployment struct {
+	Fabric *Fabric
+	Chains []route.Chain
+	NFs    nf.List
+	// StageDemand feeds the segmentation planner (PlaceChains /
+	// place.Anneal); nil means every NF demands one stage.
+	StageDemand map[string]int
+
+	// Controllers and Drivers are per-switch (index-aligned with
+	// Fabric.Switches). Tests and chaos harnesses may interpose a
+	// FlakyApplier-backed Driver before the first Reconcile.
+	Controllers []*ctl.Controller
+	Drivers     []*fault.Driver
+
+	// Installed state, updated by successful converges.
+	Path       []int         // fabric switch per plan position
+	WirePorts  []asic.PortID // egress port of Path[i] toward Path[i+1]
+	Segments   [][]string    // NF names hosted per plan position, sorted
+	Blackholed map[uint16]string
+	// Replacements counts switch program installs committed by
+	// reconciliation (including the initial deploy).
+	Replacements int
+
+	composed []*compose.Deployment
+	// testPostCommit, when set, runs after each switch's commit —
+	// failure exercises the rollback path.
+	testPostCommit func(sw int) error
+}
+
+// NewFabricDeployment prepares a fabric deployment: per-switch
+// controllers and retrying drivers over them. Nothing is installed
+// until the first Reconcile; wire the fabric (Connect) first.
+func NewFabricDeployment(f *Fabric, chains []route.Chain, nfs nf.List, stageDemand map[string]int) (*FabricDeployment, error) {
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("cluster: no chains to deploy")
+	}
+	for _, c := range chains {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	fd := &FabricDeployment{
+		Fabric:      f,
+		Chains:      append([]route.Chain(nil), chains...),
+		NFs:         nfs,
+		StageDemand: stageDemand,
+		Blackholed:  make(map[uint16]string),
+		composed:    make([]*compose.Deployment, len(f.Switches)),
+	}
+	for _, sw := range f.Switches {
+		ctrl := ctl.New(sw, nfs)
+		fd.Controllers = append(fd.Controllers, ctrl)
+		fd.Drivers = append(fd.Drivers, fault.NewDriver(ctrl))
+	}
+	return fd, nil
+}
+
+// fabricPlan is the desired state computed over the current topology
+// health: a simple path of alive switches from the entry, a
+// chain-consecutive segmentation over it, and the chains that no
+// longer fit anywhere.
+type fabricPlan struct {
+	path      []int
+	wirePorts []asic.PortID
+	segments  [][]string
+	pipelets  map[string]asic.PipeletID
+	homePos   map[string]int
+	active    []route.Chain
+	dropped   map[uint16]string
+}
+
+// planDemand mirrors PlaceChains' per-NF stage demand model.
+func planDemand(stageDemand map[string]int, n string) int {
+	d := 1
+	if stageDemand != nil && stageDemand[n] > 0 {
+		d = stageDemand[n]
+	}
+	return d + 2
+}
+
+type fabricEdge struct {
+	to   int
+	port asic.PortID
+}
+
+// aliveAdjacency builds the usable topology: directed edges whose wire
+// and both endpoint switches are not dead, keeping the smallest egress
+// port per (from, to) pair, neighbours sorted ascending so path
+// searches are deterministic.
+func (fd *FabricDeployment) aliveAdjacency() [][]fabricEdge {
+	f := fd.Fabric
+	adj := make([][]fabricEdge, len(f.Switches))
+	for _, w := range f.Wires() { // sorted by (FromSw, FromPort)
+		if w.Health == HealthDead {
+			continue
+		}
+		if f.SwitchHealth(w.FromSw) == HealthDead || f.SwitchHealth(w.ToSw) == HealthDead {
+			continue
+		}
+		dup := false
+		for _, e := range adj[w.FromSw] {
+			if e.to == w.ToSw {
+				dup = true // an earlier (smaller-port) wire already covers this pair
+				break
+			}
+		}
+		if !dup {
+			adj[w.FromSw] = append(adj[w.FromSw], fabricEdge{to: w.ToSw, port: w.FromPort})
+		}
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a].to < adj[i][b].to })
+	}
+	return adj
+}
+
+// longestPathFrom returns the length (in switches) of the longest
+// simple path starting at from.
+func longestPathFrom(adj [][]fabricEdge, from int) int {
+	visited := make([]bool, len(adj))
+	var dfs func(at int) int
+	dfs = func(at int) int {
+		visited[at] = true
+		best := 1
+		for _, e := range adj[at] {
+			if visited[e.to] {
+				continue
+			}
+			if l := 1 + dfs(e.to); l > best {
+				best = l
+			}
+		}
+		visited[at] = false
+		return best
+	}
+	return dfs(from)
+}
+
+// lexSmallestPath returns the lexicographically smallest simple path
+// of exactly length switches starting at from, with the egress port of
+// each hop, or ok=false when none exists.
+func lexSmallestPath(adj [][]fabricEdge, from, length int) (path []int, ports []asic.PortID, ok bool) {
+	visited := make([]bool, len(adj))
+	var dfs func(at int) bool
+	dfs = func(at int) bool {
+		path = append(path, at)
+		visited[at] = true
+		if len(path) == length {
+			return true
+		}
+		for _, e := range adj[at] {
+			if visited[e.to] {
+				continue
+			}
+			ports = append(ports, e.port)
+			if dfs(e.to) {
+				return true
+			}
+			ports = ports[:len(ports)-1]
+		}
+		visited[at] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(from) {
+		return path, ports, true
+	}
+	return nil, nil, false
+}
+
+// dropCandidate picks the chain to shed when the surviving topology
+// cannot host everything: the one with the largest total stage demand,
+// ties broken toward the highest path ID — deterministic, and it frees
+// the most capacity per drop.
+func dropCandidate(chains []route.Chain, stageDemand map[string]int) int {
+	best, bestDemand := 0, -1
+	for i, c := range chains {
+		d := 0
+		for _, n := range c.NFs {
+			d += planDemand(stageDemand, n)
+		}
+		if d > bestDemand || (d == bestDemand && c.PathID > chains[best].PathID) {
+			best, bestDemand = i, d
+		}
+	}
+	return best
+}
+
+// desired computes the target plan over the current topology health.
+// Chains that cannot be placed are dropped deterministically with a
+// reason rather than failing the whole plan.
+func (fd *FabricDeployment) desired() *fabricPlan {
+	p := &fabricPlan{
+		pipelets: make(map[string]asic.PipeletID),
+		homePos:  make(map[string]int),
+		dropped:  make(map[uint16]string),
+	}
+	if fd.Fabric.SwitchHealth(0) == HealthDead {
+		for _, c := range fd.Chains {
+			p.dropped[c.PathID] = "entry switch 0 dead"
+		}
+		return p
+	}
+	adj := fd.aliveAdjacency()
+	lmax := longestPathFrom(adj, 0)
+	active := append([]route.Chain(nil), fd.Chains...)
+	for len(active) > 0 {
+		cl := Cluster{Prof: fd.Fabric.Prof, N: lmax}
+		plan, err := cl.PlaceChains(active, fd.StageDemand)
+		if err != nil {
+			i := dropCandidate(active, fd.StageDemand)
+			p.dropped[active[i].PathID] = fmt.Sprintf(
+				"does not fit on surviving topology (%d reachable switches)", lmax)
+			active = append(active[:i], active[i+1:]...)
+			continue
+		}
+		used := 0
+		for _, a := range plan.Assignments {
+			if a.Switch+1 > used {
+				used = a.Switch + 1
+			}
+		}
+		path, ports, ok := lexSmallestPath(adj, 0, used)
+		if !ok {
+			// Cannot happen while used <= lmax, but fail safe: shed a
+			// chain and retry rather than panicking.
+			i := dropCandidate(active, fd.StageDemand)
+			p.dropped[active[i].PathID] = "no usable path over surviving topology"
+			active = append(active[:i], active[i+1:]...)
+			continue
+		}
+		p.path, p.wirePorts, p.active = path, ports, active
+		p.segments = make([][]string, used)
+		for name, a := range plan.Assignments {
+			p.pipelets[name] = a.Pipelet
+			p.homePos[name] = a.Switch
+			p.segments[a.Switch] = append(p.segments[a.Switch], name)
+		}
+		for _, seg := range p.segments {
+			sort.Strings(seg)
+		}
+		return p
+	}
+	return p
+}
+
+// equalPlan reports whether the desired plan matches the installed
+// state exactly (path, wire ports, segmentation, blackholed set).
+func (fd *FabricDeployment) equalPlan(p *fabricPlan) bool {
+	if len(p.path) != len(fd.Path) || len(p.segments) != len(fd.Segments) ||
+		len(p.wirePorts) != len(fd.WirePorts) || len(p.dropped) != len(fd.Blackholed) {
+		return false
+	}
+	for i, s := range p.path {
+		if fd.Path[i] != s {
+			return false
+		}
+	}
+	for i, port := range p.wirePorts {
+		if fd.WirePorts[i] != port {
+			return false
+		}
+	}
+	for i, seg := range p.segments {
+		if len(seg) != len(fd.Segments[i]) {
+			return false
+		}
+		for j, n := range seg {
+			if fd.Segments[i][j] != n {
+				return false
+			}
+		}
+	}
+	for id := range p.dropped {
+		if _, ok := fd.Blackholed[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// composeAt builds the deployment for one path position: the full
+// active chain set, this segment's NFs placed locally, everything else
+// remote, with downstream NFs forwarded out this hop's wire port.
+func (fd *FabricDeployment) composeAt(p *fabricPlan, pos int) (*compose.Deployment, error) {
+	placement := route.NewPlacement()
+	for _, name := range p.segments[pos] {
+		placement.Assign(name, p.pipelets[name])
+	}
+	for name, hp := range p.homePos {
+		if hp != pos {
+			placement.AssignRemote(name)
+		}
+	}
+	comp, err := compose.New(fd.Fabric.Prof, p.active, placement, fd.NFs)
+	if err != nil {
+		return nil, err
+	}
+	if pos < len(p.path)-1 {
+		for name, hp := range p.homePos {
+			if hp > pos {
+				comp.Branching.SetRemote(name, p.wirePorts[pos])
+			}
+		}
+	}
+	return comp.Build()
+}
+
+// installProgram pushes a composed deployment onto switch s as a
+// control-plane program transaction: every pipelet program is staged
+// through the switch's retrying driver, then committed as ONE atomic
+// snapshot swap. Pre-commit failures abort and leave the switch
+// untouched; post-commit failures reinstall the prior composed
+// deployment wholesale.
+func (fd *FabricDeployment) installProgram(s int, built *compose.Deployment) error {
+	ctrl, drv := fd.Controllers[s], fd.Drivers[s]
+	if err := ctrl.BeginProgram(); err != nil {
+		return err
+	}
+	abort := func(cause error) error {
+		ctrl.AbortProgram()
+		return fmt.Errorf("cluster: switch %d update rejected, switch untouched: %w", s, cause)
+	}
+	for pipe := 0; pipe < fd.Fabric.Prof.Pipelines; pipe++ {
+		for _, dir := range []asic.Direction{asic.Ingress, asic.Egress} {
+			pl := asic.PipeletID{Pipeline: pipe, Dir: dir}
+			var fn asic.StageFunc
+			if dir == asic.Ingress {
+				fn = built.Ingress[pipe]
+			} else {
+				fn = built.Egress[pipe]
+			}
+			w := ctl.TableWrite{NF: ctl.FrameworkNF, Table: ctl.PipeletProgramTable, Args: []any{pl, fn}}
+			if err := drv.Apply(w); err != nil {
+				return abort(err)
+			}
+		}
+	}
+	prev := fd.composed[s]
+	if err := ctrl.CommitProgram(built.Runtime); err != nil {
+		return abort(err)
+	}
+	if fd.testPostCommit != nil {
+		if err := fd.testPostCommit(s); err != nil {
+			if prev == nil {
+				return fmt.Errorf("cluster: switch %d update failed with no prior programs to restore: %w", s, err)
+			}
+			if rbErr := prev.InstallOn(fd.Fabric.Switches[s]); rbErr != nil {
+				return fmt.Errorf("cluster: switch %d update failed (%w) AND rollback failed: %v", s, err, rbErr)
+			}
+			return fmt.Errorf("cluster: switch %d rolled back to prior programs: %w", s, err)
+		}
+	}
+	fd.composed[s] = built
+	return nil
+}
+
+// ReconcileReport is the structured outcome of one reconcile round.
+type ReconcileReport struct {
+	// Converged reports that the installed state already matched the
+	// desired plan — nothing was reprogrammed.
+	Converged bool
+	// Changed lists the switches reprogrammed this round, in path
+	// order.
+	Changed []int
+	// Path is the desired (and, on success, installed) switch path.
+	Path []int
+	// Blackholed maps chains that cannot carry traffic to the reason.
+	Blackholed map[uint16]string
+	// Findings collects FB001-FB006 degradation findings.
+	Findings *lint.Report
+}
+
+// Reconciler is the fabric self-healing loop: each Reconcile computes
+// the desired placement over the surviving topology and converges
+// every switch on the chosen path through its retrying driver and a
+// program transaction. It is level-triggered — it compares desired
+// against installed state, so missed events cannot wedge it.
+type Reconciler struct {
+	Dep *FabricDeployment
+}
+
+// NewReconciler builds a reconciler over a fabric deployment.
+func NewReconciler(dep *FabricDeployment) *Reconciler { return &Reconciler{Dep: dep} }
+
+// Reconcile runs one round: report element health, recompute the
+// desired plan, and — if it differs from what is installed — re-place
+// and reprogram every switch on the new path. The first call performs
+// the initial deploy. Deterministic: the same fabric health and chain
+// set always produce the same plan, programs and findings.
+func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
+	fd := r.Dep
+	rep := &ReconcileReport{Findings: lint.NewReport()}
+
+	for i := 0; i < fd.Fabric.NumSwitches(); i++ {
+		if h := fd.Fabric.SwitchHealth(i); h != HealthAlive {
+			rep.Findings.Add(lint.Finding{
+				Rule: RuleFBSwitchDown, Severity: lint.SevWarn,
+				Where:   fmt.Sprintf("switch %d", i),
+				Message: fmt.Sprintf("switch %d is %s", i, h),
+				Fix:     "revive the switch or leave it to the reconciler's re-placement",
+			})
+		}
+	}
+	for _, w := range fd.Fabric.Wires() {
+		if w.Health != HealthAlive {
+			rep.Findings.Add(lint.Finding{
+				Rule: RuleFBLinkDown, Severity: lint.SevWarn,
+				Where:   fmt.Sprintf("wire %d:%d", w.FromSw, w.FromPort),
+				Message: fmt.Sprintf("wire %d:%d -> %d:%d is %s", w.FromSw, w.FromPort, w.ToSw, w.ToPort, w.Health),
+				Fix:     "restore the link or leave it to the reconciler's re-placement",
+			})
+		}
+	}
+
+	p := fd.desired()
+	rep.Path = append([]int(nil), p.path...)
+	rep.Blackholed = p.dropped
+	for _, id := range sortedChainIDs(p.dropped) {
+		rep.Findings.Add(lint.Finding{
+			Rule: RuleFBBlackhole, Severity: lint.SevError,
+			Where:   fmt.Sprintf("chain %d", id),
+			Message: fmt.Sprintf("chain %d blackholed: %s", id, p.dropped[id]),
+			Fix:     "restore fabric capacity or retire the chain",
+		})
+	}
+	for _, id := range sortedChainIDs(fd.Blackholed) {
+		if _, still := p.dropped[id]; !still {
+			rep.Findings.Add(lint.Finding{
+				Rule: RuleFBRestored, Severity: lint.SevInfo,
+				Where:   fmt.Sprintf("chain %d", id),
+				Message: fmt.Sprintf("chain %d re-placed after fabric recovery", id),
+			})
+		}
+	}
+
+	if fd.equalPlan(p) {
+		rep.Converged = true
+		return rep, nil
+	}
+
+	for pos, s := range p.path {
+		built, err := fd.composeAt(p, pos)
+		if err == nil {
+			err = fd.installProgram(s, built)
+		}
+		if err != nil {
+			rep.Findings.Add(lint.Finding{
+				Rule: RuleFBConvergeFailed, Severity: lint.SevError,
+				Where:   fmt.Sprintf("switch %d", s),
+				Message: err.Error(),
+			})
+			return rep, fmt.Errorf("cluster: reconcile: %w", err)
+		}
+		rep.Changed = append(rep.Changed, s)
+	}
+	fd.Path = append([]int(nil), p.path...)
+	fd.WirePorts = append([]asic.PortID(nil), p.wirePorts...)
+	fd.Segments = p.segments
+	fd.Blackholed = p.dropped
+	fd.Replacements += len(rep.Changed)
+	if len(rep.Changed) > 0 {
+		rep.Findings.Add(lint.Finding{
+			Rule: RuleFBReplaced, Severity: lint.SevInfo,
+			Where:   fmt.Sprintf("path %v", p.path),
+			Message: fmt.Sprintf("re-placed %d chain(s) over switches %v", len(p.active), p.path),
+		})
+	}
+	return rep, nil
+}
+
+// sortedChainIDs returns the map's keys in ascending order, for
+// deterministic finding emission.
+func sortedChainIDs(m map[uint16]string) []uint16 {
+	ids := make([]uint16, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/fault"
+	"dejavu/internal/packet"
+	"dejavu/internal/scenario"
+)
+
+// fabricDemand inflates every scenario NF to 8 stages (+2 framework =
+// 10 units), so a 48-stage switch plans at most four NFs and the
+// 5-NF edge-cloud chain set needs two switches.
+func fabricDemand() map[string]int {
+	d := make(map[string]int)
+	for _, n := range []string{"classifier", "fw", "vgw", "lb", "router"} {
+		d[n] = 8
+	}
+	return d
+}
+
+// newTestFabric wires a 3-switch fabric with a redundant topology:
+// 0->1 and 1->2 on port 10, plus a skip wire 0->2 on port 11, so the
+// death of switch 1 leaves a 2-switch path.
+func newTestFabric(t *testing.T) (*scenario.Scenario, *Fabric, *FabricDeployment, *Reconciler) {
+	t.Helper()
+	s := scenario.MustNew()
+	f, err := NewFabric(s.Prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []struct {
+		a  int
+		pa asic.PortID
+		b  int
+		pb asic.PortID
+	}{
+		{0, 10, 1, 10},
+		{1, 10, 2, 10},
+		{0, 11, 2, 11},
+	} {
+		if err := f.Connect(w.a, w.pa, w.b, w.pb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd, err := NewFabricDeployment(f, s.Chains, s.NFs, fabricDemand())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-install the LB session so the full path needs no punt.
+	pkt := scenario.ClientTCP(443)
+	ftuple, _ := pkt.FiveTuple()
+	backend, err := s.LB.SelectBackend(scenario.VIP, ftuple.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LB.InstallSession(ftuple.Hash(), backend); err != nil {
+		t.Fatal(err)
+	}
+	return s, f, fd, NewReconciler(fd)
+}
+
+// probeAll injects the three scenario paths and returns how many were
+// delivered end-to-end.
+func probeAll(t *testing.T, f *Fabric) int {
+	t.Helper()
+	delivered := 0
+	for _, mk := range []func() *packet.Parsed{
+		func() *packet.Parsed { return scenario.ClientTCP(443) },
+		scenario.TenantBound,
+		scenario.InternetBound,
+	} {
+		ft, err := f.Inject(0, scenario.PortClient, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ft.Dropped && len(ft.Out) == 1 {
+			delivered++
+		}
+	}
+	return delivered
+}
+
+func pathEquals(got []int, want ...int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReconcilerInitialDeploy(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	rep, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Converged {
+		t.Error("first reconcile reported converged with nothing installed")
+	}
+	if !pathEquals(fd.Path, 0, 1) {
+		t.Fatalf("initial path = %v, want [0 1]", fd.Path)
+	}
+	if len(fd.Blackholed) != 0 {
+		t.Fatalf("chains blackholed on a healthy fabric: %v", fd.Blackholed)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after initial deploy", got)
+	}
+	// Second reconcile with no health change is a no-op.
+	rep2, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Converged || len(rep2.Changed) != 0 {
+		t.Error("steady-state reconcile reprogrammed switches")
+	}
+}
+
+func TestReconcilerRoutesAroundDeadSwitch(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	before := fd.Replacements
+
+	if err := f.KillSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Path, 0, 2) {
+		t.Fatalf("path after switch 1 death = %v, want [0 2]", fd.Path)
+	}
+	if len(fd.Blackholed) != 0 {
+		t.Fatalf("chains blackholed despite a surviving path: %v", fd.Blackholed)
+	}
+	if fd.Replacements <= before {
+		t.Error("re-placement not counted")
+	}
+	var sawDown, sawReplaced bool
+	for _, fdg := range rep.Findings.Findings {
+		switch fdg.Rule {
+		case RuleFBSwitchDown:
+			sawDown = true
+		case RuleFBReplaced:
+			sawReplaced = true
+		}
+	}
+	if !sawDown || !sawReplaced {
+		t.Errorf("missing FB001/FB003 findings: %+v", rep.Findings.Findings)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after re-placement", got)
+	}
+
+	// Revive: the reconciler folds switch 1 back in (lexicographically
+	// smallest path wins).
+	if err := f.ReviveSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Path, 0, 1) {
+		t.Fatalf("path after revive = %v, want [0 1]", fd.Path)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after recovery", got)
+	}
+}
+
+func TestReconcilerRoutesAroundCutLink(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CutLink(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Path, 0, 2) {
+		t.Fatalf("path after 0->1 cut = %v, want [0 2]", fd.Path)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after link cut", got)
+	}
+}
+
+func TestReconcilerShedsUnplaceableChains(t *testing.T) {
+	s, f, fd, rec := newTestFabric(t)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill switch 2 and cut 0->1: only switch 0 remains reachable. The
+	// 5-NF full chain (50 units) cannot fit 48 stages; medium and basic
+	// still can.
+	if err := f.KillSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CutLink(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Path, 0) {
+		t.Fatalf("path = %v, want [0]", fd.Path)
+	}
+	if _, gone := fd.Blackholed[scenario.PathFull]; !gone || len(fd.Blackholed) != 1 {
+		t.Fatalf("blackholed = %v, want exactly the full chain", fd.Blackholed)
+	}
+	var sawBlackhole bool
+	for _, fdg := range rep.Findings.Findings {
+		if fdg.Rule == RuleFBBlackhole && strings.Contains(fdg.Where, "10") {
+			sawBlackhole = true
+		}
+	}
+	if !sawBlackhole {
+		t.Errorf("missing FB004 for chain 10: %+v", rep.Findings.Findings)
+	}
+	// Medium and basic still deliver; the full path must NOT.
+	ft, err := f.Inject(0, scenario.PortClient, scenario.ClientTCP(443))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Dropped && len(ft.Out) > 0 {
+		t.Error("blackholed full chain delivered traffic")
+	}
+	for _, mk := range []func() *packet.Parsed{scenario.TenantBound, scenario.InternetBound} {
+		ft, err := f.Inject(0, scenario.PortClient, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.Dropped || len(ft.Out) != 1 {
+			t.Errorf("surviving chain dropped: %+v", ft.DropReasons)
+		}
+	}
+
+	// Restore everything: the full chain comes back with an FB005.
+	if err := f.ReviveSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreLink(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.Blackholed) != 0 {
+		t.Fatalf("still blackholed after recovery: %v", fd.Blackholed)
+	}
+	var sawRestored bool
+	for _, fdg := range rep2.Findings.Findings {
+		if fdg.Rule == RuleFBRestored {
+			sawRestored = true
+		}
+	}
+	if !sawRestored {
+		t.Errorf("missing FB005 after recovery: %+v", rep2.Findings.Findings)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after full recovery", got)
+	}
+	_ = s
+}
+
+func TestReconcilerEntrySwitchDeadBlackholesAll(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.KillSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fd.Blackholed) != 3 {
+		t.Fatalf("blackholed = %v, want all three chains", fd.Blackholed)
+	}
+	ft, err := f.Inject(0, scenario.PortClient, scenario.InternetBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Dropped || len(ft.DropReasons) == 0 {
+		t.Error("packet into a dead entry switch not attributably dropped")
+	}
+}
+
+func TestReconcilerRetriesThroughFlakyDriver(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	// Switch 1's control plane fails twice per write target before
+	// recovering: the retrying driver must push the program through.
+	inj := fault.NewInjector(1, fault.Schedule{
+		{Tick: 1, Kind: fault.TableWriteFail, NF: "framework", Table: "pipelet_program", Failures: 2},
+	})
+	inj.Advance(nil)
+	fd.Drivers[1] = &fault.Driver{
+		Applier: fault.NewFlakyApplier(fd.Controllers[1], inj),
+		Sleep:   func(time.Duration) {},
+	}
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fd.Drivers[1].Stats().Retries; got == 0 {
+		t.Error("flaky control plane converged without driver retries")
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths through flaky control plane", got)
+	}
+}
+
+func TestReconcilerRollsBackOnPostCommitFailure(t *testing.T) {
+	_, f, fd, rec := newTestFabric(t)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.KillSwitch(1); err != nil {
+		t.Fatal(err)
+	}
+	boom := true
+	fd.testPostCommit = func(sw int) error {
+		if boom && sw == 0 {
+			return &fault.TransientError{Op: "post-commit verify", Err: errTest}
+		}
+		return nil
+	}
+	if _, err := rec.Reconcile(); err == nil {
+		t.Fatal("reconcile succeeded despite post-commit failure")
+	} else if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("no rollback in error: %v", err)
+	}
+	// Installed-state bookkeeping must still describe the OLD path.
+	if !pathEquals(fd.Path, 0, 1) {
+		t.Fatalf("installed path mutated by failed reconcile: %v", fd.Path)
+	}
+	// The next round (fault cleared) converges.
+	boom = false
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Path, 0, 2) {
+		t.Fatalf("path after retry = %v, want [0 2]", fd.Path)
+	}
+	if got := probeAll(t, f); got != 3 {
+		t.Fatalf("delivered %d/3 paths after rollback recovery", got)
+	}
+}
+
+var errTest = errors.New("injected post-commit failure")

@@ -17,6 +17,8 @@ package flowsim
 import (
 	"fmt"
 	"math"
+
+	"dejavu/internal/fifo"
 )
 
 // Config parameterizes one feedback-queue simulation.
@@ -89,51 +91,6 @@ type segment struct {
 	bytes float64
 }
 
-// fifo is a queue with a head index, shared by the fluid and the
-// packet-level simulators. Both used to pop with `queue = queue[1:]`
-// after repeated append, which pins the backing array's dead head:
-// a long saturated run re-allocated an ever-growing array and
-// dragged every drained element along on each growth copy. The head
-// index makes pop O(1) without moving the slice start, and push
-// recycles the dead prefix once it dominates the array, so memory
-// stays bounded by the number of live elements regardless of run
-// length.
-type fifo[T any] struct {
-	elems []T
-	head  int
-}
-
-func (q *fifo[T]) empty() bool { return q.head >= len(q.elems) }
-
-// len returns the number of live elements.
-func (q *fifo[T]) len() int { return len(q.elems) - q.head }
-
-// front returns the oldest live element.
-func (q *fifo[T]) front() *T { return &q.elems[q.head] }
-
-// push appends an element, compacting first when the dead prefix is
-// the majority of a non-trivial backing array.
-func (q *fifo[T]) push(v T) {
-	if q.head > 64 && q.head*2 >= len(q.elems) {
-		n := copy(q.elems, q.elems[q.head:])
-		q.elems = q.elems[:n]
-		q.head = 0
-	}
-	q.elems = append(q.elems, v)
-}
-
-// pop removes and returns the front element; when the queue empties it
-// rewinds to reuse the backing array from the start.
-func (q *fifo[T]) pop() T {
-	v := q.elems[q.head]
-	q.head++
-	if q.head == len(q.elems) {
-		q.elems = q.elems[:0]
-		q.head = 0
-	}
-	return v
-}
-
 // Run simulates the feedback queue and returns measured rates.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -146,7 +103,7 @@ func Run(cfg Config) (Result, error) {
 	extPerTick := cfg.OfferedGbps * gbpsToBytesPerTick
 	capPerTick := cfg.LoopbackGbps * gbpsToBytesPerTick
 
-	var queue fifo[segment]
+	var queue fifo.Queue[segment]
 	queueBytes := 0.0
 	// recircArrivals[i] holds bytes completing pass i this tick,
 	// arriving as pass i+1 next tick.
@@ -198,14 +155,14 @@ func Run(cfg Config) (Result, error) {
 			if take <= 0 {
 				continue
 			}
-			queue.push(segment{pass: a.pass, bytes: take})
+			queue.Push(segment{pass: a.pass, bytes: take})
 			queueBytes += take
 		}
 
 		// Service: drain up to capPerTick bytes FIFO.
 		budget := capPerTick
-		for budget > 0 && !queue.empty() {
-			seg := queue.front()
+		for budget > 0 && !queue.Empty() {
+			seg := queue.Front()
 			take := seg.bytes
 			if take > budget {
 				take = budget
@@ -223,7 +180,7 @@ func Run(cfg Config) (Result, error) {
 				exitBytes += take
 			}
 			if seg.bytes <= 1e-12 {
-				_ = queue.pop()
+				_ = queue.Pop()
 			}
 		}
 	}

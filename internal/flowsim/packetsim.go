@@ -3,6 +3,8 @@ package flowsim
 import (
 	"fmt"
 	"math/rand"
+
+	"dejavu/internal/fifo"
 )
 
 // Packet-level simulator: an independent, discrete validation of the
@@ -89,7 +91,8 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 		pArrival = 1
 	}
 
-	queue := fifo[simPacket]{elems: make([]simPacket, 0, cfg.QueuePackets)}
+	var queue fifo.Queue[simPacket]
+	queue.Grow(cfg.QueuePackets)
 	injected := 0
 	warmupEnd := int(float64(cfg.Packets) * cfg.WarmupFraction)
 	var measuredIn, measuredOut, measuredDrop int
@@ -100,7 +103,7 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 	// bounded queue cannot take both, the loser is chosen uniformly —
 	// the discrete analogue of the proportional loss the §4 analysis
 	// assumes.
-	for injected < cfg.Packets || !queue.empty() {
+	for injected < cfg.Packets || !queue.Empty() {
 		candidates := candidates[:0]
 
 		if injected < cfg.Packets && rng.Float64() < pArrival {
@@ -113,8 +116,8 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 		}
 
 		// Service one packet.
-		if !queue.empty() {
-			pkt := queue.pop()
+		if !queue.Empty() {
+			pkt := queue.Pop()
 			if pkt.pass >= cfg.Recirculations {
 				if pkt.counted {
 					measuredOut++
@@ -130,8 +133,8 @@ func RunPackets(cfg PacketConfig) (PacketResult, error) {
 			candidates[0], candidates[1] = candidates[1], candidates[0]
 		}
 		for _, c := range candidates {
-			if queue.len() < cfg.QueuePackets {
-				queue.push(c)
+			if queue.Len() < cfg.QueuePackets {
+				queue.Push(c)
 			} else if c.counted {
 				measuredDrop++
 			}

@@ -1,0 +1,115 @@
+package telemetry
+
+import "sync/atomic"
+
+// Fabric counts a multi-switch deployment's fault-tolerance activity:
+// topology health (switches alive vs configured, chains blackholed),
+// reconcile rounds, committed switch re-programs, and how many ticks
+// each convergence took. The fabric reconciler bumps these once per
+// round — never on the packet path — but they are atomics so a metrics
+// scrape can race a live reconvergence.
+type Fabric struct {
+	switchesTotal atomic.Uint64
+	switchesAlive atomic.Uint64
+	blackholed    atomic.Uint64
+	reconciles    atomic.Uint64
+	replacements  atomic.Uint64
+	convergences  atomic.Uint64
+	convergeTicks atomic.Uint64
+	lastConverge  atomic.Uint64
+}
+
+// NewFabric creates an empty fabric counter set.
+func NewFabric() *Fabric { return &Fabric{} }
+
+// ObserveReconcile records one reconcile round against the current
+// topology: how many switches are alive out of the configured total,
+// how many chains the plan blackholed, and how many switch programs
+// the round committed.
+func (f *Fabric) ObserveReconcile(alive, total, blackholed, programsChanged int) {
+	f.reconciles.Add(1)
+	f.switchesAlive.Store(uint64(alive))
+	f.switchesTotal.Store(uint64(total))
+	f.blackholed.Store(uint64(blackholed))
+	f.replacements.Add(uint64(programsChanged))
+}
+
+// ObserveConvergence records one completed reconvergence and how many
+// ticks the fabric spent degraded before it.
+func (f *Fabric) ObserveConvergence(ticks int) {
+	if ticks <= 0 {
+		ticks = 1
+	}
+	f.convergences.Add(1)
+	f.convergeTicks.Add(uint64(ticks))
+	f.lastConverge.Store(uint64(ticks))
+}
+
+// SwitchesAlive returns the last observed alive-switch count.
+func (f *Fabric) SwitchesAlive() uint64 { return f.switchesAlive.Load() }
+
+// Replacements returns the switch programs committed by reconciliation.
+func (f *Fabric) Replacements() uint64 { return f.replacements.Load() }
+
+// Gather implements Collector (see docs/OBSERVABILITY.md).
+func (f *Fabric) Gather() []Family {
+	return []Family{
+		{
+			Name: "dejavu_fabric_switches",
+			Help: "Fabric switches by state at the last reconcile.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Labels: `state="alive"`, Value: float64(f.switchesAlive.Load())},
+				{Labels: `state="configured"`, Value: float64(f.switchesTotal.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_chains_blackholed",
+			Help: "Chains whose NFs do not fit on the surviving switches.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Value: float64(f.blackholed.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_reconciles_total",
+			Help: "Fabric reconcile rounds run.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(f.reconciles.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_replacements_total",
+			Help: "Switch program transactions committed by reconciliation.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(f.replacements.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_convergences_total",
+			Help: "Completed fabric reconvergences.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(f.convergences.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_converge_ticks_total",
+			Help: "Cumulative ticks spent converging after fabric faults.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(f.convergeTicks.Load())},
+			},
+		},
+		{
+			Name: "dejavu_fabric_last_converge_ticks",
+			Help: "Ticks the most recent reconvergence took.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Value: float64(f.lastConverge.Load())},
+			},
+		},
+	}
+}
