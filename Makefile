@@ -44,11 +44,13 @@ check: build vet lint test doccheck
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# Packet hot-path benchmark: sweeps the parallel traffic engine and
-# snapshots the report (with the committed pre-refactor baseline) into
+# Packet hot-path benchmark: sweeps the parallel traffic engine
+# (workers x batch, GOMAXPROCS forced > 1 so the multi-worker rows are
+# honest) and snapshots the report -- worker-scaling table, batch-vs-
+# single comparison, committed pre-refactor baseline -- into
 # BENCH_pktpath.json.
 bench-pktpath: build
-	$(GO) run ./cmd/dejavu bench -workers 1,8 -packets 200000 -json > BENCH_pktpath.json
+	$(GO) run ./cmd/dejavu bench -workers 1,2,4,8 -batch 64 -gomaxprocs 8 -reps 5 -packets 200000 -json > BENCH_pktpath.json
 	@$(GO) run ./cmd/dejavu bench -workers 1 -packets 100000
 
 # Build-pipeline benchmark: full (cold-cache) rebuild versus the

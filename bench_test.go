@@ -298,17 +298,56 @@ func BenchmarkInjectHotPath(b *testing.B) {
 	}
 }
 
-// Parallel traffic engine over the same pipeline. On a multi-core host
-// the workers-8 run should scale; on a single-core container the Mpps
-// metric records the (honest) lack of speedup.
+// Batched hot path: the same forwarder workload through
+// InjectQuietBatch in 64-packet bursts — one snapshot load, one pool
+// checkout and one telemetry flush per burst instead of per packet.
+// The batch-path budget is 0 allocs/pkt in steady state (gated by
+// TestInjectQuietBatchAllocBudget); ns/op here is per packet.
+func BenchmarkInjectQuietBatch(b *testing.B) {
+	const batch = 64
+	sw := traffic.NewBenchSwitch(asic.Wedge100B(), traffic.ForwarderOpts{})
+	gen := pktgen.New(pktgen.Config{Seed: 1})
+	flows := gen.Flows(64)
+	templates := make([]packet.Parsed, len(flows))
+	for i, f := range flows {
+		gen.PacketInto(f, &templates[i])
+	}
+	scratch := make([]packet.Parsed, batch)
+	ptrs := make([]*packet.Parsed, batch)
+	for i := range scratch {
+		ptrs[i] = &scratch[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		k := batch
+		if left := b.N - done; left < k {
+			k = left
+		}
+		for i := 0; i < k; i++ {
+			scratch[i].CopyFrom(&templates[(done+i)%len(templates)])
+		}
+		if br := sw.InjectQuietBatch(0, ptrs[:k]); br.Err != nil {
+			b.Fatal(br.Err)
+		}
+		done += k
+	}
+}
+
+// Parallel traffic engine over the same pipeline, injecting in
+// 64-packet bursts with the flow budget split across workers (so every
+// worker count offers the same aggregate workload). On a multi-core
+// host the workers-8 run should scale; on a single-core container the
+// Mpps metric records the (honest) lack of speedup.
 func BenchmarkParallelInject(b *testing.B) {
 	prof := asic.Wedge100B()
 	for _, w := range []int{1, 8} {
 		b.Run("workers-"+strconv.Itoa(w), func(b *testing.B) {
 			sw := traffic.NewBenchSwitch(prof, traffic.ForwarderOpts{})
+			flows := 64 / w
 			b.ReportAllocs()
 			b.ResetTimer()
-			res, err := traffic.Run(sw, traffic.Config{Workers: w, Packets: b.N, Seed: 1})
+			res, err := traffic.Run(sw, traffic.Config{Workers: w, Packets: b.N, Flows: flows, Seed: 1, Batch: 64})
 			if err != nil {
 				b.Fatal(err)
 			}

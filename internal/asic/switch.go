@@ -65,12 +65,49 @@ type Ctx struct {
 // that internal/compose produces for one ingress or egress pipe.
 type StageFunc func(*Ctx)
 
-// PortStats counts traffic through one port.
+// PortStats counts traffic through one port. The trailing pad keeps
+// each port's counters on their own cache line (and the line the
+// adjacent-line prefetcher pairs with it): the per-port stats are
+// separately heap-allocated 32-byte objects, so without padding two
+// busy ports' counters can land on one line and parallel injectors
+// ping-pong it between cores.
 type PortStats struct {
 	RxPackets atomic.Uint64
 	RxBytes   atomic.Uint64
 	TxPackets atomic.Uint64
 	TxBytes   atomic.Uint64
+
+	_ [96]byte
+}
+
+// dropShards is the number of cells the switch-wide drop counter is
+// split over; injectors index it by their pooled context's telemetry
+// shard, so concurrent droppers touch different cache lines.
+const dropShards = 8
+
+// dropCounter is a sharded drop tally: a single atomic.Uint64 would
+// put every dropping worker on one cache line, serializing exactly the
+// path a drop-heavy workload hammers. Add charges one padded cell;
+// Load sums them (cold path: stats and tests).
+type dropCounter struct {
+	cells [dropShards]struct {
+		n atomic.Uint64
+		_ [120]byte
+	}
+}
+
+// Add counts one drop into the caller's cell.
+//
+//dv:hotpath
+func (c *dropCounter) Add(shard uint8) { c.cells[shard%dropShards].n.Add(1) }
+
+// Load sums all cells.
+func (c *dropCounter) Load() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
 }
 
 // Emitted is one packet leaving the switch.
@@ -226,7 +263,7 @@ type Switch struct {
 	cpuQueue []*packet.Parsed
 	cpuMu    sync.Mutex
 
-	drops atomic.Uint64
+	drops dropCounter
 }
 
 // ctxPool recycles per-packet contexts across injections. Each new
@@ -488,7 +525,8 @@ func (s *Switch) stats(port PortID) *PortStats {
 // Stats returns the cumulative counters of a port.
 func (s *Switch) Stats(port PortID) *PortStats { return s.stats(port) }
 
-// Drops returns the number of packets dropped switch-wide.
+// Drops returns the number of packets dropped switch-wide (summed
+// across the sharded cells).
 func (s *Switch) Drops() uint64 { return s.drops.Load() }
 
 // DrainCPU returns and clears the packets delivered to the CPU port.
@@ -514,7 +552,7 @@ func (s *Switch) admit(sn *snapshot, in PortID, pkt *packet.Parsed) error {
 	}
 	if sn.faults != nil {
 		if err := sn.faults.OnInject(in, pkt); err != nil {
-			s.drops.Add(1)
+			s.drops.Add(uint8(in))
 			return fmt.Errorf("asic: inject fault on port %d: %w", in, err) //dv:allow hotpath: cold admission-error path
 		}
 	}
@@ -580,6 +618,186 @@ func (s *Switch) InjectQuiet(in PortID, pkt *packet.Parsed) (QuietResult, error)
 	return q, err
 }
 
+// BatchResult aggregates the dispositions of one InjectQuietBatch
+// burst. Field semantics mirror the per-packet tallies a traffic
+// engine keeps over InjectQuiet: Errors counts packets whose injection
+// returned an error (refused at the port, or the pass-budget loop
+// guard), Dropped counts in-switch drops, and a packet lands in
+// exactly one of Delivered/Dropped/ToCPU/Errors.
+type BatchResult struct {
+	Injected       int           // packets offered (len(pkts))
+	Delivered      int           // left through a front-panel port
+	Dropped        int           // dropped inside the switch (excl. errored packets)
+	ToCPU          int           // punted to the control plane
+	Errors         int           // refused at the port or pass-budget exceeded
+	Emitted        int           // wire copies incl. mirrors, summed
+	Resubmissions  int           // summed across the batch
+	Recirculations int           // summed across the batch
+	Latency        time.Duration // summed modelled latency of completed packets
+
+	// Err is the port-level admission error when the whole batch was
+	// refused (invalid, loopback or down port), or the first per-packet
+	// injection error otherwise; nil when every packet completed.
+	Err error
+}
+
+// batchTelFlushEvery bounds how many packets accumulate into one
+// DatapathDelta before it is flushed: each packet contributes at most
+// maxPasses traversals per pipeline, so 256 packets stay well inside
+// the delta's uint16 fields.
+const batchTelFlushEvery = 256
+
+// InjectQuietBatch runs a burst of packets through the quiet hot path
+// while paying the per-packet fixed costs once per burst: one config
+// snapshot load, one pooled Ctx/Trace checkout, one ingress-port stats
+// update, and one telemetry flush (a single fast-path matrix add per
+// pipeline pair plus one batched delta flush) for the whole batch
+// instead of per packet. Dispositions are aggregated — callers that
+// need per-packet results use InjectQuiet.
+//
+// Every packet in the batch enters through the same port and runs
+// against the same configuration snapshot: a hot swap lands between
+// batches, never inside one.
+//
+//dv:hotpath
+func (s *Switch) InjectQuietBatch(in PortID, pkts []*packet.Parsed) BatchResult {
+	br := BatchResult{Injected: len(pkts)}
+	if len(pkts) == 0 {
+		return br
+	}
+	sn := s.snap.Load()
+
+	// Port-level admission is per-port state: check it once and refuse
+	// the whole batch on failure, exactly as InjectQuiet would refuse
+	// each packet.
+	if !s.prof.ValidPort(in) || IsRecircPort(in) || in == PortCPU {
+		return s.refuseBatch(sn, in, len(pkts), fmt.Errorf("asic: cannot inject on port %d", in)) //dv:allow hotpath: cold admission-error path
+	}
+	if sn.loopbackOf(in) != LoopbackOff {
+		return s.refuseBatch(sn, in, len(pkts), fmt.Errorf("asic: port %d is in loopback mode and takes no external traffic", in)) //dv:allow hotpath: cold admission-error path
+	}
+	if !sn.portUp(in) {
+		return s.refuseBatch(sn, in, len(pkts), fmt.Errorf("asic: port %d is down", in)) //dv:allow hotpath: cold admission-error path
+	}
+
+	tr := tracePool.Get().(*Trace)
+	ctx := ctxPool.Get().(*Ctx)
+	shard := ctx.shard
+	ctx.tel = telemetry.DatapathDelta{} // pooled context may carry a stale delta
+
+	var sh *telemetry.DatapathShard
+	telPipes := 0
+	if sn.tel != nil {
+		sh = sn.tel.Shard(uintptr(shard) << 6)
+		if telPipes = sn.tel.Pipelines(); telPipes > telemetry.MaxPipelines {
+			telPipes = telemetry.MaxPipelines
+		}
+	}
+	// fast[pi*telPipes+pe] accumulates the burst's fast-path packets in
+	// plain memory; flushed as one FastDoneN per touched pipeline pair.
+	var fast [telemetry.MaxPipelines * telemetry.MaxPipelines]uint32
+
+	var rxPkts, rxBytes uint64
+	sinceFlush := 0
+	for _, pkt := range pkts {
+		if sn.faults != nil {
+			if err := sn.faults.OnInject(in, pkt); err != nil {
+				s.drops.Add(shard)
+				br.Errors++
+				if sh != nil {
+					sh.Refused()
+				}
+				if br.Err == nil {
+					br.Err = fmt.Errorf("asic: inject fault on port %d: %w", in, err) //dv:allow hotpath: cold admission-error path
+				}
+				continue
+			}
+		}
+		rxPkts++
+		rxBytes += uint64(pkt.WireLen())
+
+		*tr = Trace{quiet: true}
+		ctx.Pkt = pkt
+		ctx.Meta = Meta{InPort: in, OutPort: PortUnset}
+		ctx.Pipelet = PipeletID{}
+		ctx.App = sn.app
+		err := s.run(sn, ctx, tr)
+
+		switch {
+		case err != nil:
+			br.Errors++
+			if br.Err == nil {
+				br.Err = err
+			}
+		case tr.Dropped:
+			br.Dropped++
+		case tr.cpuCount > 0:
+			br.ToCPU++
+		default:
+			br.Delivered++
+		}
+		br.Emitted += tr.emitCount
+		br.Resubmissions += tr.Resubmissions
+		br.Recirculations += tr.Recirculations
+		br.Latency += tr.Latency
+
+		if sh == nil {
+			continue
+		}
+		// Fast-path packets move from the accumulated delta into the
+		// local matrix (one batched FastDoneN at the end); everything
+		// else takes the per-packet disposition/histogram update and
+		// leaves its traversals in the delta for the batched flush.
+		pe := ctx.Pipelet.Pipeline
+		if tr.DropCode == telemetry.DropNone && tr.cpuCount == 0 && tr.emitCount == 1 &&
+			tr.Recirculations == 0 && tr.Resubmissions == 0 && ctx.Meta.Passes == 1 {
+			// Passes==1 means InPort was never rewritten by a
+			// recirculation, so it still names the ingress pipeline.
+			if pi := s.prof.PipelineOf(ctx.Meta.InPort); pi >= 0 && pi < telPipes && pe >= 0 && pe < telPipes {
+				ctx.tel.Ingress[pi]--
+				ctx.tel.Egress[pe]--
+				fast[pi*telPipes+pe]++
+				continue
+			}
+		}
+		sh.PacketDone(tr.DropCode, tr.cpuCount, tr.Recirculations, tr.emitCount, int64(tr.Latency))
+		if sinceFlush++; sinceFlush >= batchTelFlushEvery {
+			sh.Flush(&ctx.tel)
+			ctx.tel = telemetry.DatapathDelta{}
+			sinceFlush = 0
+		}
+	}
+
+	if rxPkts > 0 {
+		st := s.stats(in) //dv:allow hotpath: profile ports hit preallocated arrays; the locked overflow map serves only out-of-profile ports
+		st.RxPackets.Add(rxPkts)
+		st.RxBytes.Add(rxBytes)
+	}
+	if sh != nil {
+		sh.Flush(&ctx.tel)
+		for pi := 0; pi < telPipes; pi++ {
+			for pe := 0; pe < telPipes; pe++ {
+				if n := fast[pi*telPipes+pe]; n != 0 {
+					sh.FastDoneN(pi, pe, uint64(n))
+				}
+			}
+		}
+	}
+	ctx.tel = telemetry.DatapathDelta{} // leave the pooled delta clean
+	ctxPool.Put(ctx)
+	tracePool.Put(tr)
+	return br
+}
+
+// refuseBatch accounts a whole batch rejected by port-level admission:
+// every packet is refused, none reaches a pipeline.
+func (s *Switch) refuseBatch(sn *snapshot, in PortID, n int, err error) BatchResult {
+	if sn.tel != nil {
+		sn.tel.Shard(uintptr(in) << 6).RefusedN(uint64(n))
+	}
+	return BatchResult{Injected: n, Errors: n, Err: err}
+}
+
 // countRefused charges an admission failure to the telemetry shard of
 // the refusing port. Refusals never reach a pipeline, so they are not
 // part of the per-pipelet counters.
@@ -632,7 +850,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			tr.Dropped = true
 			tr.DropReason = "pass budget exceeded (routing loop?)"
 			tr.DropCode = telemetry.DropPassBudget
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return fmt.Errorf("asic: %s", tr.DropReason) //dv:allow hotpath: terminal routing-loop error, once per packet lifetime
 		}
 		pipeline := s.prof.PipelineOf(ctx.Meta.InPort)
@@ -658,7 +876,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			tr.Dropped = true
 			tr.DropReason = "dropped in ingress"
 			tr.DropCode = telemetry.DropIngress
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		if ctx.Meta.ToCPU {
@@ -691,7 +909,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			tr.Dropped = true
 			tr.DropReason = "no egress port chosen"
 			tr.DropCode = telemetry.DropNoEgress
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		if !s.prof.ValidPort(out) {
@@ -701,7 +919,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			if !tr.quiet {
 				tr.DropReason = fmt.Sprintf("invalid egress port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
 			}
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		if out == PortCPU {
@@ -738,7 +956,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			tr.Dropped = true
 			tr.DropReason = "dropped in egress"
 			tr.DropCode = telemetry.DropEgress
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		if ctx.Meta.ToCPU {
@@ -759,7 +977,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 				tr.Dropped = true
 				tr.DropReason = reason
 				tr.DropCode = code
-				s.drops.Add(1)
+				s.drops.Add(ctx.shard)
 			}
 			return nil
 		}
@@ -770,7 +988,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			if !tr.quiet {
 				tr.DropReason = fmt.Sprintf("recirculated into dead port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
 			}
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		if sn.faults != nil && !sn.faults.OnRecirculate(out, ctx.Pkt) {
@@ -780,7 +998,7 @@ func (s *Switch) run(sn *snapshot, ctx *Ctx, tr *Trace) error {
 			if !tr.quiet {
 				tr.DropReason = fmt.Sprintf("recirculation queue overload at port %d", out) //dv:allow hotpath: traced mode formats rich drop reasons
 			}
-			s.drops.Add(1)
+			s.drops.Add(ctx.shard)
 			return nil
 		}
 		// Constraint (d): the packet re-enters the ingress pipe of the

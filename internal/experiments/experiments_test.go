@@ -233,7 +233,7 @@ func TestPktPathShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.ID != "pktpath" || len(tbl.Rows) != 4 {
+	if tbl.ID != "pktpath" || len(tbl.Rows) != 5 {
 		t.Fatalf("unexpected table shape: %+v", tbl)
 	}
 	// Every measured rate must be positive, and nothing in the

@@ -175,6 +175,28 @@ func (s *DatapathShard) FastDone(pi, pe int) bool {
 	return true
 }
 
+// FastDoneN records n fast-path packets for the (pi, pe) pipeline pair
+// in one atomic add — the batched-injection counterpart of FastDone,
+// letting a whole burst of common packets cost a single update. It
+// reports false (and records nothing) when the pair is out of range.
+//
+//dv:hotpath
+func (s *DatapathShard) FastDoneN(pi, pe int, n uint64) bool {
+	if pi < 0 || pi >= s.pipelines || pe < 0 || pe >= s.pipelines {
+		return false
+	}
+	if n != 0 {
+		s.hot[pi*s.pipelines+pe].Add(n)
+	}
+	return true
+}
+
+// RefusedN counts n packets rejected at the ingress port in one atomic
+// add (a whole batch refused by a down or misconfigured port).
+//
+//dv:hotpath
+func (s *DatapathShard) RefusedN(n uint64) { s.refused.Add(n) }
+
 // Flush folds a packet's accumulated per-pipeline deltas into the
 // shard: one atomic add per visited pipeline, none for untouched ones.
 // The delta is left as-is; callers that reuse it zero it themselves
@@ -265,6 +287,11 @@ func NewDatapath(pipelines int) *Datapath {
 	}
 	return d
 }
+
+// Pipelines returns the pipeline count this counter set was built for
+// — callers batching fast-path classification check eligibility
+// against it once per burst instead of per packet.
+func (d *Datapath) Pipelines() int { return d.pipelines }
 
 // SetFastPathLatency declares the modelled latency (ns) of a fast-path
 // packet — the switch profile's ingress + traffic-manager + egress

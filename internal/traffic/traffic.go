@@ -38,7 +38,9 @@ type Config struct {
 	// 100 000.
 	Packets int
 	// Ports are the front-panel injection ports, assigned to workers
-	// round-robin; empty means port 0.
+	// round-robin; empty assigns each worker its own usable front-panel
+	// port (port w for worker w), so parallel workers don't all hammer
+	// port 0's counters.
 	Ports []asic.PortID
 	// Flows is the number of distinct five-tuple templates per worker;
 	// 0 means 64.
@@ -48,6 +50,11 @@ type Config struct {
 	Seed int64
 	// PayloadLen is the payload bytes per packet.
 	PayloadLen int
+	// Batch is the burst size handed to Switch.InjectQuietBatch; 0 or 1
+	// injects packet-at-a-time through InjectQuiet. Batching amortizes
+	// the per-packet snapshot load, pool checkout and telemetry flush
+	// across the burst.
+	Batch int
 	// Telemetry, when non-nil, is attached to the switch before the
 	// workers start (and left attached), so benches and soaks can read
 	// datapath counters and histograms for exactly the traffic they
@@ -62,27 +69,48 @@ func (c Config) withDefaults() Config {
 	if c.Packets == 0 {
 		c.Packets = 100_000
 	}
-	if len(c.Ports) == 0 {
-		c.Ports = []asic.PortID{0}
-	}
 	if c.Flows == 0 {
 		c.Flows = 64
 	}
+	// Ports deliberately has no static default: Run derives per-worker
+	// ports from the switch profile (defaultPorts), because a fixed
+	// []{0} made every worker share one port's counters.
 	return c
 }
 
 func (c Config) validate() error {
-	if c.Workers < 0 || c.Packets < 0 || c.Flows < 0 || c.PayloadLen < 0 {
+	if c.Workers < 0 || c.Packets < 0 || c.Flows < 0 || c.PayloadLen < 0 || c.Batch < 0 {
 		return fmt.Errorf("traffic: negative config value: %+v", c)
 	}
 	return nil
 }
 
+// defaultPorts picks one injection port per worker, round-robin over
+// the switch's usable front-panel ports (administratively up, not in
+// loopback) — so by default worker w owns port w's ingress counters
+// instead of every worker contending on port 0.
+func defaultPorts(sw *asic.Switch, workers int) []asic.PortID {
+	prof := sw.Profile()
+	ports := make([]asic.PortID, 0, workers)
+	for p := 0; p < prof.TotalPorts() && len(ports) < workers; p++ {
+		id := asic.PortID(p)
+		if sw.LoopbackModeOf(id) == asic.LoopbackOff && sw.PortIsUp(id) {
+			ports = append(ports, id)
+		}
+	}
+	return ports
+}
+
 // Result aggregates one engine run.
 type Result struct {
-	Workers  int           `json:"workers"`
-	Packets  int           `json:"packets"`
-	Duration time.Duration `json:"duration_ns"`
+	Workers int `json:"workers"`
+	Packets int `json:"packets"`
+	// Batch is the burst size used (1 = packet-at-a-time InjectQuiet).
+	Batch int `json:"batch"`
+	// Gomaxprocs records the scheduler parallelism the run actually had
+	// — multi-worker Mpps is only interpretable against it.
+	Gomaxprocs int           `json:"gomaxprocs"`
+	Duration   time.Duration `json:"duration_ns"`
 
 	Injected     uint64 `json:"injected"`       // packets offered to the switch
 	Delivered    uint64 `json:"delivered"`      // left through a front-panel port
@@ -105,26 +133,41 @@ func (r Result) DropRate() float64 {
 
 // String renders the headline numbers.
 func (r Result) String() string {
-	return fmt.Sprintf("workers=%d packets=%d duration=%v rate=%.3f Mpps (%.0f ns/pkt) delivered=%d dropped=%d cpu=%d errors=%d",
-		r.Workers, r.Packets, r.Duration.Round(time.Millisecond), r.Mpps, r.NsPerPkt,
+	return fmt.Sprintf("workers=%d batch=%d gomaxprocs=%d packets=%d duration=%v rate=%.3f Mpps (%.0f ns/pkt) delivered=%d dropped=%d cpu=%d errors=%d",
+		r.Workers, r.Batch, r.Gomaxprocs, r.Packets, r.Duration.Round(time.Millisecond), r.Mpps, r.NsPerPkt,
 		r.Delivered, r.Dropped, r.ToCPU, r.Errors)
 }
 
-// tally is one worker's local counters, summed after the run so the
-// hot loop touches no shared cache lines.
+// tally is one worker's local counters, summed after the run. The pad
+// rounds each tally up past two cache lines so adjacent workers'
+// counters never share one: the slice is a single contiguous
+// allocation, and without the pad workers w and w+1 would both own
+// pieces of the same 64-byte line (exactly the false sharing the
+// per-worker design is meant to avoid).
 type tally struct {
 	injected, delivered, dropped, toCPU, errors, recircs uint64
+
+	_ [128 - 6*8]byte
 }
 
 // Run drives cfg.Packets packets through the switch from cfg.Workers
 // goroutines and returns the aggregated counters. Each worker owns a
-// generator, a set of flow templates and one scratch header vector, so
-// the steady-state loop allocates nothing; workers share only the
-// switch itself, whose packet path is lock-free.
+// generator, a set of flow templates and one scratch buffer, so the
+// steady-state loop allocates nothing; workers share only the switch
+// itself, whose packet path is lock-free. Per-worker setup (template
+// construction) happens before the clock starts: all workers build
+// their templates, rendezvous on a start barrier, and only then does
+// the measured window open — so an N-worker run is not charged N
+// setups of dead time.
 func Run(sw *asic.Switch, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if len(cfg.Ports) == 0 {
+		if cfg.Ports = defaultPorts(sw, cfg.Workers); len(cfg.Ports) == 0 {
+			return Result{}, fmt.Errorf("traffic: no usable front-panel injection port")
+		}
 	}
 
 	// Fail fast on a dead or misconfigured injection port rather than
@@ -142,12 +185,16 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 		sw.SetTelemetry(cfg.Telemetry)
 	}
 
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	per := cfg.Packets / cfg.Workers
 	extra := cfg.Packets % cfg.Workers
 	tallies := make([]tally, cfg.Workers)
 
-	var wg sync.WaitGroup
-	start := clock()
+	var wg, ready sync.WaitGroup
+	begin := make(chan struct{})
 	for w := 0; w < cfg.Workers; w++ {
 		n := per
 		if w < extra {
@@ -155,6 +202,7 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 		}
 		port := cfg.Ports[w%len(cfg.Ports)]
 		wg.Add(1)
+		ready.Add(1)
 		go func(w, n int, port asic.PortID) {
 			defer wg.Done()
 			gen := pktgen.New(pktgen.Config{Seed: cfg.Seed + int64(w), PayloadLen: cfg.PayloadLen})
@@ -163,30 +211,60 @@ func Run(sw *asic.Switch, cfg Config) (Result, error) {
 			for i, f := range flows {
 				gen.PacketInto(f, &templates[i])
 			}
-			var scratch packet.Parsed
+			scratch := make([]packet.Parsed, batch)
+			ptrs := make([]*packet.Parsed, batch)
+			for i := range scratch {
+				ptrs[i] = &scratch[i]
+			}
 			t := &tallies[w]
-			for i := 0; i < n; i++ {
-				scratch.CopyFrom(&templates[i%len(templates)])
-				t.injected++
-				res, err := sw.InjectQuiet(port, &scratch)
-				t.recircs += uint64(res.Recirculations)
-				switch {
-				case err != nil:
-					t.errors++
-				case res.Dropped:
-					t.dropped++
-				case res.ToCPU > 0:
-					t.toCPU++
-				default:
-					t.delivered++
+			ready.Done()
+			<-begin
+			if batch == 1 {
+				for i := 0; i < n; i++ {
+					scratch[0].CopyFrom(&templates[i%len(templates)])
+					t.injected++
+					res, err := sw.InjectQuiet(port, &scratch[0])
+					t.recircs += uint64(res.Recirculations)
+					switch {
+					case err != nil:
+						t.errors++
+					case res.Dropped:
+						t.dropped++
+					case res.ToCPU > 0:
+						t.toCPU++
+					default:
+						t.delivered++
+					}
 				}
+				return
+			}
+			for done := 0; done < n; {
+				k := batch
+				if left := n - done; left < k {
+					k = left
+				}
+				for i := 0; i < k; i++ {
+					scratch[i].CopyFrom(&templates[(done+i)%len(templates)])
+				}
+				br := sw.InjectQuietBatch(port, ptrs[:k])
+				t.injected += uint64(br.Injected)
+				t.delivered += uint64(br.Delivered)
+				t.dropped += uint64(br.Dropped)
+				t.toCPU += uint64(br.ToCPU)
+				t.errors += uint64(br.Errors)
+				t.recircs += uint64(br.Recirculations)
+				done += k
 			}
 		}(w, n, port)
 	}
+	ready.Wait()
+	start := clock()
+	close(begin)
 	wg.Wait()
 	dur := clock().Sub(start)
 
-	res := Result{Workers: cfg.Workers, Packets: cfg.Packets, Duration: dur}
+	res := Result{Workers: cfg.Workers, Packets: cfg.Packets, Batch: batch,
+		Gomaxprocs: runtime.GOMAXPROCS(0), Duration: dur}
 	for _, t := range tallies {
 		res.Injected += t.injected
 		res.Delivered += t.delivered

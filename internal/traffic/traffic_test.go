@@ -74,6 +74,87 @@ func TestRunMultiPortSpreadsPipelines(t *testing.T) {
 	}
 }
 
+// TestRunBatchMatchesSingle is the engine-level batch-vs-single
+// equivalence gate: the same seeds must yield identical delivered /
+// dropped / recirculated tallies whether packets go through
+// InjectQuiet one-by-one or through InjectQuietBatch bursts.
+func TestRunBatchMatchesSingle(t *testing.T) {
+	for _, recircs := range []int{0, 2} {
+		single, err := Run(NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{Recircs: recircs}),
+			Config{Workers: 3, Packets: 10_001, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := Run(NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{Recircs: recircs}),
+			Config{Workers: 3, Packets: 10_001, Seed: 5, Batch: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Injected != batch.Injected || single.Delivered != batch.Delivered ||
+			single.Dropped != batch.Dropped || single.ToCPU != batch.ToCPU ||
+			single.Errors != batch.Errors || single.Recirculated != batch.Recirculated {
+			t.Errorf("recircs=%d: tallies diverge:\nsingle %+v\nbatch  %+v", recircs, single, batch)
+		}
+		if batch.Batch != 64 || single.Batch != 1 {
+			t.Errorf("batch sizes not recorded: single=%d batch=%d", single.Batch, batch.Batch)
+		}
+	}
+}
+
+// TestRunBatchUnevenSplit drives a packet count that is divisible by
+// neither the worker count nor the batch size.
+func TestRunBatchUnevenSplit(t *testing.T) {
+	res, err := Run(NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{}),
+		Config{Workers: 3, Packets: 1_003, Seed: 1, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 1_003 || res.Delivered != 1_003 {
+		t.Errorf("injected=%d delivered=%d, want 1003/1003", res.Injected, res.Delivered)
+	}
+}
+
+// TestRunDefaultPortsPerWorker locks in the defaulting fix: with no
+// explicit Ports, each worker gets its own front-panel port instead of
+// everyone silently sharing port 0.
+func TestRunDefaultPortsPerWorker(t *testing.T) {
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
+	res, err := Run(sw, Config{Workers: 4, Packets: 4_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 4_000 {
+		t.Fatalf("Delivered = %d", res.Delivered)
+	}
+	for p := asic.PortID(0); p < 4; p++ {
+		if rx := sw.Stats(p).RxPackets.Load(); rx != 1_000 {
+			t.Errorf("port %d RxPackets = %d, want 1000 (one worker each)", p, rx)
+		}
+	}
+}
+
+// TestRunDefaultPortsSkipUnusable: a loopback'd or downed low port
+// must not be picked as a default injection port.
+func TestRunDefaultPortsSkipUnusable(t *testing.T) {
+	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
+	if err := sw.SetLoopback(0, asic.LoopbackOnChip); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetPortAdminState(1, false); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sw, Config{Workers: 2, Packets: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("default ports hit unusable ports: %+v", res)
+	}
+	if rx := sw.Stats(2).RxPackets.Load(); rx == 0 {
+		t.Error("port 2 (first usable) saw no traffic")
+	}
+}
+
 func TestRunRejectsBadPort(t *testing.T) {
 	sw := NewBenchSwitch(asic.Wedge100B(), ForwarderOpts{})
 	if _, err := Run(sw, Config{Ports: []asic.PortID{asic.PortCPU}}); err == nil {
