@@ -6,6 +6,9 @@
 //	dejavu plan                  # show placement + traversal analysis
 //	dejavu plan -optimizer naive # compare against the strawman placer
 //	dejavu plan -to new.json     # incremental rebuild plan + table delta
+//	dejavu apply -f intent.json  # converge toward a declarative intent
+//	dejavu apply -f i.json -dry-run -json
+//	dejavu diff -f new.json -from old.json  # semantic intent delta
 //	dejavu resources             # Table-1 style framework overhead
 //	dejavu run                   # deploy and push sample traffic through
 //	dejavu capacity -loopback 16 # §5 capacity analysis
@@ -48,6 +51,8 @@ func usage() {
 
 commands:
   plan       optimize and show NF placement and per-chain traversals
+  apply      converge the deployment toward a declarative intent document
+  diff       print the semantic delta between two intent documents
   resources  show the framework resource overhead report
   run        deploy and forward sample traffic on all three SFC paths
   capacity   show the capacity split for a loopback configuration
@@ -85,6 +90,10 @@ dispatch:
 	switch cmd {
 	case "plan":
 		err = runPlan(args)
+	case "apply":
+		err = runApply(args)
+	case "diff":
+		err = runDiff(args)
 	case "resources":
 		err = runResources(args)
 	case "run":

@@ -43,7 +43,9 @@ import (
 
 	"dejavu/internal/asic"
 	"dejavu/internal/compose"
+	"dejavu/internal/config"
 	"dejavu/internal/core"
+	"dejavu/internal/intent"
 	"dejavu/internal/nf"
 	"dejavu/internal/nsh"
 	"dejavu/internal/packet"
@@ -210,6 +212,34 @@ type Telemetry = compose.Telemetry
 // Deploy builds a deployment from a config: placement, composition,
 // compilation, installation, analysis.
 func Deploy(cfg Config) (*Deployment, error) { return core.Deploy(cfg) }
+
+// Declarative intent plane (docs/INTENT.md).
+type (
+	// Intent is a versioned declarative deployment document; apply it
+	// with an IntentApplier or `dejavu apply`.
+	Intent = intent.Document
+	// IntentDelta is the semantic difference between two intents.
+	IntentDelta = intent.Delta
+	// IntentReport is the structured outcome of one apply.
+	IntentReport = intent.Report
+	// IntentApplier converges deployments toward applied intents:
+	// repeated applies are proved no-ops, failures roll back.
+	IntentApplier = intent.Applier
+	// IntentOptions tunes one apply (dry runs).
+	IntentOptions = intent.Options
+	// IntentChainSpec declares one chain inside an intent document.
+	IntentChainSpec = config.ChainSpec
+)
+
+// LoadIntent reads, parses and validates an intent document.
+func LoadIntent(path string) (*Intent, error) { return intent.Load(path) }
+
+// DiffIntent computes the semantic delta between two intents; a nil
+// old intent means nothing applied yet.
+func DiffIntent(oldD, newD *Intent) *IntentDelta { return intent.Diff(oldD, newD) }
+
+// NewIntentApplier creates an applier with no applied intent.
+func NewIntentApplier() *IntentApplier { return intent.NewApplier(nil) }
 
 // Recirculation analysis (§4).
 

@@ -1,0 +1,96 @@
+// Declarative intent plane: the committed intent.json goes live with
+// one apply, the file's desired state is then mutated (a new guarded
+// chain, a re-weighted existing one) and re-applied — the converger
+// diffs the documents, rebuilds only the invalidated pipeline stages
+// and pushes a minimal branching-table delta with zero pipelet program
+// reloads — and finally the same document is applied a third time to
+// prove idempotency: an empty delta, every stage cached, nothing
+// written. See docs/INTENT.md.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dejavu"
+)
+
+// writeIntent renders a document back to disk — the "operator edits
+// the file" step of the workflow.
+func writeIntent(path string, doc *dejavu.Intent) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// committedIntent finds the committed document whether the program is
+// run from the repo root (`go run ./examples/intent`) or from this
+// directory.
+func committedIntent() string {
+	if _, err := os.Stat("intent.json"); err == nil {
+		return "intent.json"
+	}
+	return filepath.Join("examples", "intent", "intent.json")
+}
+
+func main() {
+	// 1. Apply the committed intent: the initial deploy.
+	doc, err := dejavu.LoadIntent(committedIntent())
+	if err != nil {
+		log.Fatal(err)
+	}
+	applier := dejavu.NewIntentApplier()
+	rep, err := applier.Apply(doc, dejavu.IntentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial apply %s: %s\n", rep.Hash, rep.Summary())
+
+	// 2. Mutate the desired state ON DISK — the operator edits the
+	// file, not the running system — and re-apply the file.
+	next := doc.Clone()
+	next.Chains[0].Weight = 0.4 // re-weight the full chain
+	next.Chains = append(next.Chains, dejavu.IntentChainSpec{
+		PathID: 40, NFs: []string{"classifier", "fw", "vgw", "router"},
+		Weight: 0.1, ExitPipeline: 0,
+	})
+	dir, err := os.MkdirTemp("", "intent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	edited := filepath.Join(dir, "intent.json")
+	if err := writeIntent(edited, next); err != nil {
+		log.Fatal(err)
+	}
+	nextDoc, err := dejavu.LoadIntent(edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err = applier.Apply(nextDoc, dejavu.IntentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edited apply  %s: %s\n", rep.Hash, rep.Summary())
+	fmt.Printf("  write-set: %d branching entries, %d program reloads (cache: %d hits, %d misses)\n",
+		rep.DeltaEntries, rep.ProgramReloads, rep.Build.CacheHits, rep.Build.CacheMisses)
+
+	// 3. Re-apply the identical file: the proved no-op.
+	again, err := dejavu.LoadIntent(edited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err = applier.Apply(again, dejavu.IntentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-apply      %s: %s\n", rep.Hash, rep.Summary())
+	if !rep.NoOp {
+		log.Fatal("expected the re-apply to be a proved no-op")
+	}
+}

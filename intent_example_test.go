@@ -1,0 +1,78 @@
+package dejavu_test
+
+// Round-trips the committed example intent (examples/intent/intent.json)
+// through the declarative config plane: apply it, edit the desired state
+// in a file, re-apply with a minimal write-set, and prove the final
+// re-apply is a no-op. This is the operator workflow docs/INTENT.md
+// walks through, pinned by CI's apply job.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dejavu"
+)
+
+func TestExampleIntentRoundTrip(t *testing.T) {
+	doc, err := dejavu.LoadIntent("examples/intent/intent.json")
+	if err != nil {
+		t.Fatalf("committed example intent is invalid: %v", err)
+	}
+	applier := dejavu.NewIntentApplier()
+	rep, err := applier.Apply(doc, dejavu.IntentOptions{})
+	if err != nil {
+		t.Fatalf("apply committed intent: %v", err)
+	}
+	if !rep.Initial {
+		t.Fatalf("first apply misclassified: %s", rep.Summary())
+	}
+
+	// The operator edits the file: re-weight one chain, add another.
+	next := doc.Clone()
+	next.Chains[0].Weight = 0.4
+	next.Chains = append(next.Chains, dejavu.IntentChainSpec{
+		PathID: 40, NFs: []string{"classifier", "fw", "vgw", "router"},
+		Weight: 0.1, ExitPipeline: 0,
+	})
+	edited := filepath.Join(t.TempDir(), "intent.json")
+	b, err := json.MarshalIndent(next, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edited, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-apply the edited file: a minimal write-set — branching entries
+	// for the delta, zero pipelet program reloads (the new chain reuses
+	// already-composed NFs).
+	nextDoc, err := dejavu.LoadIntent(edited)
+	if err != nil {
+		t.Fatalf("edited intent does not round-trip through JSON: %v", err)
+	}
+	rep, err = applier.Apply(nextDoc, dejavu.IntentOptions{})
+	if err != nil {
+		t.Fatalf("apply edited intent: %v", err)
+	}
+	if rep.DeltaEntries == 0 {
+		t.Error("edited apply wrote no branching entries")
+	}
+	if rep.ProgramReloads != 0 {
+		t.Errorf("edited apply reloaded %d pipelet programs, want 0", rep.ProgramReloads)
+	}
+
+	// The identical file re-applies as a proved no-op.
+	again, err := dejavu.LoadIntent(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = applier.Apply(again, dejavu.IntentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NoOp || rep.DeltaEntries != 0 || rep.ProgramReloads != 0 {
+		t.Fatalf("re-apply of the unchanged file not a proved no-op: %s", rep.Summary())
+	}
+}

@@ -63,6 +63,11 @@ type FabricDeployment struct {
 	Replacements int
 
 	composed []*compose.Deployment
+	// pending marks a desired chain-set change (SetChains) not yet
+	// converged: the plan comparison alone cannot see it, because a
+	// chain built from already-placed NFs leaves the segmentation
+	// identical while its branching entries still need installing.
+	pending bool
 	// testPostCommit, when set, runs after each switch's commit —
 	// failure exercises the rollback path.
 	testPostCommit func(sw int) error
@@ -94,6 +99,61 @@ func NewFabricDeployment(f *Fabric, chains []route.Chain, nfs nf.List, stageDema
 		fd.Drivers = append(fd.Drivers, fault.NewDriver(ctrl))
 	}
 	return fd, nil
+}
+
+// SetChains replaces the fabric deployment's desired chain set (the
+// intent plane calls this when an applied document's chains change);
+// the next Reconcile converges every switch toward it. The installed
+// state is left untouched here — convergence is the reconciler's job.
+func (fd *FabricDeployment) SetChains(chains []route.Chain) error {
+	if len(chains) == 0 {
+		return fmt.Errorf("cluster: refusing to set zero chains")
+	}
+	for _, c := range chains {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		for _, n := range c.NFs {
+			if fd.NFs.ByName(n) == nil {
+				return fmt.Errorf("cluster: chain %d references unknown NF %q", c.PathID, n)
+			}
+		}
+	}
+	if chainsEqual(fd.Chains, chains) {
+		return nil // unchanged desired state must stay a provable no-op
+	}
+	fd.Chains = append([]route.Chain(nil), chains...)
+	fd.pending = true
+	return nil
+}
+
+// chainsEqual compares two chain sets field by field, order included.
+func chainsEqual(a, b []route.Chain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].PathID != b[i].PathID || a[i].Weight != b[i].Weight ||
+			a[i].ExitPipeline != b[i].ExitPipeline || a[i].StaticExitPort != b[i].StaticExitPort ||
+			len(a[i].NFs) != len(b[i].NFs) {
+			return false
+		}
+		for j := range a[i].NFs {
+			if a[i].NFs[j] != b[i].NFs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Plan computes the desired plan over the current topology health
+// without touching any switch: the path the reconciler would install,
+// the per-position NF segments and the chains that would be blackholed.
+// It is the fabric-mode dry run behind `dejavu apply -dry-run`.
+func (fd *FabricDeployment) Plan() (path []int, segments [][]string, blackholed map[uint16]string) {
+	p := fd.desired()
+	return append([]int(nil), p.path...), p.segments, p.dropped
 }
 
 // fabricPlan is the desired state computed over the current topology
@@ -475,7 +535,7 @@ func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 		}
 	}
 
-	if fd.equalPlan(p) {
+	if fd.equalPlan(p) && !fd.pending {
 		rep.Converged = true
 		return rep, nil
 	}
@@ -500,6 +560,7 @@ func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 	fd.Segments = p.segments
 	fd.Blackholed = p.dropped
 	fd.Replacements += len(rep.Changed)
+	fd.pending = false
 	if len(rep.Changed) > 0 {
 		rep.Findings.Add(lint.Finding{
 			Rule: RuleFBReplaced, Severity: lint.SevInfo,

@@ -115,6 +115,9 @@ type Deployment struct {
 	// LastDelta is the branching-table write-set the most recent live
 	// reconfiguration applied (empty after the initial deploy).
 	LastDelta []route.EntryOp
+	// LastReloads is the number of pipelet behavioural programs the most
+	// recent build actually reloaded — zero on a proved no-op rebuild.
+	LastReloads int
 	// Rebuild is the dvtel counter set for build/hot-swap activity,
 	// exported by RegisterMetrics.
 	Rebuild *telemetry.Rebuild
@@ -379,6 +382,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 			PortGbps:      cfg.Prof.PortGbps,
 		},
 	}
+	d.LastReloads = len(res.ChangedFuncs)
 	d.Rebuild.ObserveBuild(res.Info.CacheHits, res.Info.CacheMisses, int64(res.Info.Duration))
 	return d, nil
 }

@@ -185,6 +185,29 @@ func (d *Deployment) Reconfigure(chains []route.Chain) error {
 	return d.swap(chains, placement)
 }
 
+// ReconfigureWithPlacement transitions the running deployment to a new
+// chain set under an explicitly resolved placement in one hot swap.
+// The intent plane uses it when a placement-affecting input changed
+// (a placement hint, the optimizer choice): derivePlacement would keep
+// live NFs pinned where they are, which is exactly wrong when the
+// operator's declared intent is to move them.
+func (d *Deployment) ReconfigureWithPlacement(chains []route.Chain, placement *route.Placement) error {
+	if len(chains) == 0 {
+		return fmt.Errorf("core: refusing to reconfigure to zero chains")
+	}
+	for _, c := range chains {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		for _, n := range c.NFs {
+			if d.Config.NFs.ByName(n) == nil {
+				return fmt.Errorf("core: chain %d references unknown NF %q", c.PathID, n)
+			}
+		}
+	}
+	return d.swap(chains, placement)
+}
+
 // PlanReconfigure dry-runs Reconfigure: it computes the staged rebuild
 // against a copy of the deployment's artifact cache and returns the
 // build result plus the branching-table delta that a real swap would
@@ -229,7 +252,12 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 	if err := placement.Validate(d.Config.Prof, chains); err != nil {
 		return err
 	}
-	res, err := pipeline.Build(buildInputs(d.Config, chains, placement), d.cache)
+	// Build against a clone of the artifact cache and adopt it only on
+	// success: a swap that aborts (or rolls back) must leave the cache
+	// at the prior generation too, or the next build of the prior state
+	// would spuriously miss — breaking the provable no-op re-apply.
+	cache := d.cache.Clone()
+	res, err := pipeline.Build(buildInputs(d.Config, chains, placement), cache)
 	if err != nil {
 		return err
 	}
@@ -304,6 +332,7 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 			return rollback(err)
 		}
 	}
+	d.cache = cache
 	d.Config.Chains = chains
 	d.Placement = res.Placement
 	d.Cost = res.Cost
@@ -316,6 +345,7 @@ func (d *Deployment) swap(chains []route.Chain, placement *route.Placement) erro
 	d.program = res.Program
 	d.LastBuild = res.Info
 	d.LastDelta = delta
+	d.LastReloads = len(res.ChangedFuncs)
 	if d.Rebuild != nil {
 		d.Rebuild.ObserveBuild(res.Info.CacheHits, res.Info.CacheMisses, int64(res.Info.Duration))
 		d.Rebuild.ObserveSwap(len(delta), len(res.ChangedFuncs))

@@ -1,0 +1,436 @@
+package intent
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dejavu/internal/cluster"
+	"dejavu/internal/core"
+	"dejavu/internal/pipeline"
+	"dejavu/internal/telemetry"
+)
+
+// Options tunes one Apply call.
+type Options struct {
+	// DryRun computes the delta and the rebuild plan without touching
+	// any switch or the applier's recorded state.
+	DryRun bool
+}
+
+// Report is the structured outcome of one Apply: the semantic delta,
+// the convergence proof (pipeline cache statuses, write-set sizes) and
+// what actually happened. Its JSON shape is what `dejavu apply -json`
+// prints (docs/CLI.md).
+type Report struct {
+	// Name and Hash identify the applied document.
+	Name string `json:"name,omitempty"`
+	Hash string `json:"hash"`
+	// Actions is the per-chain action list and Global the changed
+	// deployment-wide settings (see Delta).
+	Actions []Action `json:"actions"`
+	Global  []string `json:"global,omitempty"`
+	// Initial marks the first apply (nothing to diff against).
+	Initial bool `json:"initial,omitempty"`
+	// NoOp reports that the delta was empty AND the converge proved it:
+	// zero branching entries written, zero pipelet programs reloaded.
+	NoOp bool `json:"noop"`
+	// DryRun marks a plan-only run.
+	DryRun bool `json:"dry_run,omitempty"`
+	// RolledBack reports that a failed apply restored (or preserved)
+	// the prior intent.
+	RolledBack bool `json:"rolled_back,omitempty"`
+	// Redeployed reports that a global setting forced a fresh
+	// deployment instead of an incremental hot swap.
+	Redeployed bool `json:"redeployed,omitempty"`
+	// ConvergenceNS is the wall time of the converge.
+	ConvergenceNS int64 `json:"convergence_ns"`
+	// Build is the staged-pipeline report of the converge's rebuild
+	// (per-stage cached/dirty); zero-valued for redeploys and fabric
+	// applies.
+	Build pipeline.BuildInfo `json:"build"`
+	// DeltaEntries and ProgramReloads are the write-set sizes the
+	// converge pushed: branching-table entry ops and pipelet program
+	// swaps. Both zero on a proved no-op.
+	DeltaEntries   int `json:"delta_entries"`
+	ProgramReloads int `json:"program_reloads"`
+	// Fabric-mode results: the converged switch path, the switches
+	// reprogrammed this apply, and chains that cannot carry traffic.
+	FabricPath       []int             `json:"fabric_path,omitempty"`
+	FabricChanged    []int             `json:"fabric_changed,omitempty"`
+	FabricBlackholed map[uint16]string `json:"fabric_blackholed,omitempty"`
+}
+
+// Summary renders the report in one line.
+func (r *Report) Summary() string {
+	d := Delta{Actions: r.Actions, Global: r.Global}
+	switch {
+	case r.DryRun:
+		return fmt.Sprintf("dry-run: %s", d.Summary())
+	case r.NoOp:
+		return fmt.Sprintf("no-op: %s; %d entries, %d program reloads", d.Summary(), r.DeltaEntries, r.ProgramReloads)
+	case r.Initial:
+		return fmt.Sprintf("initial apply: %s", d.Summary())
+	default:
+		return fmt.Sprintf("applied: %s; %d entries, %d program reloads", d.Summary(), r.DeltaEntries, r.ProgramReloads)
+	}
+}
+
+// Applier converges deployments toward applied intent documents. It
+// remembers the last successfully applied document; each Apply diffs
+// the new document against it and drives only the difference through
+// the incremental pipeline and the control plane's program
+// transactions. A failed apply leaves the recorded intent (and the
+// switch) at the prior state. Safe for concurrent use.
+type Applier struct {
+	mu   sync.Mutex
+	last *Document
+	dep  *core.Deployment
+	fab  *cluster.FabricDeployment
+	frec *cluster.Reconciler
+	rec  *core.Reconciler
+
+	// Stats receives dejavu_apply_* observations; never nil.
+	Stats *telemetry.Apply
+}
+
+// NewApplier creates an applier with no applied intent. Pass a shared
+// telemetry.Apply to export its counters, or nil for a private set.
+func NewApplier(stats *telemetry.Apply) *Applier {
+	if stats == nil {
+		stats = telemetry.NewApply()
+	}
+	return &Applier{Stats: stats}
+}
+
+// Current returns a copy of the last successfully applied document, or
+// nil before the first apply.
+func (a *Applier) Current() *Document {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.last == nil {
+		return nil
+	}
+	return a.last.Clone()
+}
+
+// Deployment returns the live single-switch deployment, or nil before
+// the first (non-fabric) apply.
+func (a *Applier) Deployment() *core.Deployment {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dep
+}
+
+// FabricDeployment returns the live fabric deployment, or nil outside
+// fabric mode.
+func (a *Applier) FabricDeployment() *cluster.FabricDeployment {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fab
+}
+
+// Bind attaches a core reconciler: after every successful apply its
+// desired chain set tracks the applied intent, so self-healing
+// converges toward what the operator declared (e.g. restoring a
+// chain's declared static exit when its port recovers).
+func (a *Applier) Bind(r *core.Reconciler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rec = r
+	if a.rec != nil && a.last != nil {
+		a.rec.SetDesired(a.last.RouteChains())
+	}
+}
+
+// redeployGlobals are the deployment-wide settings an incremental hot
+// swap cannot change: they force a fresh deployment.
+var redeployGlobals = map[string]bool{
+	"profile": true, "enter": true, "loopback_ports": true,
+	"nf_sections": true, "postcards": true, "fabric": true,
+}
+
+// needsRedeploy reports whether the delta's global changes force a
+// fresh deployment.
+func needsRedeploy(delta *Delta) bool {
+	for _, g := range delta.Global {
+		if redeployGlobals[g] {
+			return true
+		}
+	}
+	return false
+}
+
+// needsReplace reports whether the delta moves placement-affecting
+// inputs (optimizer, anneal seed, per-NF hints) that a plain
+// Reconfigure — which keeps live NFs where they are — would ignore.
+func needsReplace(delta *Delta) bool {
+	for _, g := range delta.Global {
+		if g == "optimizer" || g == "anneal_seed" {
+			return true
+		}
+	}
+	for _, act := range delta.Actions {
+		for _, f := range act.Fields {
+			if f == "placement" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Apply converges toward doc. The first call deploys it; later calls
+// diff doc against the last applied document and converge the
+// difference — an unchanged document is a proved no-op (every pipeline
+// stage cached, zero branching entries, zero program reloads), and any
+// failure leaves both the recorded intent and the switch at the prior
+// state. With Options.DryRun the delta and rebuild plan are computed
+// against a cache copy and nothing is touched.
+func (a *Applier) Apply(doc *Document, opts Options) (*Report, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	delta := Diff(a.last, doc)
+	rep := &Report{
+		Name: doc.Name, Hash: doc.Hash(),
+		Actions: delta.Actions, Global: delta.Global,
+		Initial: a.last == nil, DryRun: opts.DryRun,
+	}
+
+	if opts.DryRun {
+		err := a.dryRun(doc, delta, rep)
+		if err == nil {
+			a.Stats.ObserveDryRun()
+		}
+		return rep, err
+	}
+
+	start := time.Now()
+	var err error
+	if doc.Fabric != nil {
+		err = a.convergeFabric(doc, delta, rep)
+	} else {
+		err = a.converge(doc, delta, rep)
+	}
+	rep.ConvergenceNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		// The converge paths guarantee the prior deployment is intact
+		// (pre-commit failures abort, post-commit failures reinstall the
+		// prior programs), so the recorded intent stays too.
+		if a.last != nil {
+			rep.RolledBack = true
+		}
+		a.Stats.ObserveRollback()
+		return rep, err
+	}
+
+	a.last = doc.Clone()
+	rep.NoOp = !rep.Initial && delta.Empty() && rep.DeltaEntries == 0 && rep.ProgramReloads == 0
+	a.Stats.ObserveApply(delta.Count(KindAdd), delta.Count(KindRemove), delta.Count(KindUpdate),
+		rep.NoOp, rep.ConvergenceNS)
+	if a.rec != nil && a.dep != nil {
+		a.rec.Dep = a.dep
+		a.rec.SetDesired(doc.RouteChains())
+	}
+	return rep, nil
+}
+
+// dryRun plans the converge without touching anything: the delta plus,
+// when an incremental hot swap would run, the staged rebuild computed
+// against a copy of the deployment's artifact cache.
+func (a *Applier) dryRun(doc *Document, delta *Delta, rep *Report) error {
+	switch {
+	case doc.Fabric != nil && a.fab != nil && !needsRedeploy(delta):
+		// Plan over the live fabric with the new chain set, then restore.
+		prior := a.fab.Chains
+		a.fab.Chains = doc.RouteChains()
+		path, _, blackholed := a.fab.Plan()
+		a.fab.Chains = prior
+		rep.FabricPath, rep.FabricBlackholed = path, blackholed
+		return nil
+	case a.last == nil || a.dep == nil || needsRedeploy(delta):
+		// A fresh deployment would run: prove the document composes.
+		cfg, err := doc.BuildConfig()
+		if err != nil {
+			return err
+		}
+		if doc.Fabric != nil {
+			fab, err := a.buildFabric(doc, cfg)
+			if err != nil {
+				return err
+			}
+			path, _, blackholed := fab.Plan()
+			rep.FabricPath, rep.FabricBlackholed = path, blackholed
+			return nil
+		}
+		rep.Redeployed = !rep.Initial
+		_, _, err = core.Compose(*cfg, cfg.StrictLint)
+		return err
+	default:
+		res, entryOps, err := a.dep.PlanReconfigure(doc.RouteChains())
+		if err != nil {
+			return err
+		}
+		rep.Build = res.Info
+		rep.DeltaEntries = len(entryOps)
+		rep.ProgramReloads = len(res.ChangedFuncs)
+		return nil
+	}
+}
+
+// converge drives a single-switch apply: initial deploys and
+// redeploy-forcing global changes build fresh; everything else is an
+// incremental hot swap on the live deployment, with in-place knobs
+// (telemetry, strict_lint) toggled after the swap commits.
+func (a *Applier) converge(doc *Document, delta *Delta, rep *Report) error {
+	if a.last == nil || a.dep == nil || a.fab != nil || needsRedeploy(delta) {
+		cfg, err := doc.BuildConfig()
+		if err != nil {
+			return err
+		}
+		dep, err := core.Deploy(*cfg)
+		if err != nil {
+			return err
+		}
+		rep.Redeployed = !rep.Initial
+		rep.Build = dep.LastBuild
+		rep.ProgramReloads = dep.LastReloads
+		a.dep, a.fab, a.frec = dep, nil, nil
+		return nil
+	}
+
+	d := a.dep
+	chains := doc.RouteChains()
+	// Stage the placement-affecting knobs into the live config so the
+	// rebuild sees them; restore on failure (the switch is untouched by
+	// an aborted swap, so the bookkeeping must stay prior too).
+	saved := d.Config
+	cfg, err := doc.BuildConfig()
+	if err != nil {
+		return err
+	}
+	d.Config.Pin = cfg.Pin
+	d.Config.Optimizer = cfg.Optimizer
+	d.Config.AnnealSeed = cfg.AnnealSeed
+	d.Config.StrictLint = cfg.StrictLint
+
+	if needsReplace(delta) {
+		// Re-resolve the placement from scratch under the new hints and
+		// optimizer: a derived placement would keep live NFs pinned to
+		// their old pipelets, ignoring the operator's declared move.
+		pcfg := d.Config
+		pcfg.Chains = chains
+		pcfg.Placement = nil
+		comp, _, cerr := core.Composer(pcfg)
+		if cerr != nil {
+			d.Config = saved
+			return cerr
+		}
+		err = d.ReconfigureWithPlacement(chains, comp.Placement)
+	} else {
+		err = d.Reconfigure(chains)
+	}
+	if err != nil {
+		d.Config = saved
+		return err
+	}
+
+	// In-place knobs, after the swap committed.
+	if d.Config.Telemetry != doc.Telemetry {
+		if doc.Telemetry {
+			d.Datapath = telemetry.NewDatapath(d.Config.Prof.Pipelines)
+			d.Switch.SetTelemetry(d.Datapath)
+		} else {
+			d.Switch.SetTelemetry(nil)
+			d.Datapath = nil
+		}
+		d.Config.Telemetry = doc.Telemetry
+	}
+
+	rep.Build = d.LastBuild
+	rep.DeltaEntries = len(d.LastDelta)
+	rep.ProgramReloads = d.LastReloads
+	return nil
+}
+
+// buildFabric wires the document's fabric (linear spine on port 10,
+// skip wires on port 11 — the `dejavu fabricchaos` topology, so any
+// single switch death leaves a path) and prepares a deployment over
+// it.
+func (a *Applier) buildFabric(doc *Document, cfg *core.Config) (*cluster.FabricDeployment, error) {
+	n := doc.Fabric.Switches
+	f, err := cluster.NewFabric(cfg.Prof, n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n-1; i++ {
+		if err := f.Connect(i, 10, i+1, 10); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n-2; i++ {
+		if err := f.Connect(i, 11, i+2, 11); err != nil {
+			return nil, err
+		}
+	}
+	return cluster.NewFabricDeployment(f, cfg.Chains, cfg.NFs, doc.Fabric.StageDemand)
+}
+
+// convergeFabric drives a fabric-mode apply: initial (or
+// redeploy-forcing) applies build the fabric fresh and reconcile it
+// onto the topology; chain-only deltas update the desired set on the
+// live fabric and let the level-triggered reconciler converge — an
+// unchanged intent reconciles to Converged with zero reprogrammed
+// switches. A failed chain-delta converge restores the prior chain set
+// and re-reconciles, so the fabric ends at the prior intent.
+func (a *Applier) convergeFabric(doc *Document, delta *Delta, rep *Report) error {
+	if a.last == nil || a.fab == nil || needsRedeploy(delta) {
+		cfg, err := doc.BuildConfig()
+		if err != nil {
+			return err
+		}
+		fab, err := a.buildFabric(doc, cfg)
+		if err != nil {
+			return err
+		}
+		frec := cluster.NewReconciler(fab)
+		frep, err := frec.Reconcile()
+		if err != nil {
+			return err
+		}
+		rep.Redeployed = !rep.Initial
+		rep.FabricPath = frep.Path
+		rep.FabricChanged = frep.Changed
+		rep.FabricBlackholed = frep.Blackholed
+		a.fab, a.frec, a.dep = fab, frec, nil
+		return nil
+	}
+
+	prior := a.fab.Chains
+	if err := a.fab.SetChains(doc.RouteChains()); err != nil {
+		return err
+	}
+	frep, err := a.frec.Reconcile()
+	if err != nil {
+		// Converge failed partway: restore the prior desired set and let
+		// the reconciler put every switch back. A rollback failure is
+		// reported alongside the original cause — the fabric needs an
+		// operator at that point.
+		a.fab.Chains = prior
+		if _, rbErr := a.frec.Reconcile(); rbErr != nil {
+			return fmt.Errorf("intent: apply failed (%w) AND fabric rollback failed: %v", err, rbErr)
+		}
+		return fmt.Errorf("intent: apply failed, fabric rolled back to prior intent: %w", err)
+	}
+	rep.FabricPath = frep.Path
+	rep.FabricChanged = frep.Changed
+	rep.FabricBlackholed = frep.Blackholed
+	if !frep.Converged {
+		rep.ProgramReloads = len(frep.Changed) * a.fab.Fabric.Prof.Pipelines * 2
+	}
+	return nil
+}

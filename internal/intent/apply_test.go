@@ -1,0 +1,422 @@
+package intent
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/config"
+	"dejavu/internal/ctl"
+	"dejavu/internal/fault"
+	"dejavu/internal/pipeline"
+	"dejavu/internal/scenario"
+)
+
+// applyDoc applies doc and fails the test on error.
+func applyDoc(t *testing.T, a *Applier, doc *Document) *Report {
+	t.Helper()
+	rep, err := a.Apply(doc, Options{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return rep
+}
+
+// assertProvedNoOp checks the full no-op proof on a report: empty
+// delta, every pipeline stage served from cache, nothing written.
+func assertProvedNoOp(t *testing.T, rep *Report) {
+	t.Helper()
+	if !rep.NoOp {
+		t.Fatalf("re-apply not a no-op: %s", rep.Summary())
+	}
+	if len(rep.Build.Stages) == 0 || rep.Build.CacheHits != len(rep.Build.Stages) || rep.Build.CacheMisses != 0 {
+		t.Errorf("no-op build not fully cached: %s", rep.Build.Summary())
+	}
+	if rep.DeltaEntries != 0 || rep.ProgramReloads != 0 {
+		t.Errorf("no-op wrote: %d entries, %d program reloads", rep.DeltaEntries, rep.ProgramReloads)
+	}
+}
+
+// TestApplyInitialAndNoOp is the acceptance path: the first apply
+// deploys, re-applying the unchanged intent is a PROVED no-op — the
+// full rebuild runs and every stage hits the artifact cache, zero
+// branching entries are written and zero pipelet programs reload.
+func TestApplyInitialAndNoOp(t *testing.T) {
+	a := NewApplier(nil)
+	doc := testDoc(t)
+
+	rep := applyDoc(t, a, doc)
+	if !rep.Initial || rep.NoOp {
+		t.Fatalf("first apply misclassified: %s", rep.Summary())
+	}
+	if a.Deployment() == nil {
+		t.Fatal("no live deployment after initial apply")
+	}
+	if a.Current() == nil || a.Current().Hash() != doc.Hash() {
+		t.Fatal("applied intent not recorded")
+	}
+
+	rep2 := applyDoc(t, a, testDoc(t))
+	assertProvedNoOp(t, rep2)
+	if rep2.Hash != rep.Hash {
+		t.Errorf("no-op re-apply changed the hash: %s vs %s", rep2.Hash, rep.Hash)
+	}
+	if a.Stats.NoOps() != 1 || a.Stats.Applies() != 2 {
+		t.Errorf("stats applies=%d noops=%d, want 2/1", a.Stats.Applies(), a.Stats.NoOps())
+	}
+}
+
+// TestApplyWeightOnly proves a weight-only intent edit does not
+// recompose the pipelets: the composition stage is served from cache
+// and no pipelet program reloads.
+func TestApplyWeightOnly(t *testing.T) {
+	a := NewApplier(nil)
+	applyDoc(t, a, testDoc(t))
+
+	next := testDoc(t)
+	next.File.Chains[0].Weight = 0.6
+	next.File.Chains[1].Weight = 0.4
+	rep := applyDoc(t, a, next)
+	if rep.NoOp || rep.Redeployed {
+		t.Fatalf("weight change misclassified: %s", rep.Summary())
+	}
+	st := rep.Build.Stage(pipeline.StageComposition)
+	if st == nil || !st.CacheHit {
+		t.Errorf("weight-only apply recomposed: %+v (%s)", st, rep.Build.Summary())
+	}
+	if rep.ProgramReloads != 0 {
+		t.Errorf("weight-only apply reloaded %d programs", rep.ProgramReloads)
+	}
+}
+
+// TestApplyAddRemoveChain drives a chain add then its removal through
+// the intent plane and checks the converger pushes a real write-set
+// while reusing every composed program.
+func TestApplyAddRemoveChain(t *testing.T) {
+	a := NewApplier(nil)
+	applyDoc(t, a, testDoc(t))
+
+	withNew := testDoc(t)
+	withNew.File.Chains = append(withNew.File.Chains, config.ChainSpec{
+		PathID: 20, NFs: []string{"classifier", "fw", "router"}, Weight: 0.1,
+	})
+	rep := applyDoc(t, a, withNew)
+	if got := rep.Actions; len(got) != 3 {
+		t.Fatalf("actions = %+v, want 3", got)
+	}
+	if rep.DeltaEntries == 0 {
+		t.Error("chain add wrote no branching entries")
+	}
+	if rep.ProgramReloads != 0 {
+		t.Errorf("same-NF chain add reloaded %d programs", rep.ProgramReloads)
+	}
+
+	rep = applyDoc(t, a, testDoc(t))
+	d := Delta{Actions: rep.Actions}
+	if d.Count(KindRemove) != 1 {
+		t.Fatalf("revert actions = %+v, want one remove", rep.Actions)
+	}
+	if rep.DeltaEntries == 0 {
+		t.Error("chain remove wrote no branching entries")
+	}
+	assertProvedNoOp(t, applyDoc(t, a, testDoc(t)))
+}
+
+// TestApplyPlacementHint proves a declared placement hint is honored:
+// applying an intent that pins an NF to a different pipelet re-resolves
+// the placement and the live deployment ends with the NF there.
+func TestApplyPlacementHint(t *testing.T) {
+	a := NewApplier(nil)
+	applyDoc(t, a, testDoc(t))
+
+	hinted := testDoc(t)
+	hinted.Placement = map[string]string{"fw": "ingress 1"}
+	rep := applyDoc(t, a, hinted)
+	if rep.NoOp || rep.Redeployed {
+		t.Fatalf("hint change misclassified: %s", rep.Summary())
+	}
+	dep := a.Deployment()
+	got, ok := dep.Placement.Of("fw")
+	want := asic.PipeletID{Pipeline: 1, Dir: asic.Ingress}
+	if !ok || got != want {
+		t.Fatalf("fw placed at %v, want %v", got, want)
+	}
+	// The moved deployment still forwards and lints clean.
+	tr, err := dep.Inject(scenario.PortClient, scenario.InternetBound())
+	if err != nil || tr.Dropped {
+		t.Fatalf("traffic after hinted move: %v %+v", err, tr)
+	}
+	if dep.Lint.HasErrors() {
+		t.Errorf("lint errors after hinted move: %+v", dep.Lint)
+	}
+	assertProvedNoOp(t, applyDoc(t, a, hinted.Clone()))
+}
+
+// TestApplyTelemetryToggle proves the telemetry knob converges in
+// place: no redeploy, no write-set, the datapath collector attaches
+// and detaches.
+func TestApplyTelemetryToggle(t *testing.T) {
+	a := NewApplier(nil)
+	applyDoc(t, a, testDoc(t))
+	if a.Deployment().Datapath != nil {
+		t.Fatal("datapath attached without telemetry intent")
+	}
+
+	on := testDoc(t)
+	on.File.Telemetry = true
+	rep := applyDoc(t, a, on)
+	if rep.NoOp || rep.Redeployed {
+		t.Fatalf("telemetry toggle misclassified: %s", rep.Summary())
+	}
+	if rep.DeltaEntries != 0 || rep.ProgramReloads != 0 {
+		t.Errorf("in-place toggle wrote: %d entries, %d reloads", rep.DeltaEntries, rep.ProgramReloads)
+	}
+	if a.Deployment().Datapath == nil {
+		t.Fatal("telemetry intent did not attach the datapath collector")
+	}
+
+	rep = applyDoc(t, a, testDoc(t))
+	if a.Deployment().Datapath != nil {
+		t.Fatal("telemetry removal did not detach the datapath collector")
+	}
+	if rep.NoOp {
+		t.Error("telemetry removal misreported as no-op")
+	}
+	assertProvedNoOp(t, applyDoc(t, a, testDoc(t)))
+}
+
+// deadApplier fails every control-plane write permanently.
+type deadApplier struct{}
+
+func (deadApplier) Apply(ctl.TableWrite) error {
+	return errors.New("switch driver gone")
+}
+
+// TestApplyRollbackOnFault is the acceptance fault case: a mid-apply
+// control-plane failure must roll the deployment back to the prior
+// intent — the recorded intent is unchanged, traffic still flows on
+// the prior chains, the lint report stays clean — and once the driver
+// recovers, the prior intent re-applies as a proved no-op and the new
+// intent converges.
+func TestApplyRollbackOnFault(t *testing.T) {
+	a := NewApplier(nil)
+	prior := testDoc(t)
+	applyDoc(t, a, prior)
+	dep := a.Deployment()
+
+	// The switch driver dies: every table write is rejected.
+	orig := dep.Driver
+	dep.Driver = &fault.Driver{Applier: deadApplier{}, MaxAttempts: 1, Sleep: func(time.Duration) {}}
+
+	next := testDoc(t)
+	next.File.Chains = append(next.File.Chains, config.ChainSpec{
+		PathID: 20, NFs: []string{"classifier", "fw", "router"}, Weight: 0.1,
+	})
+	rep, err := a.Apply(next, Options{})
+	if err == nil {
+		t.Fatal("apply succeeded through a dead driver")
+	}
+	if !rep.RolledBack {
+		t.Errorf("report not marked rolled back: %s", rep.Summary())
+	}
+	if a.Stats.Rollbacks() != 1 {
+		t.Errorf("rollbacks counter = %d, want 1", a.Stats.Rollbacks())
+	}
+
+	// The prior intent is still the applied one and the switch still
+	// runs it: traffic forwards, chains unchanged, lint clean.
+	if cur := a.Current(); cur == nil || cur.Hash() != prior.Hash() {
+		t.Fatal("failed apply advanced the recorded intent")
+	}
+	if got := len(dep.Config.Chains); got != len(prior.Chains) {
+		t.Fatalf("deployment runs %d chains after rollback, want %d", got, len(prior.Chains))
+	}
+	tr, injErr := dep.Inject(scenario.PortClient, scenario.InternetBound())
+	if injErr != nil || tr.Dropped {
+		t.Fatalf("traffic after rollback: %v %+v", injErr, tr)
+	}
+	if dep.Lint.HasErrors() {
+		t.Errorf("lint findings after rollback: %+v", dep.Lint)
+	}
+
+	// Driver recovers: the prior intent is a proved no-op, the new one
+	// converges.
+	dep.Driver = orig
+	assertProvedNoOp(t, applyDoc(t, a, prior.Clone()))
+	rep = applyDoc(t, a, next.Clone())
+	if rep.DeltaEntries == 0 {
+		t.Error("recovered apply wrote nothing")
+	}
+	if cur := a.Current(); cur.Hash() != next.Hash() {
+		t.Error("recovered apply did not advance the recorded intent")
+	}
+}
+
+// TestApplyDryRun proves -dry-run plans without touching anything: the
+// write-set is reported, the recorded intent and the switch stay put.
+func TestApplyDryRun(t *testing.T) {
+	a := NewApplier(nil)
+	doc := testDoc(t)
+
+	// A dry run before anything is applied proves the document composes.
+	rep, err := a.Apply(doc, Options{DryRun: true})
+	if err != nil {
+		t.Fatalf("initial dry run: %v", err)
+	}
+	if !rep.DryRun || a.Deployment() != nil || a.Current() != nil {
+		t.Fatal("initial dry run touched state")
+	}
+
+	applyDoc(t, a, doc)
+	next := testDoc(t)
+	next.File.Chains = append(next.File.Chains, config.ChainSpec{
+		PathID: 20, NFs: []string{"classifier", "fw", "router"}, Weight: 0.1,
+	})
+	rep, err = a.Apply(next, Options{DryRun: true})
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	if rep.DeltaEntries == 0 {
+		t.Error("dry run planned an empty write-set for a chain add")
+	}
+	if a.Current().Hash() != doc.Hash() {
+		t.Fatal("dry run advanced the recorded intent")
+	}
+	if got := len(a.Deployment().Config.Chains); got != len(doc.Chains) {
+		t.Fatalf("dry run mutated the deployment: %d chains", got)
+	}
+	if a.Stats.DryRuns() != 2 {
+		t.Errorf("dry-run counter = %d, want 2", a.Stats.DryRuns())
+	}
+	// The planned apply then really converges.
+	if rep = applyDoc(t, a, next); rep.DeltaEntries == 0 {
+		t.Error("real apply after dry run wrote nothing")
+	}
+}
+
+// TestApplyFabric fans one intent across a multi-switch fabric: the
+// initial apply reconciles the fleet, the unchanged re-apply converges
+// with zero reprogrammed switches, and a chain edit re-converges.
+func TestApplyFabric(t *testing.T) {
+	a := NewApplier(nil)
+	doc := testDoc(t)
+	doc.Fabric = &FabricSpec{Switches: 3, StageDemand: map[string]int{"classifier": 6, "fw": 6, "router": 6}}
+
+	rep := applyDoc(t, a, doc)
+	if !rep.Initial {
+		t.Fatalf("fabric first apply misclassified: %s", rep.Summary())
+	}
+	if a.FabricDeployment() == nil || a.Deployment() != nil {
+		t.Fatal("fabric apply did not adopt a fabric deployment")
+	}
+	if len(rep.FabricPath) == 0 {
+		t.Fatal("fabric apply reports no switch path")
+	}
+	if len(rep.FabricBlackholed) != 0 {
+		t.Fatalf("fabric blackholed chains: %v", rep.FabricBlackholed)
+	}
+
+	rep = applyDoc(t, a, doc.Clone())
+	if !rep.NoOp {
+		t.Fatalf("unchanged fabric re-apply not a no-op: %s", rep.Summary())
+	}
+	if len(rep.FabricChanged) != 0 || rep.ProgramReloads != 0 {
+		t.Errorf("fabric no-op reprogrammed switches %v (%d reloads)",
+			rep.FabricChanged, rep.ProgramReloads)
+	}
+
+	next := doc.Clone()
+	next.File.Chains = append(next.File.Chains, config.ChainSpec{
+		PathID: 20, NFs: []string{"classifier", "fw", "router"}, Weight: 0.1,
+	})
+	rep = applyDoc(t, a, next)
+	if rep.NoOp {
+		t.Fatal("fabric chain add misreported as no-op")
+	}
+	if got := len(a.FabricDeployment().Chains); got != 3 {
+		t.Fatalf("fabric runs %d chains, want 3", got)
+	}
+	// Fabric no-op proof: the level-triggered reconciler converges with
+	// zero reprogrammed switches (there is no staged single-switch build
+	// to cache-check in fabric mode).
+	rep = applyDoc(t, a, next.Clone())
+	if !rep.NoOp || len(rep.FabricChanged) != 0 || rep.ProgramReloads != 0 {
+		t.Fatalf("fabric re-apply not a proved no-op: %s (changed %v)", rep.Summary(), rep.FabricChanged)
+	}
+}
+
+// TestApplyRejectsInvalidDocument: validation failures surface before
+// any converge and leave the applier untouched.
+func TestApplyRejectsInvalidDocument(t *testing.T) {
+	a := NewApplier(nil)
+	applyDoc(t, a, testDoc(t))
+	bad := testDoc(t)
+	bad.SchemaVersion = 99
+	if _, err := a.Apply(bad, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown schema version") {
+		t.Fatalf("invalid document accepted: %v", err)
+	}
+	if a.Current().Hash() != testDoc(t).Hash() {
+		t.Fatal("rejected document advanced the recorded intent")
+	}
+}
+
+// TestApplyHammer re-applies mutated intents while traffic floods the
+// stable path: every packet must observe a coherent old-or-new
+// snapshot — zero drops. Run with -race.
+func TestApplyHammer(t *testing.T) {
+	a := NewApplier(nil)
+	base := testDoc(t)
+	applyDoc(t, a, base)
+	sw := a.Deployment().Switch
+
+	var injected, dropped atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q, err := sw.InjectQuiet(scenario.PortClient, scenario.InternetBound())
+				injected.Add(1)
+				if err != nil || q.Dropped {
+					dropped.Add(1)
+				}
+			}
+		}()
+	}
+	for injected.Load() == 0 {
+		runtime.Gosched()
+	}
+
+	withExtra := base.Clone()
+	withExtra.File.Chains = append(withExtra.File.Chains, config.ChainSpec{
+		PathID: 99, NFs: []string{"classifier", "fw", "router"}, Weight: 0.05,
+	})
+	churns := 4
+	for i := 0; i < churns; i++ {
+		applyDoc(t, a, withExtra.Clone())
+		applyDoc(t, a, base.Clone())
+	}
+	close(done)
+	wg.Wait()
+
+	if injected.Load() == 0 {
+		t.Fatal("no packets injected during apply churn")
+	}
+	if n := dropped.Load(); n != 0 {
+		t.Errorf("%d of %d packets dropped during applies", n, injected.Load())
+	}
+	assertProvedNoOp(t, applyDoc(t, a, base.Clone()))
+}

@@ -1,0 +1,156 @@
+package intent
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dejavu/internal/config"
+)
+
+// actionsByKind indexes a delta's actions for assertion convenience.
+func actionsByKind(d *Delta) map[Kind][]Action {
+	out := make(map[Kind][]Action)
+	for _, a := range d.Actions {
+		out[a.Kind] = append(out[a.Kind], a)
+	}
+	return out
+}
+
+func TestDiffNilOldIsAllAdds(t *testing.T) {
+	doc := testDoc(t)
+	delta := Diff(nil, doc)
+	if got := delta.Count(KindAdd); got != 2 {
+		t.Fatalf("adds = %d, want 2", got)
+	}
+	if delta.Empty() {
+		t.Fatal("initial delta must not be empty")
+	}
+	if len(delta.Global) != 0 {
+		t.Errorf("initial delta has global entries: %v", delta.Global)
+	}
+	// Actions come out sorted by path ID.
+	if delta.Actions[0].PathID != 10 || delta.Actions[1].PathID != 30 {
+		t.Errorf("actions unsorted: %+v", delta.Actions)
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	delta := Diff(a, b)
+	if !delta.Empty() {
+		t.Fatalf("identical documents diff non-empty: %s", delta.Summary())
+	}
+	// Every declared chain is accounted for as an explicit no-op.
+	if got := delta.Count(KindNoOp); got != 2 {
+		t.Errorf("noops = %d, want 2", got)
+	}
+}
+
+func TestDiffWeightOnly(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	b.File.Chains[0].Weight = 0.65
+	b.File.Chains[1].Weight = 0.35
+	delta := Diff(a, b)
+	byKind := actionsByKind(delta)
+	if len(byKind[KindUpdate]) != 2 {
+		t.Fatalf("updates = %d, want 2: %+v", len(byKind[KindUpdate]), delta.Actions)
+	}
+	for _, u := range byKind[KindUpdate] {
+		if !reflect.DeepEqual(u.Fields, []string{"weight"}) {
+			t.Errorf("chain %d fields = %v, want [weight]", u.PathID, u.Fields)
+		}
+	}
+	if len(delta.Global) != 0 {
+		t.Errorf("weight-only diff has global entries: %v", delta.Global)
+	}
+}
+
+func TestDiffAddRemove(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	// Drop chain 30, add chain 20.
+	b.File.Chains = []config.ChainSpec{
+		a.File.Chains[0],
+		{PathID: 20, NFs: []string{"classifier", "fw", "router"}, Weight: 0.3},
+	}
+	delta := Diff(a, b)
+	byKind := actionsByKind(delta)
+	if len(byKind[KindAdd]) != 1 || byKind[KindAdd][0].PathID != 20 {
+		t.Errorf("adds = %+v, want chain 20", byKind[KindAdd])
+	}
+	if len(byKind[KindRemove]) != 1 || byKind[KindRemove][0].PathID != 30 {
+		t.Errorf("removes = %+v, want chain 30", byKind[KindRemove])
+	}
+	if len(byKind[KindNoOp]) != 1 || byKind[KindNoOp][0].PathID != 10 {
+		t.Errorf("noops = %+v, want chain 10", byKind[KindNoOp])
+	}
+}
+
+func TestDiffPlacementHintChange(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	b.Placement = map[string]string{"fw": "egress 1"}
+	delta := Diff(a, b)
+	byKind := actionsByKind(delta)
+	// Only chain 10 uses fw; chain 30 must stay a no-op.
+	if len(byKind[KindUpdate]) != 1 || byKind[KindUpdate][0].PathID != 10 {
+		t.Fatalf("updates = %+v, want exactly chain 10", byKind[KindUpdate])
+	}
+	if !reflect.DeepEqual(byKind[KindUpdate][0].Fields, []string{"placement"}) {
+		t.Errorf("fields = %v, want [placement]", byKind[KindUpdate][0].Fields)
+	}
+	if len(byKind[KindNoOp]) != 1 || byKind[KindNoOp][0].PathID != 30 {
+		t.Errorf("noops = %+v, want chain 30", byKind[KindNoOp])
+	}
+}
+
+func TestDiffGlobalKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(d *Document)
+		want string
+	}{
+		{"telemetry", func(d *Document) { d.File.Telemetry = true }, "telemetry"},
+		{"strict lint", func(d *Document) { d.File.StrictLint = true }, "strict_lint"},
+		{"optimizer", func(d *Document) { d.File.Optimizer = "anneal" }, "optimizer"},
+		{"anneal seed", func(d *Document) { d.AnnealSeed = 7 }, "anneal_seed"},
+		{"enter", func(d *Document) { d.File.Enter = 1 }, "enter"},
+		{"loopback ports", func(d *Document) { d.File.LoopbackPorts = []int{18} }, "loopback_ports"},
+		{"nf section", func(d *Document) { d.File.Firewall.DefaultPermit = false }, "nf_sections"},
+		{"fabric", func(d *Document) { d.Fabric = &FabricSpec{Switches: 3} }, "fabric"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := testDoc(t), testDoc(t)
+			tc.edit(b)
+			delta := Diff(a, b)
+			if delta.Empty() {
+				t.Fatal("delta empty despite global change")
+			}
+			found := false
+			for _, g := range delta.Global {
+				if g == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("global = %v, want %q listed", delta.Global, tc.want)
+			}
+			// Global-only changes leave every chain a no-op.
+			if got := delta.Count(KindNoOp); got != 2 {
+				t.Errorf("noops = %d, want 2", got)
+			}
+		})
+	}
+}
+
+func TestDeltaSummary(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	b.File.Chains[0].Weight = 0.6
+	b.File.Telemetry = true
+	s := Diff(a, b).Summary()
+	for _, want := range []string{"1 update", "1 noop", "global: telemetry"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

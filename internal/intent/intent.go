@@ -1,0 +1,238 @@
+// Package intent implements Dejavu's declarative configuration plane:
+// a versioned intent document describing the complete desired state of
+// a deployment — service chains with NF sequences, traffic weights,
+// placement hints, telemetry/postcard knobs and the strict-lint gate —
+// plus a semantic differ (Diff) producing typed Add/Remove/Update/NoOp
+// actions and a converger (Applier) that drives the diff through the
+// incremental build pipeline and the control plane's program
+// transactions. Re-applying an unchanged intent is a provable no-op
+// (every pipeline stage hits the artifact cache, zero pipelet programs
+// reload); a mid-apply failure rolls the deployment back to the last
+// applied intent. With a `fabric` section the same document fans out
+// across a multi-switch cluster.FabricDeployment. See docs/INTENT.md
+// for the operator guide.
+package intent
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/config"
+	"dejavu/internal/core"
+)
+
+// Version is the intent schema version this package understands.
+// Documents must declare it explicitly: an operator applying a file
+// written for a future schema gets a typed rejection, not a silent
+// misread.
+const Version = 1
+
+// Document is the versioned declarative intent: the complete desired
+// state of one deployment. The embedded config.File contributes the
+// switch profile, the chain set, every NF's configuration section and
+// the strict-lint/telemetry/postcard knobs; the intent layer adds the
+// schema version, optional placement hints and the optional fabric
+// (fleet) section.
+type Document struct {
+	// SchemaVersion must equal Version (the `version` key).
+	SchemaVersion int `json:"version"`
+	// Name optionally labels the intent in reports.
+	Name string `json:"name,omitempty"`
+
+	config.File
+
+	// Placement pins NFs to pipelets during placement optimization,
+	// e.g. {"fw": "ingress 1"}. Hints are honored by apply: changing a
+	// hint re-resolves the placement and hot-swaps the deployment.
+	// Single-switch only — fabric segmentation places NFs itself.
+	Placement map[string]string `json:"placement,omitempty"`
+	// AnnealSeed seeds the annealing optimizer (placement
+	// reproducibility across apply runs).
+	AnnealSeed int64 `json:"anneal_seed,omitempty"`
+	// Fabric, when present, fans the intent across a multi-switch
+	// fabric instead of a single ASIC.
+	Fabric *FabricSpec `json:"fabric,omitempty"`
+}
+
+// FabricSpec is the fleet section of an intent: the same chain set
+// converged over a multi-switch fabric (linear spine on port 10 with
+// skip wires on port 11, the wiring `dejavu fabricchaos` uses).
+type FabricSpec struct {
+	// Switches is the fabric size (>= 2).
+	Switches int `json:"switches"`
+	// StageDemand inflates per-NF stage demand for the segmentation
+	// planner; absent NFs demand one stage.
+	StageDemand map[string]int `json:"stage_demand,omitempty"`
+}
+
+// Parse decodes a strict JSON intent document: unknown fields anywhere
+// in the document are rejected, then the document is validated.
+func Parse(r io.Reader) (*Document, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Load reads, parses and validates an intent file.
+func Load(path string) (*Document, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	doc, err := Parse(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// parsePipelet parses a placement hint like "ingress 0" or "egress 1".
+func parsePipelet(s string) (asic.PipeletID, error) {
+	parts := strings.Fields(s)
+	if len(parts) != 2 {
+		return asic.PipeletID{}, fmt.Errorf("intent: bad placement hint %q (want \"ingress N\" or \"egress N\")", s)
+	}
+	var dir asic.Direction
+	switch parts[0] {
+	case "ingress":
+		dir = asic.Ingress
+	case "egress":
+		dir = asic.Egress
+	default:
+		return asic.PipeletID{}, fmt.Errorf("intent: bad placement direction %q in hint %q", parts[0], s)
+	}
+	pipe, err := strconv.Atoi(parts[1])
+	if err != nil || pipe < 0 {
+		return asic.PipeletID{}, fmt.Errorf("intent: bad pipeline index in placement hint %q", s)
+	}
+	return asic.PipeletID{Pipeline: pipe, Dir: dir}, nil
+}
+
+// Validate checks the document's schema and semantic invariants:
+// supported version, at least one chain, unique path IDs, valid chain
+// shapes, parseable placement hints naming NFs the chains actually
+// use, and a sane fabric section. The NF sections themselves are
+// validated by Build (they materialize real NF implementations).
+func (d *Document) Validate() error {
+	if d.SchemaVersion != Version {
+		return fmt.Errorf("intent: unknown schema version %d (this build supports version %d)", d.SchemaVersion, Version)
+	}
+	if len(d.Chains) == 0 {
+		return fmt.Errorf("intent: no chains declared — an intent describes the complete desired state")
+	}
+	seen := make(map[uint16]bool, len(d.Chains))
+	used := make(map[string]bool)
+	for _, c := range d.Chains {
+		if seen[c.PathID] {
+			return fmt.Errorf("intent: chain path_id %d declared twice", c.PathID)
+		}
+		seen[c.PathID] = true
+		for _, n := range c.NFs {
+			used[n] = true
+		}
+	}
+	if d.Fabric != nil {
+		if d.Fabric.Switches < 2 {
+			return fmt.Errorf("intent: fabric.switches must be >= 2, got %d", d.Fabric.Switches)
+		}
+		if len(d.Placement) > 0 {
+			return fmt.Errorf("intent: placement hints are single-switch; the fabric segmentation places NFs itself")
+		}
+	}
+	hinted := make([]string, 0, len(d.Placement))
+	for n := range d.Placement {
+		hinted = append(hinted, n)
+	}
+	sort.Strings(hinted)
+	for _, n := range hinted {
+		if _, err := parsePipelet(d.Placement[n]); err != nil {
+			return err
+		}
+		if !used[n] {
+			return fmt.Errorf("intent: placement hint for NF %q, which no chain uses", n)
+		}
+	}
+	// The chain shapes themselves (reserved path 0, duplicate NFs,
+	// weight sign) are enforced by config.Build via Chain.Validate;
+	// running it here keeps diff-only workflows honest too.
+	for _, c := range d.Chains {
+		if err := chainOf(c).Validate(); err != nil {
+			return fmt.Errorf("intent: %w", err)
+		}
+	}
+	return nil
+}
+
+// BuildConfig materializes the intent into a deployable core.Config:
+// the embedded config.File builds the NF implementations, then the
+// placement hints become optimizer pins and the anneal seed is
+// stamped.
+func (d *Document) BuildConfig() (*core.Config, error) {
+	cfg, err := d.File.Build()
+	if err != nil {
+		return nil, fmt.Errorf("intent: %w", err)
+	}
+	if len(d.Placement) > 0 {
+		cfg.Pin = make(map[string]asic.PipeletID, len(d.Placement))
+		for n, hint := range d.Placement {
+			pl, err := parsePipelet(hint)
+			if err != nil {
+				return nil, err
+			}
+			if pl.Pipeline >= cfg.Prof.Pipelines {
+				return nil, fmt.Errorf("intent: placement hint %q for %q exceeds the profile's %d pipelines",
+					hint, n, cfg.Prof.Pipelines)
+			}
+			cfg.Pin[n] = pl
+		}
+	}
+	cfg.AnnealSeed = d.AnnealSeed
+	return cfg, nil
+}
+
+// Hash is the content hash of the canonical document rendering. Two
+// intents with the same hash are byte-identical desired state — the
+// no-op proof `dejavu apply` reports rests on it (plus the build
+// pipeline's per-stage hashes underneath).
+func (d *Document) Hash() string {
+	// encoding/json renders struct fields in declaration order and
+	// sorts map keys, so Marshal is canonical for our shape.
+	b, err := json.Marshal(d)
+	if err != nil {
+		// A Document is plain data; Marshal cannot fail on one. Keep the
+		// signature ergonomic and make the impossible loud.
+		panic("intent: marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:16]
+}
+
+// Clone deep-copies the document via its JSON form, so callers can
+// mutate a desired state without aliasing the applied one.
+func (d *Document) Clone() *Document {
+	b, err := json.Marshal(d)
+	if err != nil {
+		panic("intent: marshal: " + err.Error())
+	}
+	var out Document
+	if err := json.Unmarshal(b, &out); err != nil {
+		panic("intent: unmarshal: " + err.Error())
+	}
+	return &out
+}

@@ -1,0 +1,162 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+
+	"dejavu/internal/asic"
+)
+
+// testDocJSON is a small but complete intent: two chains over three
+// NFs, every referenced NF configured.
+const testDocJSON = `{
+  "version": 1,
+  "name": "test",
+  "profile": "wedge100b",
+  "optimizer": "exhaustive",
+  "enter": 0,
+  "loopback_ports": [16, 17],
+  "chains": [
+    {"path_id": 10, "nfs": ["classifier", "fw", "router"], "weight": 0.7, "exit_pipeline": 0},
+    {"path_id": 30, "nfs": ["classifier", "router"], "weight": 0.3, "exit_pipeline": 0}
+  ],
+  "classifier": {
+    "default_path": 30,
+    "default_index": 2,
+    "rules": [
+      {"dst": "203.0.113.80/32", "proto": "tcp", "priority": 20, "path": 10, "initial_index": 3}
+    ]
+  },
+  "firewall": {
+    "default_permit": true,
+    "rules": [
+      {"dst": "203.0.113.80/32", "priority": 10, "permit": false}
+    ]
+  },
+  "router": {
+    "routes": [
+      {"prefix": "0.0.0.0/0", "port": 1, "dst_mac": "02:de:1a:00:00:fe", "src_mac": "02:de:1a:00:00:01"}
+    ]
+  }
+}`
+
+// testDoc parses the canonical test intent, failing the test on error.
+func testDoc(t *testing.T) *Document {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(testDocJSON))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return doc
+}
+
+func TestParseValid(t *testing.T) {
+	doc := testDoc(t)
+	if doc.SchemaVersion != Version {
+		t.Errorf("version = %d, want %d", doc.SchemaVersion, Version)
+	}
+	if doc.Name != "test" {
+		t.Errorf("name = %q", doc.Name)
+	}
+	if len(doc.Chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(doc.Chains))
+	}
+	chains := doc.RouteChains()
+	if chains[0].PathID != 10 || chains[1].PathID != 30 {
+		t.Errorf("route chains = %v", chains)
+	}
+}
+
+func TestParseRejectsUnknownVersion(t *testing.T) {
+	bad := strings.Replace(testDocJSON, `"version": 1`, `"version": 2`, 1)
+	if _, err := Parse(strings.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "unknown schema version") {
+		t.Fatalf("want unknown-version rejection, got %v", err)
+	}
+	// A document with no version at all (version 0) is rejected too —
+	// intent files must self-describe.
+	missing := strings.Replace(testDocJSON, `"version": 1,`, ``, 1)
+	if _, err := Parse(strings.NewReader(missing)); err == nil {
+		t.Fatal("want rejection for missing version")
+	}
+}
+
+func TestParseRejectsUnknownField(t *testing.T) {
+	bad := strings.Replace(testDocJSON, `"name": "test",`, `"name": "test", "wieght": 1,`, 1)
+	if _, err := Parse(strings.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("want unknown-field rejection, got %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(d *Document)
+		want string
+	}{
+		{"no chains", func(d *Document) { d.File.Chains = nil }, "no chains"},
+		{"duplicate path", func(d *Document) { d.File.Chains[1].PathID = 10 }, "declared twice"},
+		{"bad hint syntax", func(d *Document) { d.Placement = map[string]string{"fw": "sideways 0"} }, "bad placement direction"},
+		{"bad hint index", func(d *Document) { d.Placement = map[string]string{"fw": "ingress minus-one"} }, "bad pipeline index"},
+		{"hint for unused NF", func(d *Document) { d.Placement = map[string]string{"nat": "ingress 0"} }, "no chain uses"},
+		{"fabric too small", func(d *Document) { d.Fabric = &FabricSpec{Switches: 1} }, "must be >= 2"},
+		{"hints in fabric mode", func(d *Document) {
+			d.Fabric = &FabricSpec{Switches: 2}
+			d.Placement = map[string]string{"fw": "ingress 0"}
+		}, "single-switch"},
+		{"invalid chain shape", func(d *Document) { d.File.Chains[0].PathID = 0 }, "path"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := testDoc(t)
+			tc.edit(doc)
+			err := doc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildConfigAppliesHints(t *testing.T) {
+	doc := testDoc(t)
+	doc.Placement = map[string]string{"fw": "egress 1"}
+	cfg, err := doc.BuildConfig()
+	if err != nil {
+		t.Fatalf("BuildConfig: %v", err)
+	}
+	want := asic.PipeletID{Pipeline: 1, Dir: asic.Egress}
+	if got := cfg.Pin["fw"]; got != want {
+		t.Errorf("Pin[fw] = %v, want %v", got, want)
+	}
+	// A hint beyond the profile's pipelines is rejected at build time
+	// (the profile is only known once the document materializes).
+	doc.Placement["fw"] = "ingress 7"
+	if _, err := doc.BuildConfig(); err == nil {
+		t.Fatal("want rejection for out-of-profile hint")
+	}
+}
+
+func TestHashStableAndContentSensitive(t *testing.T) {
+	a, b := testDoc(t), testDoc(t)
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical documents must hash identically")
+	}
+	if a.Hash() != a.Clone().Hash() {
+		t.Fatal("clone must hash identically")
+	}
+	b.File.Chains[0].Weight = 0.71
+	if a.Hash() == b.Hash() {
+		t.Fatal("weight change must change the hash")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := testDoc(t)
+	b := a.Clone()
+	b.File.Chains[0].NFs[0] = "nat"
+	if a.File.Chains[0].NFs[0] != "classifier" {
+		t.Fatal("Clone aliased the chain NF slice")
+	}
+}

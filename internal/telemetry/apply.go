@@ -1,0 +1,137 @@
+package telemetry
+
+import "sync/atomic"
+
+// Apply counts declarative config-plane activity (`dejavu apply`,
+// intent.Applier): applies attempted, proved no-ops, rollbacks, the
+// per-kind action totals of converged deltas, and convergence wall
+// time. Like Rebuild, nothing on the packet path touches these — they
+// are bumped once per apply — but they are atomics so a metrics scrape
+// can race a live apply.
+type Apply struct {
+	applies       atomic.Uint64
+	noops         atomic.Uint64
+	rollbacks     atomic.Uint64
+	dryRuns       atomic.Uint64
+	adds          atomic.Uint64
+	removes       atomic.Uint64
+	updates       atomic.Uint64
+	convergenceNS atomic.Uint64
+	lastNS        atomic.Uint64
+	lastActions   atomic.Uint64
+}
+
+// NewApply creates an empty apply counter set.
+func NewApply() *Apply { return &Apply{} }
+
+// ObserveApply records one successful apply: the changed-action split
+// of its delta, whether it was a proved no-op, and its convergence wall
+// time.
+func (a *Apply) ObserveApply(adds, removes, updates int, noop bool, ns int64) {
+	a.applies.Add(1)
+	if noop {
+		a.noops.Add(1)
+	}
+	a.adds.Add(uint64(adds))
+	a.removes.Add(uint64(removes))
+	a.updates.Add(uint64(updates))
+	if ns > 0 {
+		a.convergenceNS.Add(uint64(ns))
+		a.lastNS.Store(uint64(ns))
+	}
+	a.lastActions.Store(uint64(adds + removes + updates))
+}
+
+// ObserveRollback records one failed apply that left (or restored) the
+// prior intent.
+func (a *Apply) ObserveRollback() { a.rollbacks.Add(1) }
+
+// ObserveDryRun records one dry-run apply (planned, nothing touched).
+func (a *Apply) ObserveDryRun() { a.dryRuns.Add(1) }
+
+// Applies returns the number of successful applies observed.
+func (a *Apply) Applies() uint64 { return a.applies.Load() }
+
+// NoOps returns the number of applies proved to change nothing.
+func (a *Apply) NoOps() uint64 { return a.noops.Load() }
+
+// Rollbacks returns the number of failed applies rolled back.
+func (a *Apply) Rollbacks() uint64 { return a.rollbacks.Load() }
+
+// DryRuns returns the number of dry-run applies observed.
+func (a *Apply) DryRuns() uint64 { return a.dryRuns.Load() }
+
+// LastConvergenceNS returns the wall time of the most recent apply.
+func (a *Apply) LastConvergenceNS() uint64 { return a.lastNS.Load() }
+
+// Gather implements Collector (see docs/OBSERVABILITY.md).
+func (a *Apply) Gather() []Family {
+	return []Family{
+		{
+			Name: "dejavu_apply_total",
+			Help: "Successful intent applies, including proved no-ops.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(a.applies.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_noop_total",
+			Help: "Applies proved to change nothing (idempotent re-apply).",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(a.noops.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_rollback_total",
+			Help: "Failed applies rolled back to the prior intent.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(a.rollbacks.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_dryrun_total",
+			Help: "Dry-run applies (planned, nothing converged).",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(a.dryRuns.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_actions_total",
+			Help: "Chain actions converged by applies, by kind.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Labels: `kind="add"`, Value: float64(a.adds.Load())},
+				{Labels: `kind="remove"`, Value: float64(a.removes.Load())},
+				{Labels: `kind="update"`, Value: float64(a.updates.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_convergence_ns_total",
+			Help: "Cumulative wall time spent converging applies.",
+			Kind: KindCounter,
+			Samples: []Sample{
+				{Value: float64(a.convergenceNS.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_last_convergence_ns",
+			Help: "Wall time of the most recent apply.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Value: float64(a.lastNS.Load())},
+			},
+		},
+		{
+			Name: "dejavu_apply_last_actions",
+			Help: "Changed chain actions in the most recent apply.",
+			Kind: KindGauge,
+			Samples: []Sample{
+				{Value: float64(a.lastActions.Load())},
+			},
+		},
+	}
+}

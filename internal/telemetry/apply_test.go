@@ -1,0 +1,71 @@
+package telemetry
+
+import "testing"
+
+// TestApplyCounters drives the intent-plane observations and checks the
+// counters and gauges they feed.
+func TestApplyCounters(t *testing.T) {
+	a := NewApply()
+	a.ObserveApply(2, 1, 1, false, 5000)
+	a.ObserveApply(0, 0, 0, true, 1000)
+	a.ObserveRollback()
+	a.ObserveDryRun()
+
+	if a.Applies() != 2 || a.NoOps() != 1 || a.Rollbacks() != 1 || a.DryRuns() != 1 {
+		t.Fatalf("applies=%d noops=%d rollbacks=%d dryruns=%d, want 2/1/1/1",
+			a.Applies(), a.NoOps(), a.Rollbacks(), a.DryRuns())
+	}
+	if a.LastConvergenceNS() != 1000 {
+		t.Errorf("last convergence = %d, want 1000", a.LastConvergenceNS())
+	}
+}
+
+// TestApplyGather checks the exported dejavu_apply_* families: names,
+// kinds, and that the per-kind action split survives into labels.
+func TestApplyGather(t *testing.T) {
+	a := NewApply()
+	a.ObserveApply(3, 2, 1, false, 7000)
+
+	fams := a.Gather()
+	byName := make(map[string]Family, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	wantCounters := []string{
+		"dejavu_apply_total", "dejavu_apply_noop_total",
+		"dejavu_apply_rollback_total", "dejavu_apply_dryrun_total",
+		"dejavu_apply_actions_total", "dejavu_apply_convergence_ns_total",
+	}
+	for _, name := range wantCounters {
+		f, ok := byName[name]
+		if !ok {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if f.Kind != KindCounter {
+			t.Errorf("%s kind = %v, want counter", name, f.Kind)
+		}
+	}
+	for _, name := range []string{"dejavu_apply_last_convergence_ns", "dejavu_apply_last_actions"} {
+		f, ok := byName[name]
+		if !ok {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if f.Kind != KindGauge {
+			t.Errorf("%s kind = %v, want gauge", name, f.Kind)
+		}
+	}
+
+	actions := byName["dejavu_apply_actions_total"]
+	got := make(map[string]float64, len(actions.Samples))
+	for _, s := range actions.Samples {
+		got[s.Labels] = s.Value
+	}
+	if got[`kind="add"`] != 3 || got[`kind="remove"`] != 2 || got[`kind="update"`] != 1 {
+		t.Errorf("action samples = %v, want add=3 remove=2 update=1", got)
+	}
+	if v := byName["dejavu_apply_last_actions"].Samples[0].Value; v != 6 {
+		t.Errorf("last actions = %v, want 6", v)
+	}
+}
