@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet check bench bench-pktpath bench-build fabric-chaos fmt doccheck
+.PHONY: build test race lint vet check bench bench-pktpath bench-build fabric-chaos fabricplace fmt doccheck
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,15 @@ fabric-chaos: build
 	@for seed in 1 7 42; do \
 		$(GO) run ./cmd/dejavu fabricchaos -seed $$seed -ticks 40 || exit 1; \
 	done
+
+# Topology-aware placement gate (DESIGN.md §14): placement engine and
+# per-chain reconciler convergence tests under the race detector, then
+# the dvexp comparison table, which itself errors if the cost-based
+# placer ever scores worse than the lex-path baseline or no row wins
+# strictly via a branching placement.
+fabricplace: build
+	$(GO) test -race -run 'TestPlace|TestReconciler|TestFabricPlace' ./internal/fabricplace/ ./internal/cluster/ ./internal/experiments/
+	$(GO) run ./cmd/dvexp -exp fabricplace
 
 fmt:
 	gofmt -l -w .

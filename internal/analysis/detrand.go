@@ -6,9 +6,11 @@ import (
 	"strings"
 )
 
-// The detrand analyzer keeps the chaos/fault/traffic layers
+// The detrand analyzer keeps the chaos/fault/traffic/placement layers
 // deterministic and reproducible: inside internal/fault,
-// internal/traffic, any *chaos* file, or any *Chaos* function, code
+// internal/traffic, internal/fabricplace (the cost-based placer's
+// scoring must replay identically for the recorded dvexp seeds), any
+// *chaos* file, or any *Chaos* function, code
 // must not CALL time.Now/Since/Sleep/... or the global math/rand
 // source directly — clocks and randomness flow in through the
 // injectable seams those packages already define (fault.Driver.Sleep,
@@ -24,7 +26,7 @@ import (
 func Detrand() *Analyzer {
 	return &Analyzer{
 		Name: "detrand",
-		Doc:  "no naked time.Now / global math/rand in fault, traffic, or chaos code — inject clocks and seeds through seams",
+		Doc:  "no naked time.Now / global math/rand in fault, traffic, fabricplace, or chaos code — inject clocks and seeds through seams",
 		Run:  runDetrand,
 	}
 }
@@ -79,13 +81,15 @@ func runDetrand(pass *Pass) error {
 }
 
 // detrandPackageInScope matches the deterministic packages: any path
-// whose last element is fault or traffic, or that mentions chaos.
+// whose last element is fault, traffic or fabricplace (the placement
+// engine's scoring must be reproducible for the recorded dvexp seeds),
+// or that mentions chaos.
 func detrandPackageInScope(path string) bool {
 	last := path
 	if i := strings.LastIndexByte(path, '/'); i >= 0 {
 		last = path[i+1:]
 	}
-	return last == "fault" || last == "traffic" || strings.Contains(path, "chaos")
+	return last == "fault" || last == "traffic" || last == "fabricplace" || strings.Contains(path, "chaos")
 }
 
 // detrandFileInScope matches *chaos* files in any package.

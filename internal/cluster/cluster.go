@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dejavu/internal/asic"
+	"dejavu/internal/fabricplace"
 	"dejavu/internal/place"
 	"dejavu/internal/route"
 )
@@ -74,13 +75,7 @@ func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (
 	// Budget per switch, in NF stage demand units (own demand +
 	// framework wrapper), mirroring place.Problem's model.
 	budget := c.Prof.TotalStages()
-	demand := func(n string) int {
-		d := 1
-		if stageDemand != nil && stageDemand[n] > 0 {
-			d = stageDemand[n]
-		}
-		return d + 2 // framework wrapper
-	}
+	demand := func(n string) int { return fabricplace.Demand(stageDemand, n) }
 
 	// Segment every chain greedily: fill switch s until the next NF
 	// would exceed its share of the budget.
@@ -193,7 +188,7 @@ func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (
 	var lat time.Duration
 	for sw := 0; sw < c.N; sw++ {
 		lat += c.Prof.PortToPortLatency()
-		lat += time.Duration(plan.PerSwitch[sw].WeightedRecircs/maxF(totalW, 1)) *
+		lat += time.Duration(plan.PerSwitch[sw].WeightedRecircs/fabricplace.MaxF(totalW, 1)) *
 			(c.Prof.PortToPortLatency() + c.Prof.RecircOnChip)
 	}
 	if totalW > 0 {
@@ -201,11 +196,4 @@ func (c Cluster) PlaceChains(chains []route.Chain, stageDemand map[string]int) (
 	}
 	plan.Latency = lat
 	return plan, nil
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -8,6 +8,7 @@ import (
 
 	"dejavu/internal/asic"
 	"dejavu/internal/compose"
+	"dejavu/internal/fabricplace"
 	"dejavu/internal/fifo"
 	"dejavu/internal/nf"
 	"dejavu/internal/packet"
@@ -470,4 +471,32 @@ func DeploySegments(
 		dep.Composers = append(dep.Composers, comp)
 	}
 	return dep, nil
+}
+
+// PlacementGraph projects the fabric's current health onto the
+// placement engine's weighted graph: dead elements are excluded, and
+// flapping switches and wires are kept usable but marked flaky so the
+// cost model can steer chains away from them. Per-switch stage budget
+// is the profile's total MAU stages, in placement units.
+func (f *Fabric) PlacementGraph() *fabricplace.Graph {
+	g := fabricplace.NewGraph(len(f.Switches))
+	for i := range f.Switches {
+		h := f.SwitchHealth(i)
+		g.Nodes[i].Alive = h != HealthDead
+		g.Nodes[i].Flaky = h == HealthFlapping
+		g.Nodes[i].StageBudget = f.Prof.TotalStages()
+	}
+	for _, w := range f.Wires() {
+		if w.Health == HealthDead {
+			continue
+		}
+		if f.SwitchHealth(w.FromSw) == HealthDead || f.SwitchHealth(w.ToSw) == HealthDead {
+			continue
+		}
+		g.AddEdge(w.FromSw, fabricplace.Edge{
+			To: w.ToSw, Port: w.FromPort, Flaky: w.Health == HealthFlapping,
+		})
+	}
+	g.Normalize()
+	return g
 }

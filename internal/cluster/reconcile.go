@@ -3,13 +3,16 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"dejavu/internal/asic"
 	"dejavu/internal/compose"
 	"dejavu/internal/ctl"
+	"dejavu/internal/fabricplace"
 	"dejavu/internal/fault"
 	"dejavu/internal/lint"
 	"dejavu/internal/nf"
+	"dejavu/internal/place"
 	"dejavu/internal/route"
 )
 
@@ -35,17 +38,61 @@ const (
 	RuleFBConvergeFailed = "FB006"
 )
 
+// ChainRoute is one chain's installed placement on the fabric: the
+// switch sequence its traffic follows from the entry, the egress port
+// of each hop, and the NFs executed at each position (empty for pure
+// transit positions). Since the topology-aware placer, every chain
+// carries its own route — there is no fabric-wide path.
+type ChainRoute struct {
+	Path     []int         `json:"path"`
+	Ports    []asic.PortID `json:"-"`
+	Segments [][]string    `json:"segments"`
+	// CrossHops counts the inter-switch wire crossings on the route.
+	CrossHops int `json:"cross_hops"`
+}
+
+func (cr ChainRoute) equal(o ChainRoute) bool {
+	if len(cr.Path) != len(o.Path) || len(cr.Ports) != len(o.Ports) || len(cr.Segments) != len(o.Segments) {
+		return false
+	}
+	for i := range cr.Path {
+		if cr.Path[i] != o.Path[i] {
+			return false
+		}
+	}
+	for i := range cr.Ports {
+		if cr.Ports[i] != o.Ports[i] {
+			return false
+		}
+	}
+	for i := range cr.Segments {
+		if len(cr.Segments[i]) != len(o.Segments[i]) {
+			return false
+		}
+		for j := range cr.Segments[i] {
+			if cr.Segments[i][j] != o.Segments[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // FabricDeployment is a chain set live on a multi-switch fabric,
 // managed by the Reconciler: it owns one controller and one retrying
-// driver per switch, remembers the installed path/segmentation, and
+// driver per switch, remembers the installed per-chain routes, and
 // re-places chains over the surviving topology when elements fail.
 type FabricDeployment struct {
 	Fabric *Fabric
 	Chains []route.Chain
 	NFs    nf.List
-	// StageDemand feeds the segmentation planner (PlaceChains /
-	// place.Anneal); nil means every NF demands one stage.
+	// StageDemand feeds the placement engine and per-switch pipelet
+	// optimization; nil means every NF demands one stage.
 	StageDemand map[string]int
+	// Pins optionally force NFs onto specific home switches (the
+	// intent plane's fabric placement hints). Set before the first
+	// Reconcile.
+	Pins map[string]int
 
 	// Controllers and Drivers are per-switch (index-aligned with
 	// Fabric.Switches). Tests and chaos harnesses may interpose a
@@ -54,19 +101,21 @@ type FabricDeployment struct {
 	Drivers     []*fault.Driver
 
 	// Installed state, updated by successful converges.
-	Path       []int         // fabric switch per plan position
-	WirePorts  []asic.PortID // egress port of Path[i] toward Path[i+1]
-	Segments   [][]string    // NF names hosted per plan position, sorted
+	Routes     map[uint16]ChainRoute // per-chain installed route
+	Homes      map[string]int        // per-NF installed home switch
 	Blackholed map[uint16]string
 	// Replacements counts switch program installs committed by
 	// reconciliation (including the initial deploy).
 	Replacements int
 
 	composed []*compose.Deployment
+	// progSig is each switch's installed program signature; only
+	// switches whose desired signature differs are reprogrammed, so
+	// a health change converges per chain instead of re-touching the
+	// whole fabric.
+	progSig []string
 	// pending marks a desired chain-set change (SetChains) not yet
-	// converged: the plan comparison alone cannot see it, because a
-	// chain built from already-placed NFs leaves the segmentation
-	// identical while its branching entries still need installing.
+	// converged.
 	pending bool
 	// testPostCommit, when set, runs after each switch's commit —
 	// failure exercises the rollback path.
@@ -90,8 +139,11 @@ func NewFabricDeployment(f *Fabric, chains []route.Chain, nfs nf.List, stageDema
 		Chains:      append([]route.Chain(nil), chains...),
 		NFs:         nfs,
 		StageDemand: stageDemand,
+		Routes:      make(map[uint16]ChainRoute),
+		Homes:       make(map[string]int),
 		Blackholed:  make(map[uint16]string),
 		composed:    make([]*compose.Deployment, len(f.Switches)),
+		progSig:     make([]string, len(f.Switches)),
 	}
 	for _, sw := range f.Switches {
 		ctrl := ctl.New(sw, nfs)
@@ -147,144 +199,52 @@ func chainsEqual(a, b []route.Chain) bool {
 	return true
 }
 
-// Plan computes the desired plan over the current topology health
-// without touching any switch: the path the reconciler would install,
-// the per-position NF segments and the chains that would be blackholed.
-// It is the fabric-mode dry run behind `dejavu apply -dry-run`.
-func (fd *FabricDeployment) Plan() (path []int, segments [][]string, blackholed map[uint16]string) {
+// Plan computes the desired placement over the current topology health
+// without touching any switch: the switches that would carry programs,
+// the per-chain routes and the chains that would be blackholed. It is
+// the fabric-mode dry run behind `dejavu apply -dry-run`.
+func (fd *FabricDeployment) Plan() (switches []int, routes map[uint16]ChainRoute, blackholed map[uint16]string) {
 	p := fd.desired()
-	return append([]int(nil), p.path...), p.segments, p.dropped
+	routes = make(map[uint16]ChainRoute, len(p.routes))
+	for id, r := range p.routes {
+		routes[id] = r
+	}
+	return append([]int(nil), p.switches...), routes, p.dropped
+}
+
+// placeOptions derives the placement engine's options from the
+// deployment: entry switch 0, the packet hop bound as the route hop
+// limit, and the profile-derived cost model.
+func (fd *FabricDeployment) placeOptions() fabricplace.Options {
+	prof := fd.Fabric.Prof
+	return fabricplace.Options{
+		Entry:         0,
+		HopLimit:      maxFabricHops,
+		StageDemand:   fd.StageDemand,
+		Pins:          fd.Pins,
+		Model:         fabricplace.DefaultModel(prof),
+		StagesPerPass: 2 * prof.StagesPerPipelet,
+	}
 }
 
 // fabricPlan is the desired state computed over the current topology
-// health: a simple path of alive switches from the entry, a
-// chain-consecutive segmentation over it, and the chains that no
-// longer fit anywhere.
+// health: per-chain routes, NF homes and pipelet slots, per-switch
+// remote-forwarding entries and program signatures.
 type fabricPlan struct {
-	path      []int
-	wirePorts []asic.PortID
-	segments  [][]string
-	pipelets  map[string]asic.PipeletID
-	homePos   map[string]int
-	active    []route.Chain
-	dropped   map[uint16]string
-}
-
-// planDemand mirrors PlaceChains' per-NF stage demand model.
-func planDemand(stageDemand map[string]int, n string) int {
-	d := 1
-	if stageDemand != nil && stageDemand[n] > 0 {
-		d = stageDemand[n]
-	}
-	return d + 2
-}
-
-type fabricEdge struct {
-	to   int
-	port asic.PortID
-}
-
-// aliveAdjacency builds the usable topology: directed edges whose wire
-// and both endpoint switches are not dead, keeping the smallest egress
-// port per (from, to) pair, neighbours sorted ascending so path
-// searches are deterministic.
-func (fd *FabricDeployment) aliveAdjacency() [][]fabricEdge {
-	f := fd.Fabric
-	adj := make([][]fabricEdge, len(f.Switches))
-	for _, w := range f.Wires() { // sorted by (FromSw, FromPort)
-		if w.Health == HealthDead {
-			continue
-		}
-		if f.SwitchHealth(w.FromSw) == HealthDead || f.SwitchHealth(w.ToSw) == HealthDead {
-			continue
-		}
-		dup := false
-		for _, e := range adj[w.FromSw] {
-			if e.to == w.ToSw {
-				dup = true // an earlier (smaller-port) wire already covers this pair
-				break
-			}
-		}
-		if !dup {
-			adj[w.FromSw] = append(adj[w.FromSw], fabricEdge{to: w.ToSw, port: w.FromPort})
-		}
-	}
-	for i := range adj {
-		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a].to < adj[i][b].to })
-	}
-	return adj
-}
-
-// longestPathFrom returns the length (in switches) of the longest
-// simple path starting at from.
-func longestPathFrom(adj [][]fabricEdge, from int) int {
-	visited := make([]bool, len(adj))
-	var dfs func(at int) int
-	dfs = func(at int) int {
-		visited[at] = true
-		best := 1
-		for _, e := range adj[at] {
-			if visited[e.to] {
-				continue
-			}
-			if l := 1 + dfs(e.to); l > best {
-				best = l
-			}
-		}
-		visited[at] = false
-		return best
-	}
-	return dfs(from)
-}
-
-// lexSmallestPath returns the lexicographically smallest simple path
-// of exactly length switches starting at from, with the egress port of
-// each hop, or ok=false when none exists.
-func lexSmallestPath(adj [][]fabricEdge, from, length int) (path []int, ports []asic.PortID, ok bool) {
-	visited := make([]bool, len(adj))
-	var dfs func(at int) bool
-	dfs = func(at int) bool {
-		path = append(path, at)
-		visited[at] = true
-		if len(path) == length {
-			return true
-		}
-		for _, e := range adj[at] {
-			if visited[e.to] {
-				continue
-			}
-			ports = append(ports, e.port)
-			if dfs(e.to) {
-				return true
-			}
-			ports = ports[:len(ports)-1]
-		}
-		visited[at] = false
-		path = path[:len(path)-1]
-		return false
-	}
-	if dfs(from) {
-		return path, ports, true
-	}
-	return nil, nil, false
-}
-
-// dropCandidate picks the chain to shed when the surviving topology
-// cannot host everything: the one with the largest total stage demand,
-// ties broken toward the highest path ID — deterministic, and it frees
-// the most capacity per drop.
-func dropCandidate(chains []route.Chain, stageDemand map[string]int) int {
-	best, bestDemand := 0, -1
-	for i, c := range chains {
-		d := 0
-		for _, n := range c.NFs {
-			d += planDemand(stageDemand, n)
-		}
-		if d > bestDemand || (d == bestDemand && c.PathID > chains[best].PathID) {
-			best, bestDemand = i, d
-		}
-	}
-	return best
+	routes   map[uint16]ChainRoute
+	homes    map[string]int
+	pipelets map[string]asic.PipeletID
+	// remote maps switch -> remote NF -> egress port toward its home,
+	// following the placement graph's per-destination forwarding trees.
+	remote map[int]map[string]asic.PortID
+	// sigs is each in-use switch's desired program signature.
+	sigs     map[int]string
+	switches []int
+	active   []route.Chain
+	dropped  map[uint16]string
+	cost     fabricplace.Cost
+	strategy string
+	err      error
 }
 
 // desired computes the target plan over the current topology health.
@@ -292,8 +252,11 @@ func dropCandidate(chains []route.Chain, stageDemand map[string]int) int {
 // reason rather than failing the whole plan.
 func (fd *FabricDeployment) desired() *fabricPlan {
 	p := &fabricPlan{
+		routes:   make(map[uint16]ChainRoute),
+		homes:    make(map[string]int),
 		pipelets: make(map[string]asic.PipeletID),
-		homePos:  make(map[string]int),
+		remote:   make(map[int]map[string]asic.PortID),
+		sigs:     make(map[int]string),
 		dropped:  make(map[uint16]string),
 	}
 	if fd.Fabric.SwitchHealth(0) == HealthDead {
@@ -302,107 +265,154 @@ func (fd *FabricDeployment) desired() *fabricPlan {
 		}
 		return p
 	}
-	adj := fd.aliveAdjacency()
-	lmax := longestPathFrom(adj, 0)
-	active := append([]route.Chain(nil), fd.Chains...)
-	for len(active) > 0 {
-		cl := Cluster{Prof: fd.Fabric.Prof, N: lmax}
-		plan, err := cl.PlaceChains(active, fd.StageDemand)
-		if err != nil {
-			i := dropCandidate(active, fd.StageDemand)
-			p.dropped[active[i].PathID] = fmt.Sprintf(
-				"does not fit on surviving topology (%d reachable switches)", lmax)
-			active = append(active[:i], active[i+1:]...)
+	g := fd.Fabric.PlacementGraph()
+	res := fabricplace.Place(g, fd.Chains, fd.placeOptions())
+	p.dropped = res.Unplaced
+	p.cost = res.Total
+	p.strategy = res.Strategy
+	for n, h := range res.Homes {
+		p.homes[n] = h
+	}
+	inUse := make(map[int]bool)
+	for _, c := range fd.Chains {
+		pl, ok := res.Chains[c.PathID]
+		if !ok {
 			continue
 		}
-		used := 0
-		for _, a := range plan.Assignments {
-			if a.Switch+1 > used {
-				used = a.Switch + 1
+		p.active = append(p.active, c)
+		p.routes[c.PathID] = ChainRoute{
+			Path:      pl.Path,
+			Ports:     pl.Ports,
+			Segments:  pl.Segments,
+			CrossHops: pl.Cost.CrossHops,
+		}
+		for _, s := range pl.Path {
+			inUse[s] = true
+		}
+	}
+	for s := range inUse {
+		p.switches = append(p.switches, s)
+	}
+	sort.Ints(p.switches)
+
+	// Remote forwarding entries follow the per-destination trees: at
+	// every in-use switch, every non-local NF is forwarded out the next
+	// hop toward its home. Per-destination (not per-chain) forwarding
+	// keeps the single SetRemote slot per NF per switch globally
+	// consistent even when chains branch over different subsets.
+	for _, s := range p.switches {
+		for _, n := range sortedNames(p.homes) {
+			h := p.homes[n]
+			if h == s {
+				continue
+			}
+			if e, ok := g.NextHop(s, h); ok {
+				if p.remote[s] == nil {
+					p.remote[s] = make(map[string]asic.PortID)
+				}
+				p.remote[s][n] = e.Port
 			}
 		}
-		path, ports, ok := lexSmallestPath(adj, 0, used)
-		if !ok {
-			// Cannot happen while used <= lmax, but fail safe: shed a
-			// chain and retry rather than panicking.
-			i := dropCandidate(active, fd.StageDemand)
-			p.dropped[active[i].PathID] = "no usable path over surviving topology"
-			active = append(active[:i], active[i+1:]...)
+	}
+
+	// Optimize each switch's sub-chains (consecutive same-home runs)
+	// with the single-switch placer, seeded per switch.
+	bySwitch := make(map[int][]route.Chain)
+	for _, c := range p.active {
+		r := p.routes[c.PathID]
+		runIdx := 0
+		for pos, seg := range r.Segments {
+			if len(seg) == 0 {
+				continue
+			}
+			sub := route.Chain{
+				PathID:       c.PathID*16 + uint16(runIdx) + 1,
+				NFs:          seg,
+				Weight:       c.Weight,
+				ExitPipeline: 0,
+			}
+			runIdx++
+			bySwitch[r.Path[pos]] = append(bySwitch[r.Path[pos]], sub)
+		}
+	}
+	for _, s := range p.switches {
+		subs := bySwitch[s]
+		if len(subs) == 0 {
 			continue
 		}
-		p.path, p.wirePorts, p.active = path, ports, active
-		p.segments = make([][]string, used)
-		for name, a := range plan.Assignments {
-			p.pipelets[name] = a.Pipelet
-			p.homePos[name] = a.Switch
-			p.segments[a.Switch] = append(p.segments[a.Switch], name)
+		prob := place.Problem{Prof: fd.Fabric.Prof, Chains: subs, Enter: 0, StageDemand: fd.StageDemand}
+		ares, err := place.Anneal(prob, place.AnnealOpts{Seed: int64(s + 1), Iterations: 4000})
+		if err != nil {
+			p.err = fmt.Errorf("cluster: switch %d placement: %w", s, err)
+			return p
 		}
-		for _, seg := range p.segments {
-			sort.Strings(seg)
+		for _, sub := range subs {
+			for _, n := range sub.NFs {
+				at, _ := ares.Placement.Of(n)
+				p.pipelets[n] = at
+			}
 		}
-		return p
+	}
+
+	// Program signatures: everything that determines a switch's
+	// installed programs — local pipelet slots, remote forwarding
+	// entries and the full active chain set.
+	for _, s := range p.switches {
+		var b strings.Builder
+		for _, n := range sortedNames(p.homes) {
+			if p.homes[n] == s {
+				fmt.Fprintf(&b, "L%s=%v;", n, p.pipelets[n])
+			}
+		}
+		for _, n := range sortedNames2(p.remote[s]) {
+			fmt.Fprintf(&b, "R%s>%d;", n, p.remote[s][n])
+		}
+		for _, c := range p.active {
+			fmt.Fprintf(&b, "C%d:%s:w%g:e%d:x%d;", c.PathID, strings.Join(c.NFs, ","), c.Weight, c.ExitPipeline, c.StaticExitPort)
+		}
+		p.sigs[s] = b.String()
 	}
 	return p
 }
 
 // equalPlan reports whether the desired plan matches the installed
-// state exactly (path, wire ports, segmentation, blackholed set).
+// state exactly: every in-use switch already carries the desired
+// program signature and the blackholed set is unchanged.
 func (fd *FabricDeployment) equalPlan(p *fabricPlan) bool {
-	if len(p.path) != len(fd.Path) || len(p.segments) != len(fd.Segments) ||
-		len(p.wirePorts) != len(fd.WirePorts) || len(p.dropped) != len(fd.Blackholed) {
+	if len(p.dropped) != len(fd.Blackholed) {
 		return false
-	}
-	for i, s := range p.path {
-		if fd.Path[i] != s {
-			return false
-		}
-	}
-	for i, port := range p.wirePorts {
-		if fd.WirePorts[i] != port {
-			return false
-		}
-	}
-	for i, seg := range p.segments {
-		if len(seg) != len(fd.Segments[i]) {
-			return false
-		}
-		for j, n := range seg {
-			if fd.Segments[i][j] != n {
-				return false
-			}
-		}
 	}
 	for id := range p.dropped {
 		if _, ok := fd.Blackholed[id]; !ok {
 			return false
 		}
 	}
+	for _, s := range p.switches {
+		if fd.progSig[s] != p.sigs[s] {
+			return false
+		}
+	}
 	return true
 }
 
-// composeAt builds the deployment for one path position: the full
-// active chain set, this segment's NFs placed locally, everything else
-// remote, with downstream NFs forwarded out this hop's wire port.
-func (fd *FabricDeployment) composeAt(p *fabricPlan, pos int) (*compose.Deployment, error) {
+// composeAt builds the deployment for one switch: the full active
+// chain set, this switch's NFs placed locally on their annealed
+// pipelets, everything else remote with per-destination forwarding.
+func (fd *FabricDeployment) composeAt(p *fabricPlan, s int) (*compose.Deployment, error) {
 	placement := route.NewPlacement()
-	for _, name := range p.segments[pos] {
-		placement.Assign(name, p.pipelets[name])
-	}
-	for name, hp := range p.homePos {
-		if hp != pos {
-			placement.AssignRemote(name)
+	for _, n := range sortedNames(p.homes) {
+		if p.homes[n] == s {
+			placement.Assign(n, p.pipelets[n])
+		} else {
+			placement.AssignRemote(n)
 		}
 	}
 	comp, err := compose.New(fd.Fabric.Prof, p.active, placement, fd.NFs)
 	if err != nil {
 		return nil, err
 	}
-	if pos < len(p.path)-1 {
-		for name, hp := range p.homePos {
-			if hp > pos {
-				comp.Branching.SetRemote(name, p.wirePorts[pos])
-			}
-		}
+	for _, n := range sortedNames2(p.remote[s]) {
+		comp.Branching.SetRemote(n, p.remote[s][n])
 	}
 	return comp.Build()
 }
@@ -461,21 +471,31 @@ type ReconcileReport struct {
 	// Converged reports that the installed state already matched the
 	// desired plan — nothing was reprogrammed.
 	Converged bool
-	// Changed lists the switches reprogrammed this round, in path
-	// order.
+	// Changed lists the switches reprogrammed this round, ascending.
 	Changed []int
-	// Path is the desired (and, on success, installed) switch path.
-	Path []int
+	// Switches lists every switch the desired plan uses (hosting or
+	// transit), ascending.
+	Switches []int
+	// Routes is the desired (and, on success, installed) per-chain
+	// route map.
+	Routes map[uint16]ChainRoute
+	// Replaced lists chains whose installed route changed this round,
+	// ascending.
+	Replaced []uint16
 	// Blackholed maps chains that cannot carry traffic to the reason.
 	Blackholed map[uint16]string
+	// Cost is the desired plan's spend under the placement cost model.
+	Cost fabricplace.Cost
+	// Strategy reports which placer won the portfolio ("cost"/"lex").
+	Strategy string
 	// Findings collects FB001-FB006 degradation findings.
 	Findings *lint.Report
 }
 
 // Reconciler is the fabric self-healing loop: each Reconcile computes
-// the desired placement over the surviving topology and converges
-// every switch on the chosen path through its retrying driver and a
-// program transaction. It is level-triggered — it compares desired
+// the desired placement over the surviving topology and converges the
+// switches whose programs changed through their retrying drivers and
+// program transactions. It is level-triggered — it compares desired
 // against installed state, so missed events cannot wedge it.
 type Reconciler struct {
 	Dep *FabricDeployment
@@ -485,10 +505,12 @@ type Reconciler struct {
 func NewReconciler(dep *FabricDeployment) *Reconciler { return &Reconciler{Dep: dep} }
 
 // Reconcile runs one round: report element health, recompute the
-// desired plan, and — if it differs from what is installed — re-place
-// and reprogram every switch on the new path. The first call performs
-// the initial deploy. Deterministic: the same fabric health and chain
-// set always produce the same plan, programs and findings.
+// desired plan, and reprogram exactly the switches whose desired
+// program signature differs from what is installed — a failure that
+// touches only one chain's switches leaves the others' programs
+// untouched. The first call performs the initial deploy.
+// Deterministic: the same fabric health and chain set always produce
+// the same plan, programs and findings.
 func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 	fd := r.Dep
 	rep := &ReconcileReport{Findings: lint.NewReport()}
@@ -515,8 +537,21 @@ func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 	}
 
 	p := fd.desired()
-	rep.Path = append([]int(nil), p.path...)
+	if p.err != nil {
+		rep.Findings.Add(lint.Finding{
+			Rule: RuleFBConvergeFailed, Severity: lint.SevError,
+			Where: "plan", Message: p.err.Error(),
+		})
+		return rep, fmt.Errorf("cluster: reconcile: %w", p.err)
+	}
+	rep.Switches = append([]int(nil), p.switches...)
+	rep.Routes = make(map[uint16]ChainRoute, len(p.routes))
+	for id, cr := range p.routes {
+		rep.Routes[id] = cr
+	}
 	rep.Blackholed = p.dropped
+	rep.Cost = p.cost
+	rep.Strategy = p.strategy
 	for _, id := range sortedChainIDs(p.dropped) {
 		rep.Findings.Add(lint.Finding{
 			Rule: RuleFBBlackhole, Severity: lint.SevError,
@@ -540,8 +575,11 @@ func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 		return rep, nil
 	}
 
-	for pos, s := range p.path {
-		built, err := fd.composeAt(p, pos)
+	for _, s := range p.switches {
+		if fd.progSig[s] == p.sigs[s] {
+			continue // per-chain convergence: unchanged programs stay put
+		}
+		built, err := fd.composeAt(p, s)
 		if err == nil {
 			err = fd.installProgram(s, built)
 		}
@@ -553,19 +591,26 @@ func (r *Reconciler) Reconcile() (*ReconcileReport, error) {
 			})
 			return rep, fmt.Errorf("cluster: reconcile: %w", err)
 		}
+		fd.progSig[s] = p.sigs[s]
 		rep.Changed = append(rep.Changed, s)
 	}
-	fd.Path = append([]int(nil), p.path...)
-	fd.WirePorts = append([]asic.PortID(nil), p.wirePorts...)
-	fd.Segments = p.segments
+	for _, c := range p.active {
+		if old, ok := fd.Routes[c.PathID]; !ok || !old.equal(p.routes[c.PathID]) {
+			rep.Replaced = append(rep.Replaced, c.PathID)
+		}
+	}
+	sort.Slice(rep.Replaced, func(i, j int) bool { return rep.Replaced[i] < rep.Replaced[j] })
+	fd.Routes = p.routes
+	fd.Homes = p.homes
 	fd.Blackholed = p.dropped
 	fd.Replacements += len(rep.Changed)
 	fd.pending = false
 	if len(rep.Changed) > 0 {
 		rep.Findings.Add(lint.Finding{
 			Rule: RuleFBReplaced, Severity: lint.SevInfo,
-			Where:   fmt.Sprintf("path %v", p.path),
-			Message: fmt.Sprintf("re-placed %d chain(s) over switches %v", len(p.active), p.path),
+			Where: fmt.Sprintf("switches %v", p.switches),
+			Message: fmt.Sprintf("re-placed %d chain(s) over switches %v (%d reprogrammed)",
+				len(p.active), p.switches, len(rep.Changed)),
 		})
 	}
 	return rep, nil
@@ -580,4 +625,24 @@ func sortedChainIDs(m map[uint16]string) []uint16 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// sortedNames returns an int-valued map's keys ascending.
+func sortedNames(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedNames2 returns a port-valued map's keys ascending.
+func sortedNames2(m map[string]asic.PortID) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"dejavu/internal/asic"
 	"dejavu/internal/fault"
 	"dejavu/internal/packet"
+	"dejavu/internal/route"
 	"dejavu/internal/scenario"
 )
 
@@ -98,6 +100,23 @@ func pathEquals(got []int, want ...int) bool {
 	return true
 }
 
+// usedSwitches returns the sorted union of switches on the installed
+// per-chain routes.
+func usedSwitches(fd *FabricDeployment) []int {
+	seen := make(map[int]bool)
+	for _, r := range fd.Routes {
+		for _, sw := range r.Path {
+			seen[sw] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for sw := range seen {
+		out = append(out, sw)
+	}
+	sort.Ints(out)
+	return out
+}
+
 func TestReconcilerInitialDeploy(t *testing.T) {
 	_, f, fd, rec := newTestFabric(t)
 	rep, err := rec.Reconcile()
@@ -107,8 +126,20 @@ func TestReconcilerInitialDeploy(t *testing.T) {
 	if rep.Converged {
 		t.Error("first reconcile reported converged with nothing installed")
 	}
-	if !pathEquals(fd.Path, 0, 1) {
-		t.Fatalf("initial path = %v, want [0 1]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0, 1) {
+		t.Fatalf("initial switches = %v, want [0 1]", usedSwitches(fd))
+	}
+	if len(fd.Routes) != 3 {
+		t.Fatalf("want a route per chain, got %v", fd.Routes)
+	}
+	for id, r := range fd.Routes {
+		var nfs int
+		for _, seg := range r.Segments {
+			nfs += len(seg)
+		}
+		if nfs == 0 || len(r.Segments) != len(r.Path) || len(r.Ports) != len(r.Path)-1 {
+			t.Fatalf("chain %d route malformed: %+v", id, r)
+		}
 	}
 	if len(fd.Blackholed) != 0 {
 		t.Fatalf("chains blackholed on a healthy fabric: %v", fd.Blackholed)
@@ -140,8 +171,11 @@ func TestReconcilerRoutesAroundDeadSwitch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !pathEquals(fd.Path, 0, 2) {
-		t.Fatalf("path after switch 1 death = %v, want [0 2]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0, 2) {
+		t.Fatalf("switches after switch 1 death = %v, want [0 2]", usedSwitches(fd))
+	}
+	if len(rep.Replaced) == 0 {
+		t.Error("no chains reported re-placed after a hosting switch died")
 	}
 	if len(fd.Blackholed) != 0 {
 		t.Fatalf("chains blackholed despite a surviving path: %v", fd.Blackholed)
@@ -173,8 +207,8 @@ func TestReconcilerRoutesAroundDeadSwitch(t *testing.T) {
 	if _, err := rec.Reconcile(); err != nil {
 		t.Fatal(err)
 	}
-	if !pathEquals(fd.Path, 0, 1) {
-		t.Fatalf("path after revive = %v, want [0 1]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0, 1) {
+		t.Fatalf("switches after revive = %v, want [0 1]", usedSwitches(fd))
 	}
 	if got := probeAll(t, f); got != 3 {
 		t.Fatalf("delivered %d/3 paths after recovery", got)
@@ -192,8 +226,8 @@ func TestReconcilerRoutesAroundCutLink(t *testing.T) {
 	if _, err := rec.Reconcile(); err != nil {
 		t.Fatal(err)
 	}
-	if !pathEquals(fd.Path, 0, 2) {
-		t.Fatalf("path after 0->1 cut = %v, want [0 2]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0, 2) {
+		t.Fatalf("switches after 0->1 cut = %v, want [0 2]", usedSwitches(fd))
 	}
 	if got := probeAll(t, f); got != 3 {
 		t.Fatalf("delivered %d/3 paths after link cut", got)
@@ -218,8 +252,8 @@ func TestReconcilerShedsUnplaceableChains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !pathEquals(fd.Path, 0) {
-		t.Fatalf("path = %v, want [0]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0) {
+		t.Fatalf("switches = %v, want [0]", usedSwitches(fd))
 	}
 	if _, gone := fd.Blackholed[scenario.PathFull]; !gone || len(fd.Blackholed) != 1 {
 		t.Fatalf("blackholed = %v, want exactly the full chain", fd.Blackholed)
@@ -346,17 +380,17 @@ func TestReconcilerRollsBackOnPostCommitFailure(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "rolled back") {
 		t.Fatalf("no rollback in error: %v", err)
 	}
-	// Installed-state bookkeeping must still describe the OLD path.
-	if !pathEquals(fd.Path, 0, 1) {
-		t.Fatalf("installed path mutated by failed reconcile: %v", fd.Path)
+	// Installed-state bookkeeping must still describe the OLD routes.
+	if !pathEquals(usedSwitches(fd), 0, 1) {
+		t.Fatalf("installed routes mutated by failed reconcile: %v", fd.Routes)
 	}
 	// The next round (fault cleared) converges.
 	boom = false
 	if _, err := rec.Reconcile(); err != nil {
 		t.Fatal(err)
 	}
-	if !pathEquals(fd.Path, 0, 2) {
-		t.Fatalf("path after retry = %v, want [0 2]", fd.Path)
+	if !pathEquals(usedSwitches(fd), 0, 2) {
+		t.Fatalf("switches after retry = %v, want [0 2]", usedSwitches(fd))
 	}
 	if got := probeAll(t, f); got != 3 {
 		t.Fatalf("delivered %d/3 paths after rollback recovery", got)
@@ -364,3 +398,71 @@ func TestReconcilerRollsBackOnPostCommitFailure(t *testing.T) {
 }
 
 var errTest = errors.New("injected post-commit failure")
+
+// TestReconcilerConvergesPerChain: a link cut that re-routes only one
+// chain reprograms only the switches whose programs actually changed;
+// the other chain's exclusive switch is untouched.
+func TestReconcilerConvergesPerChain(t *testing.T) {
+	s := scenario.MustNew()
+	f, err := NewFabric(s.Prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []struct {
+		a  int
+		pa asic.PortID
+		b  int
+		pb asic.PortID
+	}{
+		{0, 10, 1, 10},
+		{1, 10, 2, 10},
+		{0, 11, 2, 11},
+	} {
+		if err := f.Connect(w.a, w.pa, w.b, w.pb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chains := []route.Chain{
+		{PathID: 40, NFs: []string{"fw"}, Weight: 0.5},
+		{PathID: 41, NFs: []string{"lb"}, Weight: 0.4},
+	}
+	fd, err := NewFabricDeployment(f, chains, s.NFs, fabricDemand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the chains onto disjoint far switches so they branch: chain
+	// 40 over 0-1, chain 41 over 0-2.
+	fd.Pins = map[string]int{"fw": 1, "lb": 2}
+	rec := NewReconciler(fd)
+	if _, err := rec.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Routes[40].Path, 0, 1) || !pathEquals(fd.Routes[41].Path, 0, 2) {
+		t.Fatalf("pinned routes = %v", fd.Routes)
+	}
+
+	// Cut the 0->2 skip wire: chain 41 must re-route via switch 1;
+	// chain 40's route is untouched.
+	if err := f.CutLink(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rec.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEquals(fd.Routes[41].Path, 0, 1, 2) {
+		t.Fatalf("chain 41 path = %v, want detour [0 1 2]", fd.Routes[41].Path)
+	}
+	if !pathEquals(fd.Routes[40].Path, 0, 1) {
+		t.Fatalf("chain 40 path mutated: %v", fd.Routes[40].Path)
+	}
+	if len(rep.Replaced) != 1 || rep.Replaced[0] != 41 {
+		t.Fatalf("Replaced = %v, want [41]", rep.Replaced)
+	}
+	// Switch 1 already forwarded lb toward switch 2 (per-destination
+	// forwarding), and switch 2's program is identical — only the
+	// entry switch's forwarding entry changed.
+	if !pathEquals(rep.Changed, 0) {
+		t.Fatalf("Changed = %v, want only the entry switch [0]", rep.Changed)
+	}
+}

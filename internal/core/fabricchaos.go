@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,10 +20,11 @@ import (
 // fault schedule (switch kills, link cuts, wire corruption windows)
 // against a multi-switch deployment, runs the fabric reconciler after
 // every tick, probes every chain end-to-end across the fabric, and
-// checks the fabric-level operational invariants — no chain whose NFs
-// still fit on surviving switches stays blackholed past one reconcile
-// round, segmentation stays chain-consecutive, and every probe outcome
-// is attributable. The same seed always reproduces the identical event
+// checks the fabric-level operational invariants — no chain stays
+// blackholed while the placement engine can still place it on the
+// surviving subgraph, every installed per-chain route is well-formed
+// and hosts the chain's NFs in order, and every probe outcome is
+// attributable. The same seed always reproduces the identical event
 // sequence, reconciler decisions and log.
 
 // FabricChaosOpts parameterizes a fabric chaos run.
@@ -62,9 +64,11 @@ type FabricChaosResult struct {
 	CorruptExempt    int `json:"corrupt_exempt"`
 	BlackholedProbes int `json:"blackholed_probes"`
 	// Reconciles counts reconcile rounds; Replacements counts switch
-	// program transactions committed by them.
-	Reconciles   int `json:"reconciles"`
-	Replacements int `json:"replacements"`
+	// program transactions committed by them; ChainReplacements counts
+	// per-chain route changes observed across the run.
+	Reconciles        int `json:"reconciles"`
+	Replacements      int `json:"replacements"`
+	ChainReplacements int `json:"chain_replacements"`
 	// Convergences counts completed reconvergences and
 	// MaxConvergeTicks the longest time-to-repair observed.
 	Convergences     int `json:"convergences"`
@@ -76,12 +80,25 @@ type FabricChaosResult struct {
 	// Driver aggregates control-plane retry statistics across every
 	// switch's program-write driver.
 	Driver fault.DriverStats `json:"driver"`
+	// Routes is the final installed per-chain placement: each active
+	// chain's switch route and per-position NF segments.
+	Routes []ChainRouteRecord `json:"routes"`
 	// Findings accumulates every reconcile round's FB findings.
 	Findings *lint.Report `json:"degradation"`
 	// Violations lists invariant breaches; empty means the run passed.
 	Violations []string `json:"violations"`
 	// Log is the deterministic transcript of the run.
 	Log []string `json:"log,omitempty"`
+}
+
+// ChainRouteRecord is one chain's installed placement in the
+// `dejavu fabricchaos -json` document: the switch sequence its traffic
+// follows and the NFs executed at each position (empty for transit).
+type ChainRouteRecord struct {
+	Chain     uint16     `json:"chain"`
+	Path      []int      `json:"path"`
+	Segments  [][]string `json:"segments"`
+	CrossHops int        `json:"cross_hops"`
 }
 
 // OK reports whether the run held every invariant.
@@ -94,8 +111,8 @@ func (r *FabricChaosResult) Summary() string {
 		r.Seed, r.Switches, r.Ticks, r.Events)
 	fmt.Fprintf(&sb, "probes: %d total, %d delivered, %d dropped (attributed), %d corrupt-exempt, %d blackholed\n",
 		r.Probes, r.Delivered, r.Dropped, r.CorruptExempt, r.BlackholedProbes)
-	fmt.Fprintf(&sb, "healing: %d reconcile rounds, %d program transactions, %d reconvergences (max %d tick(s))\n",
-		r.Reconciles, r.Replacements, r.Convergences, r.MaxConvergeTicks)
+	fmt.Fprintf(&sb, "healing: %d reconcile rounds, %d program transactions, %d chain re-places, %d reconvergences (max %d tick(s))\n",
+		r.Reconciles, r.Replacements, r.ChainReplacements, r.Convergences, r.MaxConvergeTicks)
 	fmt.Fprintf(&sb, "wire losses: %d; driver: %d writes, %d retries, %d failures; alive at end: %d/%d\n",
 		r.WireLosses, r.Driver.Writes, r.Driver.Retries, r.Driver.Failures, r.AliveAtEnd, r.Switches)
 	fmt.Fprintf(&sb, "degradation findings: %d (%d error, %d warn)\n",
@@ -291,23 +308,52 @@ func RunFabricChaos(opts FabricChaosOpts) (*FabricChaosResult, error) {
 					res.MaxConvergeTicks = lat
 				}
 				tel.ObserveConvergence(lat)
-				logf("t%03d converged over path %v in %d tick(s)", tick, rep.Path, lat)
+				logf("t%03d converged over switches %v in %d tick(s)", tick, rep.Switches, lat)
 			}
 			degradedSince = 0
 			unconverged = false
 		}
 		tel.ObserveReconcile(f.AliveSwitches(), f.NumSwitches(), len(fd.Blackholed), len(rep.Changed))
-
-		// 3. Invariant: segmentation stays chain-consecutive.
-		if !unconverged {
-			checkFabricSegments(fd, tick, violate)
+		if recErr == nil {
+			res.ChainReplacements += len(rep.Replaced)
+			replaced := make(map[uint16]bool, len(rep.Replaced))
+			for _, id := range rep.Replaced {
+				replaced[id] = true
+			}
+			for _, id := range sortedRouteIDs(fd.Routes) {
+				r := fd.Routes[id]
+				tel.ObservePlacement(id, len(r.Path), r.CrossHops, replaced[id])
+			}
 		}
 
-		// 4. Probe every chain end-to-end across the fabric.
-		corruptOnPath := false
-		for i, sw := range fd.Path {
-			if i < len(fd.WirePorts) && finj.CorruptionOpen(sw, fd.WirePorts[i]) {
-				corruptOnPath = true
+		// 3. Invariants: every installed route is well-formed and hosts
+		// its chain's NFs in order, and no chain stays blackholed while
+		// the placement engine still finds it a feasible placement on
+		// the surviving subgraph.
+		if !unconverged {
+			checkFabricRoutes(fd, tick, violate)
+			_, _, planBlack := fd.Plan()
+			for id := range fd.Blackholed {
+				if _, still := planBlack[id]; !still {
+					violate(tick, "chain %d stays blackholed while a feasible placement exists", id)
+				}
+			}
+			for id := range planBlack {
+				if _, have := fd.Blackholed[id]; !have {
+					violate(tick, "chain %d carries traffic but the current plan cannot place it", id)
+				}
+			}
+		}
+
+		// 4. Probe every chain end-to-end across the fabric. Corruption
+		// windows are scoped per chain: an open window exempts only the
+		// chains whose installed route crosses that wire.
+		corruptOn := make(map[uint16]bool)
+		for id, r := range fd.Routes {
+			for i, port := range r.Ports {
+				if finj.CorruptionOpen(r.Path[i], port) {
+					corruptOn[id] = true
+				}
 			}
 		}
 		for _, pr := range probes {
@@ -323,11 +369,11 @@ func RunFabricChaos(opts FabricChaosOpts) (*FabricChaosResult, error) {
 			}
 			_, blackholed := fd.Blackholed[pr.pathID]
 			switch {
-			case corruptOnPath:
+			case corruptOn[pr.pathID]:
 				// An open corruption window on the active path can destroy,
 				// mangle or misroute any probe; outcomes are exempt.
 				res.CorruptExempt++
-				logf("t%03d probe %s: corrupt-exempt (window open on active path)", tick, pr.name)
+				logf("t%03d probe %s: corrupt-exempt (window open on chain route)", tick, pr.name)
 			case blackholed:
 				res.BlackholedProbes++
 				if len(ft.Out) > 0 {
@@ -356,6 +402,12 @@ func RunFabricChaos(opts FabricChaosOpts) (*FabricChaosResult, error) {
 	res.WireLosses = len(finj.Losses())
 	res.AliveAtEnd = f.AliveSwitches()
 	res.Replacements = fd.Replacements
+	for _, id := range sortedRouteIDs(fd.Routes) {
+		r := fd.Routes[id]
+		res.Routes = append(res.Routes, ChainRouteRecord{
+			Chain: id, Path: r.Path, Segments: r.Segments, CrossHops: r.CrossHops,
+		})
+	}
 	for _, d := range fd.Drivers {
 		st := d.Stats()
 		res.Driver.Writes += st.Writes
@@ -367,48 +419,70 @@ func RunFabricChaos(opts FabricChaosOpts) (*FabricChaosResult, error) {
 }
 
 // fabricExitSwitch returns the fabric switch hosting the named NF in
-// the installed segmentation, or -1 if it is not placed.
+// the installed placement, or -1 if it is not placed.
 func fabricExitSwitch(fd *cluster.FabricDeployment, name string) int {
-	for pos, seg := range fd.Segments {
-		for _, n := range seg {
-			if n == name {
-				return fd.Path[pos]
-			}
-		}
+	if sw, ok := fd.Homes[name]; ok {
+		return sw
 	}
 	return -1
 }
 
-// checkFabricSegments audits the installed segmentation: every NF of
-// every active chain is placed exactly once, and its chain visits
-// switches in non-decreasing path order (chain-consecutive segments,
-// the DeploySegments contract).
-func checkFabricSegments(fd *cluster.FabricDeployment, tick int, violate func(int, string, ...any)) {
-	pos := make(map[string]int)
-	for p, seg := range fd.Segments {
-		for _, n := range seg {
-			if prev, dup := pos[n]; dup {
-				violate(tick, "segments: NF %q placed at positions %d and %d", n, prev, p)
-			}
-			pos[n] = p
-		}
+// sortedRouteIDs returns the route map's chain IDs ascending, for
+// deterministic iteration.
+func sortedRouteIDs(m map[uint16]cluster.ChainRoute) []uint16 {
+	ids := make([]uint16, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// checkFabricRoutes audits every installed per-chain route: each
+// active chain has one, it is structurally well-formed (entry-rooted,
+// ports parallel to hops), its segments concatenate to exactly the
+// chain's NF sequence, every NF executes on its recorded home switch,
+// and no blackholed chain holds a route.
+func checkFabricRoutes(fd *cluster.FabricDeployment, tick int, violate func(int, string, ...any)) {
 	for _, c := range fd.Chains {
+		r, ok := fd.Routes[c.PathID]
 		if _, blackholed := fd.Blackholed[c.PathID]; blackholed {
+			if ok {
+				violate(tick, "routes: blackholed chain %d still holds a route %v", c.PathID, r.Path)
+			}
 			continue
 		}
-		prev := 0
-		for _, n := range c.NFs {
-			p, ok := pos[n]
-			if !ok {
-				violate(tick, "segments: NF %q of active chain %d not placed", n, c.PathID)
-				continue
+		if !ok {
+			violate(tick, "routes: active chain %d has no installed route", c.PathID)
+			continue
+		}
+		if len(r.Path) == 0 || r.Path[0] != 0 {
+			violate(tick, "routes: chain %d route %v does not start at the entry switch", c.PathID, r.Path)
+			continue
+		}
+		if len(r.Segments) != len(r.Path) || len(r.Ports) != len(r.Path)-1 {
+			violate(tick, "routes: chain %d route malformed (path %d, segments %d, ports %d)",
+				c.PathID, len(r.Path), len(r.Segments), len(r.Ports))
+			continue
+		}
+		var flat []string
+		for pos, seg := range r.Segments {
+			for _, n := range seg {
+				flat = append(flat, n)
+				if home, placed := fd.Homes[n]; !placed || home != r.Path[pos] {
+					violate(tick, "routes: chain %d executes NF %q on switch %d but its home is %v",
+						c.PathID, n, r.Path[pos], home)
+				}
 			}
-			if p < prev {
-				violate(tick, "segments: chain %d visits NF %q at position %d after position %d (not chain-consecutive)",
-					c.PathID, n, p, prev)
+		}
+		if len(flat) != len(c.NFs) {
+			violate(tick, "routes: chain %d segments hold %d NFs, chain has %d", c.PathID, len(flat), len(c.NFs))
+			continue
+		}
+		for i, n := range c.NFs {
+			if flat[i] != n {
+				violate(tick, "routes: chain %d executes %q at step %d, want %q", c.PathID, flat[i], i, n)
 			}
-			prev = p
 		}
 	}
 }

@@ -203,6 +203,40 @@ func TestMultiSwitchShape(t *testing.T) {
 	}
 }
 
+// TestFabricPlaceShape: the placement comparison produces one row per
+// seed × topology, never lets the cost-based placer lose to the lex
+// baseline (the run itself gates on it), wins strictly via branching on
+// the diamond, and is bit-for-bit reproducible.
+func TestFabricPlaceShape(t *testing.T) {
+	tbl, err := FabricPlace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fabricplace" || len(tbl.Rows) != 9 {
+		t.Fatalf("unexpected table shape: %d rows", len(tbl.Rows))
+	}
+	branchWin := false
+	for i, r := range tbl.Rows {
+		verdict := r[len(r)-1]
+		if verdict != "tie" && verdict != "better" {
+			t.Errorf("row %d (%s/%s): verdict %q", i, r[0], r[1], verdict)
+		}
+		if r[8] == "true" && verdict == "better" {
+			branchWin = true
+		}
+	}
+	if !branchWin {
+		t.Error("no row won strictly via a branching placement")
+	}
+	again, err := FabricPlace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() != again.String() {
+		t.Error("fabricplace table not reproducible across runs")
+	}
+}
+
 func TestAllAndByID(t *testing.T) {
 	tables, err := All()
 	if err != nil {

@@ -1,0 +1,334 @@
+package fabricplace
+
+import (
+	"reflect"
+	"testing"
+
+	"dejavu/internal/asic"
+	"dejavu/internal/route"
+)
+
+// lineGraph builds entry->1->...->n-1 with budget units per switch.
+func lineGraph(n, budget int) *Graph {
+	g := NewGraph(n)
+	for i := range g.Nodes {
+		g.Nodes[i].StageBudget = budget
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, Edge{To: i + 1, Port: 10})
+		g.AddEdge(i+1, Edge{To: i, Port: 10})
+	}
+	g.Normalize()
+	return g
+}
+
+// diamondGraph builds 0->1->3 and 0->2->3 (duplex) with budget units
+// per switch.
+func diamondGraph(budget int) *Graph {
+	g := NewGraph(4)
+	for i := range g.Nodes {
+		g.Nodes[i].StageBudget = budget
+	}
+	duplex := func(a, b int, port asic.PortID) {
+		g.AddEdge(a, Edge{To: b, Port: port})
+		g.AddEdge(b, Edge{To: a, Port: port})
+	}
+	duplex(0, 1, 10)
+	duplex(0, 2, 11)
+	duplex(1, 3, 12)
+	duplex(2, 3, 13)
+	g.Normalize()
+	return g
+}
+
+func chain(id uint16, w float64, nfs ...string) route.Chain {
+	return route.Chain{PathID: id, NFs: nfs, Weight: w}
+}
+
+func TestNormalizeDedupesAndDropsSelfLoops(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, Edge{To: 0, Port: 5}) // self-loop: dropped
+	g.AddEdge(0, Edge{To: 1, Port: 9, Flaky: true})
+	g.AddEdge(0, Edge{To: 1, Port: 12}) // healthy wins despite larger port
+	g.AddEdge(0, Edge{To: 1, Port: 14})
+	g.Normalize()
+	edges := g.Edges(0)
+	if len(edges) != 1 {
+		t.Fatalf("want 1 deduped edge, got %v", edges)
+	}
+	if edges[0].Flaky || edges[0].Port != 12 {
+		t.Fatalf("want healthy smallest-port edge {1,12}, got %+v", edges[0])
+	}
+}
+
+func TestRouteFollowsDeterministicNextHops(t *testing.T) {
+	g := diamondGraph(48)
+	path, ports, ok := g.Route(0, 3)
+	if !ok {
+		t.Fatal("route 0->3 should exist")
+	}
+	// Two shortest paths exist; the tie-break picks the smaller
+	// neighbour (1).
+	if !reflect.DeepEqual(path, []int{0, 1, 3}) {
+		t.Fatalf("path = %v, want [0 1 3]", path)
+	}
+	if len(ports) != 2 || ports[0] != 10 || ports[1] != 12 {
+		t.Fatalf("ports = %v, want [10 12]", ports)
+	}
+	if d, ok := g.Dist(0, 3); !ok || d != 2 {
+		t.Fatalf("Dist(0,3) = %d,%v want 2,true", d, ok)
+	}
+	// A flapping switch 1 flips the tie toward 2.
+	g.Nodes[1].Flaky = true
+	g.hops = nil
+	path, _, _ = g.Route(0, 3)
+	if !reflect.DeepEqual(path, []int{0, 2, 3}) {
+		t.Fatalf("flaky-aware path = %v, want [0 2 3]", path)
+	}
+}
+
+func TestSharedPathHelpers(t *testing.T) {
+	g := diamondGraph(48)
+	if l := LongestPathFrom(g, 0); l != 4 {
+		t.Fatalf("LongestPathFrom = %d, want 4 (0-1-3-2)", l)
+	}
+	path, ports, ok := LexSmallestPath(g, 0, 3)
+	if !ok || !reflect.DeepEqual(path, []int{0, 1, 3}) {
+		t.Fatalf("LexSmallestPath = %v,%v want [0 1 3]", path, ok)
+	}
+	if len(ports) != 2 {
+		t.Fatalf("ports = %v, want 2 hops", ports)
+	}
+	if _, _, ok := LexSmallestPath(g, 0, 5); ok {
+		t.Fatal("no simple path of 5 switches exists in a 4-node diamond")
+	}
+}
+
+// Satellite edge case: a disconnected entry switch can host what fits
+// locally and must shed the rest with a deterministic reason.
+func TestPlaceDisconnectedEntry(t *testing.T) {
+	g := NewGraph(3)
+	for i := range g.Nodes {
+		g.Nodes[i].StageBudget = 10 // two 3-unit NFs + change
+	}
+	g.AddEdge(1, Edge{To: 2, Port: 10}) // entry 0 has no edges at all
+	g.Normalize()
+	res := Place(g, []route.Chain{
+		chain(10, 1, "a", "b"),
+		chain(20, 1, "c", "d", "e"), // 9 more units: cannot fit beside chain 10
+	}, Options{Entry: 0})
+	if _, ok := res.Chains[10]; !ok {
+		t.Fatalf("chain 10 fits on the entry alone, unplaced: %v", res.Unplaced)
+	}
+	if reason, ok := res.Unplaced[20]; !ok {
+		t.Fatal("chain 20 cannot fit on a disconnected entry; want it shed")
+	} else if reason == "" {
+		t.Fatal("want a reason for the shed chain")
+	}
+	// A dead entry sheds everything.
+	g.Nodes[0].Alive = false
+	res = Place(g, []route.Chain{chain(10, 1, "a")}, Options{Entry: 0})
+	if len(res.Chains) != 0 || res.Unplaced[10] != "entry switch 0 dead" {
+		t.Fatalf("dead entry: chains=%v unplaced=%v", res.Chains, res.Unplaced)
+	}
+}
+
+// Satellite edge case: self-loop wires must not count as capacity — a
+// fabric whose only wire loops back to the entry is still one switch.
+func TestPlaceSelfLoopWires(t *testing.T) {
+	g := NewGraph(2)
+	g.Nodes[0].StageBudget = 6
+	g.Nodes[1].StageBudget = 6
+	g.AddEdge(0, Edge{To: 0, Port: 7}) // self-loop, ignored
+	g.Normalize()
+	res := Place(g, []route.Chain{chain(10, 1, "a", "b", "c")}, Options{Entry: 0})
+	if len(res.Chains) != 0 {
+		t.Fatalf("9 units cannot fit on the 6-unit entry; self-loop must not help: %+v", res.Chains)
+	}
+	// With a real wire the same chain places across both switches.
+	g.AddEdge(0, Edge{To: 1, Port: 10})
+	g.Normalize()
+	res = Place(g, []route.Chain{chain(10, 1, "a", "b", "c")}, Options{Entry: 0})
+	if pl, ok := res.Chains[10]; !ok {
+		t.Fatalf("chain should place over the real wire: %v", res.Unplaced)
+	} else if len(pl.SwitchSet()) != 2 {
+		t.Fatalf("want both switches used, got path %v", pl.Path)
+	}
+}
+
+// Satellite edge case: hop-limit exhaustion sheds the chain with a
+// hop-limit reason; lifting the limit places it.
+func TestPlaceHopLimitExhaustion(t *testing.T) {
+	g := lineGraph(5, 3) // one 1-stage NF (3 units) per switch
+	chains := []route.Chain{chain(10, 1, "a", "b", "c", "d", "e")}
+	res := Place(g, chains, Options{Entry: 0, HopLimit: 2})
+	if len(res.Chains) != 0 {
+		t.Fatalf("5 NFs over 5 switches need 4 hops; limit 2 must shed: %+v", res.Chains)
+	}
+	if reason := res.Unplaced[10]; reason != "no feasible placement within 2 fabric hops" {
+		t.Fatalf("unplaced reason = %q", reason)
+	}
+	res = Place(g, chains, Options{Entry: 0, HopLimit: 4})
+	pl, ok := res.Chains[10]
+	if !ok {
+		t.Fatalf("limit 4 suffices: %v", res.Unplaced)
+	}
+	if pl.Cost.CrossHops != 4 {
+		t.Fatalf("cross hops = %d, want 4", pl.Cost.CrossHops)
+	}
+}
+
+// Satellite edge case: when the short path dies, only a longer-but-
+// alive path remains and placement must take it.
+func TestPlaceLongerButAlivePathOnly(t *testing.T) {
+	g := NewGraph(5)
+	for i := range g.Nodes {
+		g.Nodes[i].StageBudget = 3
+	}
+	// Short route 0-1-4 and long route 0-2-3-4.
+	g.AddEdge(0, Edge{To: 1, Port: 10})
+	g.AddEdge(1, Edge{To: 4, Port: 10})
+	g.AddEdge(0, Edge{To: 2, Port: 11})
+	g.AddEdge(2, Edge{To: 3, Port: 11})
+	g.AddEdge(3, Edge{To: 4, Port: 11})
+	g.Normalize()
+	g.Nodes[1].Alive = false // short path dead
+
+	res := Place(g, []route.Chain{chain(10, 1, "a", "b")}, Options{Entry: 0, Pins: map[string]int{"a": 0, "b": 4}})
+	pl, ok := res.Chains[10]
+	if !ok {
+		t.Fatalf("longer path 0-2-3-4 is alive; want placement, got %v", res.Unplaced)
+	}
+	if !reflect.DeepEqual(pl.Path, []int{0, 2, 3, 4}) {
+		t.Fatalf("path = %v, want the longer alive path [0 2 3 4]", pl.Path)
+	}
+	if pl.Cost.CrossHops != 3 {
+		t.Fatalf("cross hops = %d, want 3", pl.Cost.CrossHops)
+	}
+}
+
+// The tentpole scenario: capacity that no single simple path can hold
+// places via branching — two chains over non-nested switch subsets —
+// strictly beating the lex baseline, which must shed a chain.
+func TestPlaceBranchingBeatsLexBaseline(t *testing.T) {
+	g := diamondGraph(48)
+	demand := map[string]int{}
+	for _, n := range []string{"a1", "a2", "a3", "a4", "b1", "b2", "b3", "b4"} {
+		demand[n] = 22 // 24 units each: two NFs per switch
+	}
+	chains := []route.Chain{
+		chain(10, 0.5, "a1", "a2", "a3", "a4"),
+		chain(20, 0.5, "b1", "b2", "b3", "b4"),
+	}
+	res := Place(g, chains, Options{Entry: 0, StageDemand: demand, StagesPerPass: 24})
+	if len(res.Unplaced) != 0 {
+		t.Fatalf("192 units fit on the 4x48 diamond, unplaced: %v", res.Unplaced)
+	}
+	// The lex baseline snakes both chains along the single simple path
+	// 0-1-3-2, paying 3 hops for the second chain; the cost-based
+	// placer branches it down the 0-2-3 side for 2.
+	if !res.Branching {
+		t.Fatal("want a branching placement (non-nested switch subsets)")
+	}
+	if res.Strategy != "cost" {
+		t.Fatalf("strategy = %q, want cost", res.Strategy)
+	}
+	if res.Total.Weighted >= res.Baseline.Weighted {
+		t.Fatalf("cost-based total %.2f must beat baseline %.2f", res.Total.Weighted, res.Baseline.Weighted)
+	}
+}
+
+// The portfolio guarantee: across assorted topologies the adopted plan
+// never scores worse than the lex baseline.
+func TestPlaceNeverWorseThanBaseline(t *testing.T) {
+	graphs := map[string]*Graph{
+		"line3":    lineGraph(3, 48),
+		"line5":    lineGraph(5, 12),
+		"diamond":  diamondGraph(24),
+		"diamond2": diamondGraph(9),
+	}
+	chains := []route.Chain{
+		chain(10, 0.5, "classifier", "fw", "vgw", "lb", "router"),
+		chain(20, 0.3, "classifier", "vgw", "router"),
+		chain(30, 0.2, "classifier", "router"),
+	}
+	for name, g := range graphs {
+		res := Place(g, chains, Options{Entry: 0})
+		if res.Total.Weighted > res.Baseline.Weighted+1e-9 {
+			t.Errorf("%s: adopted %.3f worse than baseline %.3f", name, res.Total.Weighted, res.Baseline.Weighted)
+		}
+	}
+}
+
+// Load-aware tie-break: among equal-cost homes, pick the switch with
+// the most remaining headroom.
+func TestPlaceSpreadsByRemainingBudget(t *testing.T) {
+	g := NewGraph(3)
+	g.Nodes[0].StageBudget = 3
+	g.Nodes[1].StageBudget = 3  // would end up 100% loaded
+	g.Nodes[2].StageBudget = 48 // same hop cost, far more headroom
+	g.AddEdge(0, Edge{To: 1, Port: 10})
+	g.AddEdge(0, Edge{To: 2, Port: 11})
+	g.Normalize()
+	res := Place(g, []route.Chain{chain(10, 1, "x"), chain(20, 1, "y")}, Options{Entry: 0})
+	if res.Homes["x"] != 0 {
+		t.Fatalf("x should stay on the entry (0 hops), got %d", res.Homes["x"])
+	}
+	if res.Homes["y"] != 2 {
+		t.Fatalf("y: equal hop cost, tie must break toward headroom (switch 2), got %d", res.Homes["y"])
+	}
+}
+
+// Pins force homes; dead pin targets shed the chain.
+func TestPlacePins(t *testing.T) {
+	g := lineGraph(3, 48)
+	res := Place(g, []route.Chain{chain(10, 1, "a", "b")},
+		Options{Entry: 0, Pins: map[string]int{"b": 2}})
+	if res.Homes["b"] != 2 {
+		t.Fatalf("pin ignored: b homed at %d", res.Homes["b"])
+	}
+	g.Nodes[2].Alive = false
+	g.hops = nil
+	res = Place(g, []route.Chain{chain(10, 1, "a", "b")},
+		Options{Entry: 0, Pins: map[string]int{"b": 2}})
+	if _, ok := res.Chains[10]; ok {
+		t.Fatal("pin to a dead switch must shed the chain")
+	}
+	if res.Unplaced[10] != `NF "b" pinned to dead switch 2` {
+		t.Fatalf("reason = %q", res.Unplaced[10])
+	}
+}
+
+// Determinism: the identical inputs always produce the identical
+// placement, routes included.
+func TestPlaceDeterministic(t *testing.T) {
+	demand := map[string]int{"fw": 10, "vgw": 9}
+	chains := []route.Chain{
+		chain(10, 0.5, "classifier", "fw", "vgw", "lb", "router"),
+		chain(20, 0.3, "classifier", "vgw", "router"),
+	}
+	var first *Result
+	for i := 0; i < 5; i++ {
+		g := diamondGraph(30)
+		res := Place(g, chains, Options{Entry: 0, StageDemand: demand})
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(first.Homes, res.Homes) || !reflect.DeepEqual(first.Chains, res.Chains) {
+			t.Fatalf("run %d diverged:\nfirst %+v\n now  %+v", i, first.Homes, res.Homes)
+		}
+	}
+}
+
+func TestDemandAndMaxF(t *testing.T) {
+	if Demand(nil, "x") != 3 {
+		t.Fatalf("default demand = %d, want 1+2", Demand(nil, "x"))
+	}
+	if Demand(map[string]int{"x": 8}, "x") != 10 {
+		t.Fatalf("demand = %d, want 8+2", Demand(map[string]int{"x": 8}, "x"))
+	}
+	if MaxF(1.5, 2.5) != 2.5 || MaxF(3, -1) != 3 {
+		t.Fatal("MaxF broken")
+	}
+}

@@ -54,11 +54,15 @@ type Report struct {
 	// swaps. Both zero on a proved no-op.
 	DeltaEntries   int `json:"delta_entries"`
 	ProgramReloads int `json:"program_reloads"`
-	// Fabric-mode results: the converged switch path, the switches
-	// reprogrammed this apply, and chains that cannot carry traffic.
-	FabricPath       []int             `json:"fabric_path,omitempty"`
-	FabricChanged    []int             `json:"fabric_changed,omitempty"`
-	FabricBlackholed map[uint16]string `json:"fabric_blackholed,omitempty"`
+	// Fabric-mode results: the switches the placement uses, the
+	// switches reprogrammed this apply, per-chain routes from the
+	// cost-based placer, chains the converge re-placed onto new
+	// routes, and chains that cannot carry traffic.
+	FabricPath       []int                         `json:"fabric_path,omitempty"`
+	FabricChanged    []int                         `json:"fabric_changed,omitempty"`
+	FabricRoutes     map[uint16]cluster.ChainRoute `json:"fabric_routes,omitempty"`
+	FabricReplaced   []uint16                      `json:"fabric_replaced,omitempty"`
+	FabricBlackholed map[uint16]string             `json:"fabric_blackholed,omitempty"`
 }
 
 // Summary renders the report in one line.
@@ -248,9 +252,9 @@ func (a *Applier) dryRun(doc *Document, delta *Delta, rep *Report) error {
 		// Plan over the live fabric with the new chain set, then restore.
 		prior := a.fab.Chains
 		a.fab.Chains = doc.RouteChains()
-		path, _, blackholed := a.fab.Plan()
+		switches, routes, blackholed := a.fab.Plan()
 		a.fab.Chains = prior
-		rep.FabricPath, rep.FabricBlackholed = path, blackholed
+		rep.FabricPath, rep.FabricRoutes, rep.FabricBlackholed = switches, routes, blackholed
 		return nil
 	case a.last == nil || a.dep == nil || needsRedeploy(delta):
 		// A fresh deployment would run: prove the document composes.
@@ -263,8 +267,8 @@ func (a *Applier) dryRun(doc *Document, delta *Delta, rep *Report) error {
 			if err != nil {
 				return err
 			}
-			path, _, blackholed := fab.Plan()
-			rep.FabricPath, rep.FabricBlackholed = path, blackholed
+			switches, routes, blackholed := fab.Plan()
+			rep.FabricPath, rep.FabricRoutes, rep.FabricBlackholed = switches, routes, blackholed
 			return nil
 		}
 		rep.Redeployed = !rep.Initial
@@ -377,7 +381,12 @@ func (a *Applier) buildFabric(doc *Document, cfg *core.Config) (*cluster.FabricD
 			return nil, err
 		}
 	}
-	return cluster.NewFabricDeployment(f, cfg.Chains, cfg.NFs, doc.Fabric.StageDemand)
+	fd, err := cluster.NewFabricDeployment(f, cfg.Chains, cfg.NFs, doc.Fabric.StageDemand)
+	if err != nil {
+		return nil, err
+	}
+	fd.Pins = doc.Fabric.Pin
+	return fd, nil
 }
 
 // convergeFabric drives a fabric-mode apply: initial (or
@@ -403,8 +412,10 @@ func (a *Applier) convergeFabric(doc *Document, delta *Delta, rep *Report) error
 			return err
 		}
 		rep.Redeployed = !rep.Initial
-		rep.FabricPath = frep.Path
+		rep.FabricPath = frep.Switches
 		rep.FabricChanged = frep.Changed
+		rep.FabricRoutes = frep.Routes
+		rep.FabricReplaced = frep.Replaced
 		rep.FabricBlackholed = frep.Blackholed
 		a.fab, a.frec, a.dep = fab, frec, nil
 		return nil
@@ -426,8 +437,10 @@ func (a *Applier) convergeFabric(doc *Document, delta *Delta, rep *Report) error
 		}
 		return fmt.Errorf("intent: apply failed, fabric rolled back to prior intent: %w", err)
 	}
-	rep.FabricPath = frep.Path
+	rep.FabricPath = frep.Switches
 	rep.FabricChanged = frep.Changed
+	rep.FabricRoutes = frep.Routes
+	rep.FabricReplaced = frep.Replaced
 	rep.FabricBlackholed = frep.Blackholed
 	if !frep.Converged {
 		rep.ProgramReloads = len(frep.Changed) * a.fab.Fabric.Prof.Pipelines * 2

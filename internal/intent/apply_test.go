@@ -320,6 +320,14 @@ func TestApplyFabric(t *testing.T) {
 	if len(rep.FabricBlackholed) != 0 {
 		t.Fatalf("fabric blackholed chains: %v", rep.FabricBlackholed)
 	}
+	if len(rep.FabricRoutes) != len(doc.Chains) {
+		t.Fatalf("fabric apply reports %d chain routes, want %d", len(rep.FabricRoutes), len(doc.Chains))
+	}
+	for id, r := range rep.FabricRoutes {
+		if len(r.Path) == 0 || len(r.Segments) != len(r.Path) {
+			t.Fatalf("chain %d route malformed: path %v, %d segments", id, r.Path, len(r.Segments))
+		}
+	}
 
 	rep = applyDoc(t, a, doc.Clone())
 	if !rep.NoOp {
@@ -347,6 +355,50 @@ func TestApplyFabric(t *testing.T) {
 	rep = applyDoc(t, a, next.Clone())
 	if !rep.NoOp || len(rep.FabricChanged) != 0 || rep.ProgramReloads != 0 {
 		t.Fatalf("fabric re-apply not a proved no-op: %s (changed %v)", rep.Summary(), rep.FabricChanged)
+	}
+}
+
+// TestApplyFabricPins: fabric.pin homes an NF on the named switch and
+// the placer routes every chain using it through that switch — the
+// fabric-mode analogue of single-switch placement hints.
+func TestApplyFabricPins(t *testing.T) {
+	a := NewApplier(nil)
+	doc := testDoc(t)
+	doc.Fabric = &FabricSpec{
+		Switches:    3,
+		StageDemand: map[string]int{"classifier": 6, "fw": 6, "router": 6},
+		Pin:         map[string]int{"fw": 1},
+	}
+
+	rep := applyDoc(t, a, doc)
+	if len(rep.FabricBlackholed) != 0 {
+		t.Fatalf("pinned fabric apply blackholed chains: %v", rep.FabricBlackholed)
+	}
+	fd := a.FabricDeployment()
+	if fd == nil {
+		t.Fatal("fabric apply did not adopt a fabric deployment")
+	}
+	if got := fd.Homes["fw"]; got != 1 {
+		t.Fatalf("pinned NF fw homed on switch %d, want 1", got)
+	}
+	for id, r := range fd.Routes {
+		usesFW := false
+		for _, seg := range r.Segments {
+			for _, n := range seg {
+				if n == "fw" {
+					usesFW = true
+				}
+			}
+		}
+		onPin := false
+		for _, s := range r.Path {
+			if s == 1 {
+				onPin = true
+			}
+		}
+		if usesFW && !onPin {
+			t.Fatalf("chain %d uses pinned fw but routes %v around switch 1", id, r.Path)
+		}
 	}
 }
 

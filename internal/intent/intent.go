@@ -71,6 +71,11 @@ type FabricSpec struct {
 	// StageDemand inflates per-NF stage demand for the segmentation
 	// planner; absent NFs demand one stage.
 	StageDemand map[string]int `json:"stage_demand,omitempty"`
+	// Pin homes NFs on specific switches, e.g. {"fw": 1}. The
+	// fabric-mode analogue of single-switch placement hints: the
+	// cost-based placer routes each chain through its pinned homes
+	// (and refuses placements that would move them).
+	Pin map[string]int `json:"pin,omitempty"`
 }
 
 // Parse decodes a strict JSON intent document: unknown fields anywhere
@@ -152,7 +157,20 @@ func (d *Document) Validate() error {
 			return fmt.Errorf("intent: fabric.switches must be >= 2, got %d", d.Fabric.Switches)
 		}
 		if len(d.Placement) > 0 {
-			return fmt.Errorf("intent: placement hints are single-switch; the fabric segmentation places NFs itself")
+			return fmt.Errorf("intent: placement hints are single-switch; use fabric.pin to home NFs on switches")
+		}
+		pinned := make([]string, 0, len(d.Fabric.Pin))
+		for n := range d.Fabric.Pin {
+			pinned = append(pinned, n)
+		}
+		sort.Strings(pinned)
+		for _, n := range pinned {
+			if !used[n] {
+				return fmt.Errorf("intent: fabric pin for NF %q, which no chain uses", n)
+			}
+			if s := d.Fabric.Pin[n]; s < 0 || s >= d.Fabric.Switches {
+				return fmt.Errorf("intent: fabric pin for NF %q names switch %d, outside the %d-switch fabric", n, s, d.Fabric.Switches)
+			}
 		}
 	}
 	hinted := make([]string, 0, len(d.Placement))

@@ -105,6 +105,15 @@ func TestValidateRejections(t *testing.T) {
 			d.Fabric = &FabricSpec{Switches: 2}
 			d.Placement = map[string]string{"fw": "ingress 0"}
 		}, "single-switch"},
+		{"fabric pin for unused NF", func(d *Document) {
+			d.Fabric = &FabricSpec{Switches: 2, Pin: map[string]int{"nat": 0}}
+		}, "no chain uses"},
+		{"fabric pin out of range", func(d *Document) {
+			d.Fabric = &FabricSpec{Switches: 2, Pin: map[string]int{"fw": 2}}
+		}, "outside the 2-switch fabric"},
+		{"fabric pin negative", func(d *Document) {
+			d.Fabric = &FabricSpec{Switches: 2, Pin: map[string]int{"fw": -1}}
+		}, "outside the 2-switch fabric"},
 		{"invalid chain shape", func(d *Document) { d.File.Chains[0].PathID = 0 }, "path"},
 	}
 	for _, tc := range cases {

@@ -1,6 +1,11 @@
 package telemetry
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // Fabric counts a multi-switch deployment's fault-tolerance activity:
 // topology health (switches alive vs configured, chains blackholed),
@@ -17,6 +22,19 @@ type Fabric struct {
 	convergences  atomic.Uint64
 	convergeTicks atomic.Uint64
 	lastConverge  atomic.Uint64
+
+	// Per-chain placement state from the topology-aware placer. Guarded
+	// by mu — updated once per reconcile round, never on the packet
+	// path, but a metrics scrape can race a live reconvergence.
+	mu     sync.Mutex
+	chains map[uint16]chainPlacement
+}
+
+// chainPlacement is one chain's last observed placement shape.
+type chainPlacement struct {
+	pathLen   int
+	crossHops int
+	replaced  uint64
 }
 
 // NewFabric creates an empty fabric counter set.
@@ -32,6 +50,23 @@ func (f *Fabric) ObserveReconcile(alive, total, blackholed, programsChanged int)
 	f.switchesTotal.Store(uint64(total))
 	f.blackholed.Store(uint64(blackholed))
 	f.replacements.Add(uint64(programsChanged))
+}
+
+// ObservePlacement records one chain's placement after a reconcile
+// round: its route length in switches, its cross-switch wire hops, and
+// whether this round changed its route (a re-place).
+func (f *Fabric) ObservePlacement(chain uint16, pathLen, crossHops int, replaced bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.chains == nil {
+		f.chains = make(map[uint16]chainPlacement)
+	}
+	cp := f.chains[chain]
+	cp.pathLen, cp.crossHops = pathLen, crossHops
+	if replaced {
+		cp.replaced++
+	}
+	f.chains[chain] = cp
 }
 
 // ObserveConvergence records one completed reconvergence and how many
@@ -111,5 +146,40 @@ func (f *Fabric) Gather() []Family {
 				{Value: float64(f.lastConverge.Load())},
 			},
 		},
+		{
+			Name:    "dejavu_fabric_place_path_length",
+			Help:    "Switches on each chain's installed route, entry included.",
+			Kind:    KindGauge,
+			Samples: f.chainSamples(func(cp chainPlacement) float64 { return float64(cp.pathLen) }),
+		},
+		{
+			Name:    "dejavu_fabric_place_cross_hops",
+			Help:    "Cross-switch wire hops on each chain's installed route.",
+			Kind:    KindGauge,
+			Samples: f.chainSamples(func(cp chainPlacement) float64 { return float64(cp.crossHops) }),
+		},
+		{
+			Name:    "dejavu_fabric_place_replacements_total",
+			Help:    "Route changes (re-places) per chain since start.",
+			Kind:    KindCounter,
+			Samples: f.chainSamples(func(cp chainPlacement) float64 { return float64(cp.replaced) }),
+		},
 	}
+}
+
+// chainSamples renders one labelled sample per observed chain, in
+// ascending chain order for deterministic scrapes.
+func (f *Fabric) chainSamples(val func(chainPlacement) float64) []Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]uint16, 0, len(f.chains))
+	for id := range f.chains {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Sample, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Sample{Labels: fmt.Sprintf(`chain="%d"`, id), Value: val(f.chains[id])})
+	}
+	return out
 }
